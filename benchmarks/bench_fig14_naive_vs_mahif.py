@@ -1,0 +1,37 @@
+"""Figure 14: Naive vs Mahif (R+PS+DS) across datasets and history sizes.
+
+Paper shape: Mahif beats the naive method on every dataset, with the gap
+widening as the history grows (the naive method re-executes every update
+with write I/O; Mahif reenacts only the slice over only the sliced data).
+"""
+
+import pytest
+
+from repro.core import Method
+
+from .common import DATASET_GRID, print_sweep, run_sweep
+
+METHODS = [Method.NAIVE, Method.R_PS_DS]
+
+
+@pytest.mark.parametrize(
+    "label,dataset,rows", DATASET_GRID, ids=[d[0] for d in DATASET_GRID]
+)
+def test_fig14(benchmark, label, dataset, rows):
+    def run():
+        return run_sweep(
+            "fig14", METHODS, dataset=dataset, rows=rows
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep(
+        f"Figure 14 — Naive vs Mahif, {label}",
+        sweep,
+        METHODS,
+        note="R+PS+DS below Naive at every U; gap grows with U",
+    )
+    # Sanity on the headline claim at the largest history.
+    last = sweep[-1]
+    assert last[Method.R_PS_DS.value] < last[Method.NAIVE.value] * 2.0, (
+        "Mahif should not be dramatically slower than naive"
+    )

@@ -1,0 +1,50 @@
+"""Figure 15: cost breakdown of the naive method (Creation / Exe / Delta).
+
+Paper shape: execution of the modified history dominates and grows with
+U; copy creation is flat in U (it depends only on the relation size);
+the delta query is a roughly constant overhead per relation size.
+"""
+
+import pytest
+
+from repro.core import naive_what_if
+from repro.bench import print_series_table
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import LARGE_ROWS, SMALL_ROWS, U_SWEEP, record
+
+
+@pytest.mark.parametrize(
+    "label,rows",
+    [("Size = 5M", SMALL_ROWS), ("Size = 50M", LARGE_ROWS)],
+    ids=["small", "large"],
+)
+def test_fig15(benchmark, label, rows):
+    def run():
+        out = []
+        for u in U_SWEEP:
+            spec = WorkloadSpec(dataset="taxi", rows=rows, updates=u, seed=7)
+            workload = build_workload(spec)
+            result = naive_what_if(workload.query)
+            row = {
+                "updates": u,
+                "rows": rows,
+                "creation": result.creation_seconds,
+                "exe": result.execution_seconds,
+                "delta": result.delta_seconds,
+            }
+            record("fig15", row)
+            out.append(row)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series_table(
+        f"Figure 15 — Naive breakdown, {label}",
+        ["U", "Creation", "Exe", "Delta"],
+        [
+            [r["updates"], r["creation"], r["exe"], r["delta"]]
+            for r in sweep
+        ],
+        note="Exe grows with U and dominates; Creation/Delta flat in U",
+    )
+    assert sweep[-1]["exe"] > sweep[0]["exe"], "Exe must grow with U"

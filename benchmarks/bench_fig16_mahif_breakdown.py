@@ -1,0 +1,56 @@
+"""Figure 16 (table): Mahif cost breakdown — PS, Exe, R+PS+DS vs R.
+
+Paper shape: the PS column is *independent of the relation size* (it
+depends only on the history and compressed-database constraints) while R
+grows with both U and relation size; R+PS+DS = PS + Exe stays far below R
+for long histories.
+"""
+
+import pytest
+
+from repro.bench import print_series_table, run_methods
+from repro.core import Method
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import LARGE_ROWS, SMALL_ROWS, U_SWEEP, record
+
+
+@pytest.mark.parametrize(
+    "label,rows",
+    [("5M", SMALL_ROWS), ("50M", LARGE_ROWS)],
+    ids=["small", "large"],
+)
+def test_fig16(benchmark, label, rows):
+    def run():
+        out = []
+        for u in U_SWEEP:
+            spec = WorkloadSpec(dataset="taxi", rows=rows, updates=u, seed=7)
+            workload = build_workload(spec)
+            timings = run_methods(
+                workload.query, [Method.R, Method.R_PS_DS]
+            )
+            combined = timings[Method.R_PS_DS]
+            row = {
+                "updates": u,
+                "rows": rows,
+                "PS": combined.ps_seconds,
+                "Exe": combined.exe_seconds,
+                "R+PS+DS": combined.total_seconds,
+                "R": timings[Method.R].total_seconds,
+            }
+            record("fig16", row)
+            out.append(row)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series_table(
+        f"Figure 16 — Mahif breakdown, size {label}",
+        ["U", "PS", "Exe", "R+PS+DS", "R"],
+        [
+            [r["updates"], r["PS"], r["Exe"], r["R+PS+DS"], r["R"]]
+            for r in sweep
+        ],
+        note="PS independent of relation size; R+PS+DS ≪ R at large U",
+    )
+    last = sweep[-1]
+    assert last["R+PS+DS"] < last["R"], "optimizations must beat plain R"

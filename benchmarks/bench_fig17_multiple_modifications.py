@@ -1,0 +1,52 @@
+"""Figure 17: varying the number of modifications M ∈ {1, 5, 10, 20}.
+
+Paper shape: all methods slow down with more modifications (larger MILP
+for PS, wider pushed-down conditions for DS), but R+PS+DS remains an
+effective optimization over plain R; R+DS degrades the most because the
+data-slicing conditions for late modifications embed reenactment-like
+CASE nests.
+"""
+
+import pytest
+
+from repro.bench import print_series_table, run_methods
+from repro.core import Method
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+MOD_SWEEP = (1, 5, 10, 20)
+METHODS = [Method.R, Method.R_PS, Method.R_DS, Method.R_PS_DS]
+
+
+def test_fig17(benchmark):
+    def run():
+        out = []
+        for m in MOD_SWEEP:
+            spec = WorkloadSpec(
+                dataset="taxi",
+                rows=SMALL_ROWS,
+                updates=50,
+                dependent_pct=50.0,  # enough dependent updates to modify
+                modifications=m,
+                seed=7,
+            )
+            workload = build_workload(spec)
+            timings = run_methods(workload.query, METHODS)
+            row = {"modifications": m}
+            for method, timing in timings.items():
+                row[method.value] = timing.total_seconds
+            record("fig17", row)
+            out.append(row)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series_table(
+        "Figure 17 — multiple modifications (U50, taxi)",
+        ["M"] + [m.value for m in METHODS],
+        [
+            [r["modifications"]] + [r[m.value] for m in METHODS]
+            for r in sweep
+        ],
+        note="runtimes grow with M; R+PS+DS stays below R",
+    )

@@ -1,0 +1,32 @@
+"""Figure 18: reenactment alone vs reenactment with all optimizations.
+
+Paper shape: R+PS+DS is consistently faster than plain R on every dataset
+and the gap widens with history length (R reenacts every statement over
+all data; R+PS+DS reenacts the slice over the sliced data).
+"""
+
+import pytest
+
+from repro.core import Method
+
+from .common import DATASET_GRID, print_sweep, run_sweep
+
+METHODS = [Method.R, Method.R_PS_DS]
+
+
+@pytest.mark.parametrize(
+    "label,dataset,rows", DATASET_GRID, ids=[d[0] for d in DATASET_GRID]
+)
+def test_fig18(benchmark, label, dataset, rows):
+    def run():
+        return run_sweep("fig18", METHODS, dataset=dataset, rows=rows)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep(
+        f"Figure 18 — R vs R+PS+DS, {label}",
+        sweep,
+        METHODS,
+        note="R+PS+DS below R everywhere, gap grows with U",
+    )
+    last = sweep[-1]
+    assert last[Method.R_PS_DS.value] < last[Method.R.value]

@@ -1,0 +1,49 @@
+"""Figure 20: varying the fraction of affected tuples T (U100, D1).
+
+Paper shape: R+PS is flat in T (the slice depends on the history, not the
+data volume); R+DS and R+PS+DS grow with T because data slicing filters
+less and less; at moderate selectivities the combination still wins.
+"""
+
+import pytest
+
+from repro.bench import print_series_table, run_methods
+from repro.core import Method
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+T_SWEEP = (3.0, 12.0, 38.0, 68.0, 80.0)
+METHODS = [Method.R, Method.R_PS, Method.R_DS, Method.R_PS_DS]
+
+
+def test_fig20(benchmark):
+    def run():
+        out = []
+        for t in T_SWEEP:
+            spec = WorkloadSpec(
+                dataset="taxi",
+                rows=SMALL_ROWS,
+                updates=50,
+                dependent_pct=1.0,
+                affected_pct=t,
+                seed=7,
+            )
+            workload = build_workload(spec)
+            timings = run_methods(workload.query, METHODS)
+            row = {"affected_pct": t}
+            for method, timing in timings.items():
+                row[method.value] = timing.total_seconds
+            record("fig20", row)
+            out.append(row)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series_table(
+        "Figure 20 — affected data T (U50, D1, taxi)",
+        ["T%"] + [m.value for m in METHODS],
+        [[r["affected_pct"]] + [r[m.value] for m in METHODS] for r in sweep],
+        note="R+PS flat in T; R+DS and R+PS+DS grow with T",
+    )
+    # Data slicing's execution cost must grow with T.
+    assert sweep[-1][Method.R_DS.value] > sweep[0][Method.R_DS.value]

@@ -1,0 +1,31 @@
+"""Figure 22: all datasets at T10 (10% of tuples affected per update).
+
+Paper shape: with more data to reenact, the combined R+PS+DS is
+consistently an improvement over either optimization alone.
+"""
+
+import pytest
+
+from repro.core import Method
+
+from .common import DATASET_GRID, print_sweep, run_sweep
+
+METHODS = [Method.R_PS, Method.R_DS, Method.R_PS_DS]
+
+
+@pytest.mark.parametrize(
+    "label,dataset,rows", DATASET_GRID, ids=[d[0] for d in DATASET_GRID]
+)
+def test_fig22(benchmark, label, dataset, rows):
+    def run():
+        return run_sweep(
+            "fig22", METHODS, dataset=dataset, rows=rows, affected_pct=10.0
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep(
+        f"Figure 22 — datasets at T10, {label}",
+        sweep,
+        METHODS,
+        note="R+PS+DS at or below the individual optimizations",
+    )

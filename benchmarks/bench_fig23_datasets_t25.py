@@ -1,0 +1,32 @@
+"""Figure 23: all datasets at T25 (25% of tuples affected per update).
+
+Paper shape: same as T10 but with the data-slicing advantage shrinking —
+a quarter of the table passes the filter, so the combined method's win
+comes increasingly from program slicing.
+"""
+
+import pytest
+
+from repro.core import Method
+
+from .common import DATASET_GRID, print_sweep, run_sweep
+
+METHODS = [Method.R_PS, Method.R_DS, Method.R_PS_DS]
+
+
+@pytest.mark.parametrize(
+    "label,dataset,rows", DATASET_GRID, ids=[d[0] for d in DATASET_GRID]
+)
+def test_fig23(benchmark, label, dataset, rows):
+    def run():
+        return run_sweep(
+            "fig23", METHODS, dataset=dataset, rows=rows, affected_pct=25.0
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep(
+        f"Figure 23 — datasets at T25, {label}",
+        sweep,
+        METHODS,
+        note="DS filters less at T25; PS contribution dominates the win",
+    )

@@ -1,0 +1,43 @@
+"""Figure 25: mixed workloads — 10% inserts, 10% deletes, T10.
+
+Paper shape: R+PS+DS outperforms the single-optimization methods on mixed
+workloads; deletes and inserts are cheaper to process than updates (fewer
+CASE expressions to reenact, trivial slicing constraints), so runtimes
+sit below the pure-update equivalents.
+"""
+
+import pytest
+
+from repro.core import Method
+
+from .common import LARGE_ROWS, SMALL_ROWS, print_sweep, run_sweep
+
+METHODS = [Method.R_PS, Method.R_DS, Method.R_PS_DS]
+
+
+@pytest.mark.parametrize(
+    "label,rows",
+    [("Size = 5M", SMALL_ROWS), ("Size = 50M", LARGE_ROWS)],
+    ids=["small", "large"],
+)
+def test_fig25(benchmark, label, rows):
+    def run():
+        return run_sweep(
+            "fig25",
+            METHODS,
+            dataset="taxi",
+            rows=rows,
+            insert_pct=10.0,
+            delete_pct=10.0,
+            affected_pct=10.0,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_sweep(
+        f"Figure 25 — mixed I10 X10 T10, {label}",
+        sweep,
+        METHODS,
+        note="R+PS+DS best overall; mixed histories cheaper than pure updates",
+    )
+    last = sweep[-1]
+    assert last[Method.R_PS_DS.value] <= last[Method.R_DS.value] * 3.0

@@ -1,0 +1,52 @@
+"""Scaling in relation size (the summary claim of Section 13.7).
+
+Not a numbered figure, but the paper's summary asserts: "our approach
+scales well with respect to relation size" and "the cost of program
+slicing is independent of the relation size".  This bench sweeps the row
+count at fixed U and reports per-method totals plus the PS component,
+which must stay flat while everything else grows roughly linearly.
+"""
+
+import pytest
+
+from repro.bench import print_series_table, run_methods
+from repro.core import Method
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+SIZES = tuple(
+    int(SMALL_ROWS * factor) for factor in (0.5, 1.0, 2.0, 4.0)
+)
+METHODS = [Method.R, Method.R_DS, Method.R_PS_DS]
+
+
+def test_scaling_relation_size(benchmark):
+    def run():
+        out = []
+        for rows in SIZES:
+            spec = WorkloadSpec(
+                dataset="taxi", rows=rows, updates=20, seed=7
+            )
+            workload = build_workload(spec)
+            timings = run_methods(workload.query, METHODS)
+            row = {"rows": rows}
+            for method, timing in timings.items():
+                row[method.value] = timing.total_seconds
+            row["PS"] = timings[Method.R_PS_DS].ps_seconds
+            record("scaling", row)
+            out.append(row)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series_table(
+        "Scaling — relation size at U20 (taxi)",
+        ["rows"] + [m.value for m in METHODS] + ["PS component"],
+        [
+            [r["rows"]] + [r[m.value] for m in METHODS] + [r["PS"]]
+            for r in sweep
+        ],
+        note="PS flat in relation size; R grows linearly",
+    )
+    # PS cost must not scale with the data.
+    assert sweep[-1]["PS"] < sweep[0]["PS"] * 5 + 0.5

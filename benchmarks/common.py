@@ -1,0 +1,104 @@
+"""Shared configuration and runners for the figure benchmarks.
+
+Scale: the paper runs 5M/50M-row tables on a 24-core/128 GB server with
+PostgreSQL; this reproduction runs an in-memory pure-Python engine, so the
+default sizes are laptop-scale ("5M" → ``SMALL_ROWS``, "50M" →
+``LARGE_ROWS``) and the update sweep tops out at ``max(U_SWEEP)``.
+Override via environment variables for a bigger run::
+
+    MAHIF_BENCH_SMALL=20000 MAHIF_BENCH_LARGE=100000 \
+    MAHIF_BENCH_UPDATES=10,20,50,100,200 pytest benchmarks/ --benchmark-only
+
+Every benchmark prints the same series the paper's figure plots (run with
+``-s`` to see them mid-run; they are also appended to
+``benchmarks/results.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Sequence
+
+from repro.bench import MethodTiming, print_series_table, run_methods
+from repro.core import Method
+from repro.workloads import WorkloadSpec, build_workload
+
+SMALL_ROWS = int(os.environ.get("MAHIF_BENCH_SMALL", "1200"))
+LARGE_ROWS = int(os.environ.get("MAHIF_BENCH_LARGE", "3600"))
+U_SWEEP = tuple(
+    int(u)
+    for u in os.environ.get("MAHIF_BENCH_UPDATES", "10,20,40").split(",")
+)
+
+#: The "datasets" of Figures 14/18/21-23: (label, dataset name, rows).
+DATASET_GRID = (
+    ("Taxi (5M)", "taxi", SMALL_ROWS),
+    ("Taxi (50M)", "taxi", LARGE_ROWS),
+    ("TPCC", "tpcc", SMALL_ROWS),
+    ("YCSB", "ycsb", SMALL_ROWS),
+)
+
+RESULTS_PATH = pathlib.Path(__file__).with_name("results.jsonl")
+
+
+def record(experiment: str, row: dict) -> None:
+    """Append a result row to the JSONL log used to build EXPERIMENTS.md."""
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(json.dumps({"experiment": experiment, **row}) + "\n")
+
+
+def run_sweep(
+    experiment: str,
+    methods: Sequence[Method],
+    *,
+    dataset: str = "taxi",
+    rows: int = SMALL_ROWS,
+    updates: Sequence[int] = U_SWEEP,
+    dependent_pct: float = 10.0,
+    affected_pct: float = 10.0,
+    insert_pct: float = 0.0,
+    delete_pct: float = 0.0,
+    modifications: int = 1,
+    seed: int = 7,
+) -> list[dict]:
+    """Run ``methods`` over a U sweep; returns one row dict per U."""
+    rows_out: list[dict] = []
+    for u in updates:
+        spec = WorkloadSpec(
+            dataset=dataset,
+            rows=rows,
+            updates=u,
+            dependent_pct=dependent_pct,
+            affected_pct=affected_pct,
+            insert_pct=insert_pct,
+            delete_pct=delete_pct,
+            modifications=modifications,
+            seed=seed,
+        )
+        workload = build_workload(spec)
+        timings = run_methods(workload.query, list(methods))
+        row: dict = {"updates": u, "dataset": dataset, "rows": rows}
+        for method, timing in timings.items():
+            row[method.value] = timing.total_seconds
+            if method.uses_program_slicing:
+                row[f"{method.value}:ps"] = timing.ps_seconds
+                row[f"{method.value}:exe"] = timing.exe_seconds
+        record(experiment, row)
+        rows_out.append(row)
+    return rows_out
+
+
+def print_sweep(
+    title: str,
+    sweep_rows: list[dict],
+    methods: Sequence[Method],
+    note: str = "",
+) -> None:
+    headers = ["U"] + [m.value for m in methods]
+    table = [
+        [row["updates"]] + [row[m.value] for m in methods]
+        for row in sweep_rows
+    ]
+    print_series_table(title, headers, table, note=note)

@@ -1,0 +1,106 @@
+"""Provenance and history analysis: explaining a what-if answer.
+
+Beyond the delta itself, an analyst usually wants to know *why*: which
+original rows caused each change, and how the statements of the history
+interact.  This example runs a what-if query over a small sales table and
+then:
+
+1. explains every delta tuple with its why-provenance (the base rows it
+   derives from),
+2. builds the statement dependency graph of the history (the may-interact
+   analysis underlying program slicing) and prints which statements are
+   provably independent of each other.
+
+Run:  python examples/provenance_and_analysis.py
+"""
+
+from repro import (
+    Database,
+    HistoricalWhatIfQuery,
+    History,
+    Mahif,
+    Method,
+    Relation,
+    Replace,
+    Schema,
+    parse_history,
+    parse_statement,
+)
+from repro.core import build_dependency_graph, explain_delta
+
+sales = Relation.from_rows(
+    Schema.of("sale_id", "region", "amount", "discount"),
+    [
+        (1, "east", 120, 0),
+        (2, "east", 80, 5),
+        (3, "west", 200, 0),
+        (4, "west", 40, 10),
+        (5, "north", 300, 0),
+        (6, "north", 55, 5),
+    ],
+)
+db = Database({"sales": sales})
+
+history = History(
+    tuple(
+        parse_history(
+            """
+            UPDATE sales SET discount = 15 WHERE amount >= 150;
+            UPDATE sales SET amount = amount - discount WHERE discount >= 10;
+            UPDATE sales SET discount = discount + 2 WHERE amount <= 50;
+            """
+        )
+    )
+)
+
+# What if the bulk-discount threshold had been 100 instead of 150?
+replacement = parse_statement(
+    "UPDATE sales SET discount = 15 WHERE amount >= 100;"
+)
+query = HistoricalWhatIfQuery(history, db, (Replace(1, replacement),))
+
+engine = Mahif()
+result = engine.answer(query, Method.R_PS_DS)
+print("what-if: bulk-discount threshold 150 -> 100")
+print(result.delta.pretty())
+
+print("\nwhy-provenance (delta tuple <- source rows):")
+explanation = explain_delta(result, "sales")
+for row, witnesses in sorted(explanation.items()):
+    sources = ", ".join(
+        f"{w.relation}{w.row}" for w in sorted(witnesses, key=lambda s: s.row)
+    )
+    print(f"  {row} <- {sources or '(query-generated)'}")
+
+print("\nstatement dependency analysis:")
+analysis = build_dependency_graph(history, db)
+print(f"  {analysis.summary()}")
+for i, j in analysis.interacting_pairs():
+    print(f"  statement {i} may affect the input of statement {j}")
+isolated = analysis.independent_statements()
+if isolated:
+    print(f"  provably isolated statements: {isolated}")
+
+
+# Bonus: the symbolic machinery can also *prove histories equivalent*
+# (the paper's closing future-work item).  Reordering the two independent
+# statements below changes nothing; the prover certifies it for every
+# database within the compressed constraints.
+from repro.core import check_history_equivalence
+from repro import parse_statement as _p
+
+u_low = _p("UPDATE sales SET discount = 1 WHERE amount <= 60;")
+u_high = _p("UPDATE sales SET discount = 2 WHERE amount >= 150;")
+h_a = History((u_low, u_high))
+h_b = History((u_high, u_low))
+verdict = check_history_equivalence(h_a, h_b, db)
+print("\nhistory equivalence (reordered independent updates):",
+      verdict.verdict.value)
+assert verdict.is_equivalent
+
+h_c = History((_p("UPDATE sales SET discount = 1 WHERE amount <= 80;"),))
+verdict2 = check_history_equivalence(History((u_low,)), h_c, db)
+print("history equivalence (different thresholds):", verdict2.verdict.value)
+
+assert engine.answer(query, Method.NAIVE).delta == result.delta
+print("\ncross-checked against the naive algorithm ✓")

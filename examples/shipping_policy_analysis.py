@@ -1,0 +1,136 @@
+"""Retail scenario: comparing several hypothetical shipping-fee policies.
+
+A retailer ran a 6-statement pricing-and-shipping campaign over an orders
+table.  The analyst explores three what-if scenarios:
+
+1. a *higher free-shipping threshold* (replace a statement),
+2. *never running* the UK surcharge at all (delete a statement),
+3. an *additional loyalty rebate* that was considered but never shipped
+   (insert a statement).
+
+For each scenario the example prints the delta, the revenue impact, and
+what the optimizations saved — the workflow the paper's introduction
+motivates ("results can be used to inform future actions").
+
+Run:  python examples/shipping_policy_analysis.py
+"""
+
+import random
+
+from repro import (
+    Database,
+    DeleteStatementMod,
+    HistoricalWhatIfQuery,
+    History,
+    InsertStatementMod,
+    Mahif,
+    Method,
+    Relation,
+    Replace,
+    Schema,
+    parse_history,
+    parse_statement,
+)
+
+random.seed(20220312)
+
+COUNTRIES = ["UK", "US", "DE", "FR"]
+SCHEMA = Schema.of("ID", "Country", "Price", "ShippingFee", "Loyal")
+
+
+def make_orders(n: int = 2000) -> Relation:
+    rows = []
+    for order_id in range(1, n + 1):
+        rows.append(
+            (
+                order_id,
+                random.choice(COUNTRIES),
+                random.randint(5, 200),
+                random.choice([3, 4, 5, 6]),
+                random.random() < 0.3,
+            )
+        )
+    return Relation.from_rows(SCHEMA, rows)
+
+
+def revenue(db: Database) -> float:
+    total = 0.0
+    for row in db["Orders"].rows_as_dicts():
+        total += row["Price"] + row["ShippingFee"]
+    return total
+
+
+db = Database({"Orders": make_orders()})
+
+history = History(
+    tuple(
+        parse_history(
+            """
+            UPDATE Orders SET ShippingFee = 0 WHERE Price >= 50;
+            UPDATE Orders SET ShippingFee = ShippingFee + 5
+                WHERE Country = 'UK' AND Price <= 100;
+            UPDATE Orders SET Price = Price - 10
+                WHERE Price >= 150;
+            UPDATE Orders SET ShippingFee = ShippingFee + 2
+                WHERE Country = 'DE' AND Price <= 40;
+            UPDATE Orders SET ShippingFee = ShippingFee - 2
+                WHERE Price <= 30 AND ShippingFee >= 10;
+            DELETE FROM Orders WHERE Price <= 6 AND ShippingFee >= 6;
+            """
+        )
+    )
+)
+
+engine = Mahif()
+current = history.execute(db)
+base_revenue = revenue(current)
+print(f"orders: {len(db['Orders'])}, current revenue: {base_revenue:,.0f}")
+
+scenarios = {
+    "raise free-shipping threshold to $80": (
+        Replace(
+            1,
+            parse_statement(
+                "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 80;"
+            ),
+        ),
+    ),
+    "drop the UK surcharge entirely": (DeleteStatementMod(2),),
+    "add a loyalty rebate after the campaign": (
+        InsertStatementMod(
+            7,
+            parse_statement(
+                "UPDATE Orders SET ShippingFee = 0 "
+                "WHERE Loyal = true AND Price >= 30;"
+            ),
+        ),
+    ),
+}
+
+for name, modifications in scenarios.items():
+    query = HistoricalWhatIfQuery(history, db, modifications)
+    result = engine.answer(query, Method.R_PS_DS)
+
+    # Revenue impact: replay the modified history (cheap here; in a real
+    # deployment you would aggregate over the delta instead).
+    modified_state = query.aligned().modified.execute(db)
+    delta_revenue = revenue(modified_state) - base_revenue
+
+    delta = result.delta.relations.get("Orders")
+    changed = len(delta) if delta else 0
+    kept = (
+        f"{len(result.slice_result.kept_positions)}/"
+        f"{result.slice_result.total_positions}"
+        if result.slice_result
+        else "n/a"
+    )
+    print()
+    print(f"scenario: {name}")
+    print(f"  delta tuples: {changed}")
+    print(f"  revenue impact: {delta_revenue:+,.0f}")
+    print(f"  statements reenacted after slicing: {kept}")
+
+    naive = engine.answer(query, Method.NAIVE)
+    assert naive.delta == result.delta
+print()
+print("all scenarios cross-checked against the naive algorithm ✓")

@@ -1,0 +1,70 @@
+"""Taxi-fleet scenario: auditing a historical fare adjustment.
+
+The city's regulator pushed a sequence of fare adjustments to the reported
+trips table (the paper's primary evaluation dataset).  An auditor asks how
+totals would differ had the first adjustment used a different fare window
+— and compares all of Mahif's methods on the same query, printing the
+runtime table from the paper's Section 13.3.
+
+Run:  python examples/taxi_fare_audit.py
+"""
+
+from repro.bench import format_table, run_methods
+from repro.core import Method
+from repro.workloads import WorkloadSpec, build_workload
+
+spec = WorkloadSpec(
+    dataset="taxi",
+    rows=5_000,
+    updates=40,
+    dependent_pct=10.0,
+    affected_pct=10.0,
+    seed=2022,
+)
+workload = build_workload(spec)
+query = workload.query
+
+print(
+    f"taxi trips: {spec.rows} rows, history of {spec.updates} fare "
+    f"adjustments over '{workload.value_attribute}' predicated on "
+    f"'{workload.predicate_attribute}'"
+)
+print(
+    "what-if: the first adjustment had used a shifted fare window "
+    "(one modification)"
+)
+
+methods = [Method.NAIVE, Method.R, Method.R_DS, Method.R_PS, Method.R_PS_DS]
+timings = run_methods(query, methods)
+
+rows = []
+for method in methods:
+    t = timings[method]
+    slice_info = ""
+    if t.result.slice_result:
+        s = t.result.slice_result
+        slice_info = f"{len(s.kept_positions)}/{s.total_positions}"
+    rows.append(
+        (
+            method.value,
+            f"{t.total_seconds:.3f}",
+            f"{t.ps_seconds:.3f}",
+            f"{t.exe_seconds:.3f}",
+            t.delta_size,
+            slice_info,
+        )
+    )
+
+print()
+print(
+    format_table(
+        ["method", "total s", "PS s", "Exe s", "|delta|", "slice"], rows
+    )
+)
+print()
+print(
+    "expected shape (paper Figs. 14/18): R is the slowest reenactment "
+    "variant, data slicing cuts Exe sharply at this selectivity, and "
+    "R+PS+DS has the smallest Exe (PS cost is paid once and is "
+    "independent of the relation size)."
+)

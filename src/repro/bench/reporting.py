@@ -1,0 +1,8 @@
+"""Convenience re-export: EXPERIMENTS.md generation lives in
+``benchmarks/report.py`` (it is part of the benchmark harness, not the
+library API); this stub points users there.
+
+    python benchmarks/report.py
+"""
+
+__all__: list[str] = []

@@ -1,0 +1,195 @@
+"""Command-line interface: Mahif as an actual middleware.
+
+Answer a historical what-if query from the shell::
+
+    python -m repro.cli whatif \
+        --data ./tables/ \
+        --history history.sql \
+        --replace 1 "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60" \
+        --method R+PS+DS
+
+* ``--data`` — a directory of ``<relation>.csv`` files (the pre-history
+  database; a production deployment would read this via time travel),
+* ``--history`` — a ``;``-separated SQL script (UPDATE/DELETE/INSERT),
+* ``--replace POS SQL`` / ``--delete-stmt POS`` / ``--insert-stmt POS SQL``
+  — the modifications (repeatable),
+* ``--method`` — one of N, R, R+DS, R+PS, R+PS+DS (default R+PS+DS),
+* ``--explain`` — also print why-provenance for each delta tuple,
+* ``--out delta.csv`` — write the delta as CSV (with a sign column).
+
+There is also ``python -m repro.cli replay`` to simply execute a history
+and print/export the final state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Sequence
+
+from .core import (
+    DeleteStatementMod,
+    HistoricalWhatIfQuery,
+    InsertStatementMod,
+    Mahif,
+    MahifConfig,
+    Method,
+    Replace,
+)
+from .core.provenance import explain_delta
+from .relational import History, parse_history, parse_statement
+from .relational.csvio import format_value, load_database_dir, relation_to_csv
+
+__all__ = ["main", "build_parser"]
+
+_METHODS = {m.value: m for m in Method}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Mahif: answer historical what-if queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    whatif = sub.add_parser("whatif", help="answer a what-if query")
+    whatif.add_argument("--data", required=True,
+                        help="directory of <relation>.csv files")
+    whatif.add_argument("--history", required=True,
+                        help="SQL script file with the history")
+    whatif.add_argument(
+        "--replace", nargs=2, action="append", default=[],
+        metavar=("POS", "SQL"), help="replace statement at POS",
+    )
+    whatif.add_argument(
+        "--delete-stmt", action="append", default=[], metavar="POS",
+        help="delete the statement at POS",
+    )
+    whatif.add_argument(
+        "--insert-stmt", nargs=2, action="append", default=[],
+        metavar=("POS", "SQL"), help="insert a statement before POS",
+    )
+    whatif.add_argument(
+        "--method", default="R+PS+DS", choices=sorted(_METHODS),
+        help="answering method (default: R+PS+DS)",
+    )
+    whatif.add_argument(
+        "--slicing", default="dependency",
+        choices=("dependency", "greedy"),
+        help="program-slicing algorithm",
+    )
+    whatif.add_argument("--explain", action="store_true",
+                        help="print why-provenance for delta tuples")
+    whatif.add_argument("--out", help="write the delta as CSV")
+    whatif.add_argument("--quiet", action="store_true")
+
+    replay = sub.add_parser("replay", help="execute a history")
+    replay.add_argument("--data", required=True)
+    replay.add_argument("--history", required=True)
+    replay.add_argument("--relation", help="print only this relation")
+    replay.add_argument("--out", help="write the final state CSV here")
+    return parser
+
+
+def _load_history(path: str) -> History:
+    with open(path) as fh:
+        return History(tuple(parse_history(fh.read())))
+
+
+def _build_modifications(args: argparse.Namespace):
+    modifications = []
+    for pos, sql in args.replace:
+        modifications.append(Replace(int(pos), parse_statement(sql)))
+    for pos in args.delete_stmt:
+        modifications.append(DeleteStatementMod(int(pos)))
+    for pos, sql in args.insert_stmt:
+        modifications.append(
+            InsertStatementMod(int(pos), parse_statement(sql))
+        )
+    if not modifications:
+        raise SystemExit(
+            "at least one --replace/--delete-stmt/--insert-stmt is required"
+        )
+    return tuple(modifications)
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    database = load_database_dir(args.data)
+    history = _load_history(args.history)
+    modifications = _build_modifications(args)
+    query = HistoricalWhatIfQuery(history, database, modifications)
+    config = MahifConfig(slicing_algorithm=args.slicing)
+    result = Mahif(config).answer(query, _METHODS[args.method])
+
+    if not args.quiet:
+        print(result.delta.pretty())
+        print()
+        print(
+            f"method={args.method} "
+            f"ps={result.ps_seconds:.3f}s exe={result.exe_seconds:.3f}s"
+        )
+        if result.slice_result:
+            s = result.slice_result
+            print(
+                f"slice: kept {len(s.kept_positions)}/{s.total_positions} "
+                f"statements ({s.solver_calls} solver calls)"
+            )
+
+    if args.explain and result.queries_original is not None:
+        for relation in sorted(result.delta.relations):
+            explanation = explain_delta(result, relation)
+            print(f"\nprovenance for Δ {relation}:")
+            for row, witnesses in sorted(
+                explanation.items(), key=lambda kv: repr(kv[0])
+            ):
+                sources = ", ".join(
+                    f"{w.relation}{w.row}" for w in sorted(
+                        witnesses, key=lambda s: repr(s.row)
+                    )
+                ) or "(query-generated)"
+                print(f"  {row} <- {sources}")
+
+    if args.out:
+        with open(args.out, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            for relation in sorted(result.delta.relations):
+                delta = result.delta[relation]
+                writer.writerow(
+                    ["relation", "sign", *delta.schema.attributes]
+                )
+                for sign, row in delta.annotated_rows():
+                    writer.writerow(
+                        [relation, sign, *[format_value(v) for v in row]]
+                    )
+        if not args.quiet:
+            print(f"\ndelta written to {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    database = load_database_dir(args.data)
+    history = _load_history(args.history)
+    final = history.execute(database)
+    names = [args.relation] if args.relation else final.relation_names()
+    for name in names:
+        print(f"== {name} ==")
+        print(final[name].pretty())
+    if args.out:
+        target = args.relation or names[0]
+        relation_to_csv(final[target], args.out)
+        print(f"\n{target} written to {args.out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "whatif":
+        return _cmd_whatif(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

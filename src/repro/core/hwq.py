@@ -1,0 +1,245 @@
+"""Historical what-if queries and history modifications (Section 3).
+
+A historical what-if query ``H = (H, D, M)`` pairs a history with a
+sequence of modifications:
+
+* ``Replace(i, u')`` — the paper's ``u_i <- u'``,
+* ``InsertStatementMod(i, u)`` — ``ins_i(u)``: insert ``u`` before the
+  original position ``i`` (``n+1`` appends),
+* ``DeleteStatementMod(i)`` — ``del(i)``: drop the statement at ``i``.
+
+Positions always refer to the *original* history, which keeps a sequence
+of modifications unambiguous.
+
+Modifications are *normalized into an aligned pair* of equal-length
+histories by padding with no-ops (``DELETE WHERE false``), exactly as
+Section 6 prescribes: an inserted statement is paired with a no-op on the
+original side, a deleted statement with a no-op on the modified side.
+Every downstream component (reenactment, data slicing, program slicing)
+consumes aligned pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..relational.database import Database
+from ..relational.history import History
+from ..relational.statements import Statement, is_no_op, no_op
+
+__all__ = [
+    "Modification",
+    "Replace",
+    "InsertStatementMod",
+    "DeleteStatementMod",
+    "AlignedHistories",
+    "align",
+    "HistoricalWhatIfQuery",
+    "ModificationError",
+]
+
+
+class ModificationError(Exception):
+    """Raised for invalid modification sequences."""
+
+
+class Modification:
+    """Base class for history modifications."""
+
+    position: int
+
+
+@dataclass(frozen=True)
+class Replace(Modification):
+    """``u_position <- statement``."""
+
+    position: int
+    statement: Statement
+
+
+@dataclass(frozen=True)
+class InsertStatementMod(Modification):
+    """``ins_position(statement)``: insert before original position."""
+
+    position: int
+    statement: Statement
+
+
+@dataclass(frozen=True)
+class DeleteStatementMod(Modification):
+    """``del(position)``: remove the statement at the original position."""
+
+    position: int
+
+
+@dataclass(frozen=True)
+class AlignedHistories:
+    """A pair of equal-length no-op-padded histories ``(H, H[M])``.
+
+    ``modified_positions`` are the (1-based) aligned positions where the
+    two sides differ — the statements "affected by M" that drive both
+    slicing optimizations.
+    """
+
+    original: History
+    modified: History
+
+    def __post_init__(self) -> None:
+        if len(self.original) != len(self.modified):
+            raise ModificationError("aligned histories must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.original)
+
+    @property
+    def modified_positions(self) -> tuple[int, ...]:
+        return tuple(
+            i
+            for i in self.original.positions()
+            if self.original[i] != self.modified[i]
+        )
+
+    def pairs(self) -> Iterable[tuple[int, Statement, Statement]]:
+        """Iterate ``(position, u, u')`` triples."""
+        for i in self.original.positions():
+            yield i, self.original[i], self.modified[i]
+
+    def first_modified_position(self) -> int | None:
+        positions = self.modified_positions
+        return positions[0] if positions else None
+
+    def trim_prefix(self) -> tuple["AlignedHistories", int]:
+        """Drop the common prefix before the first modified statement.
+
+        Returns the trimmed pair and the number of dropped statements
+        ``k``; reenactment must then start from ``D_k`` (the database
+        version after the prefix), the WLOG normalization of Section 4.
+        """
+        first = self.first_modified_position()
+        if first is None or first == 1:
+            return self, 0
+        k = first - 1
+        return (
+            AlignedHistories(
+                History(self.original.statements[k:]),
+                History(self.modified.statements[k:]),
+            ),
+            k,
+        )
+
+    def subset(self, indices: Iterable[int]) -> "AlignedHistories":
+        """Aligned pair restricted to positions ``I`` (history slices)."""
+        wanted = sorted(set(indices))
+        return AlignedHistories(
+            self.original.subset(wanted), self.modified.subset(wanted)
+        )
+
+    def target_relations_of_modifications(self) -> set[str]:
+        """Relations written by at least one modified statement."""
+        relations: set[str] = set()
+        for i in self.modified_positions:
+            relations.add(self.original[i].relation)
+            relations.add(self.modified[i].relation)
+        return relations
+
+
+def align(history: History, modifications: Sequence[Modification]) -> AlignedHistories:
+    """Normalize ``(H, M)`` into an aligned, no-op-padded pair.
+
+    Replacing a statement with one of a different type or different target
+    relation is supported: padding reduces every modification to a
+    same-position replacement, as described in Section 6.
+    """
+    n = len(history)
+    replacements: dict[int, Statement] = {}
+    deletions: set[int] = set()
+    insertions: dict[int, list[Statement]] = {}
+
+    for modification in modifications:
+        position = modification.position
+        if isinstance(modification, Replace):
+            if not 1 <= position <= n:
+                raise ModificationError(
+                    f"replace position {position} out of range 1..{n}"
+                )
+            if position in replacements or position in deletions:
+                raise ModificationError(
+                    f"conflicting modifications at position {position}"
+                )
+            replacements[position] = modification.statement
+        elif isinstance(modification, DeleteStatementMod):
+            if not 1 <= position <= n:
+                raise ModificationError(
+                    f"delete position {position} out of range 1..{n}"
+                )
+            if position in replacements or position in deletions:
+                raise ModificationError(
+                    f"conflicting modifications at position {position}"
+                )
+            deletions.add(position)
+        elif isinstance(modification, InsertStatementMod):
+            if not 1 <= position <= n + 1:
+                raise ModificationError(
+                    f"insert position {position} out of range 1..{n + 1}"
+                )
+            insertions.setdefault(position, []).append(modification.statement)
+        else:
+            raise ModificationError(f"unknown modification {modification!r}")
+
+    original_side: list[Statement] = []
+    modified_side: list[Statement] = []
+    for i in range(1, n + 2):
+        for inserted in insertions.get(i, []):
+            original_side.append(no_op(inserted.relation))
+            modified_side.append(inserted)
+        if i <= n:
+            statement = history[i]
+            if i in deletions:
+                original_side.append(statement)
+                modified_side.append(no_op(statement.relation))
+            elif i in replacements:
+                original_side.append(statement)
+                modified_side.append(replacements[i])
+            else:
+                original_side.append(statement)
+                modified_side.append(statement)
+    return AlignedHistories(
+        History(tuple(original_side)), History(tuple(modified_side))
+    )
+
+
+@dataclass(frozen=True)
+class HistoricalWhatIfQuery:
+    """A historical what-if query ``H = (H, D, M)`` (Definition 2).
+
+    ``database`` is the state *before* the history executed (accessed via
+    time travel in a production deployment); the answer is
+    ``Δ(H(D), H[M](D))``.
+    """
+
+    history: History
+    database: Database
+    modifications: tuple[Modification, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "modifications", tuple(self.modifications)
+        )
+        if not self.modifications:
+            raise ModificationError(
+                "a historical what-if query needs at least one modification"
+            )
+        # Validate positions eagerly: align() raises on bad input.
+        align(self.history, self.modifications)
+
+    def aligned(self) -> AlignedHistories:
+        """The normalized no-op-padded pair ``(H, H[M])``."""
+        return align(self.history, self.modifications)
+
+    def modified_history(self) -> History:
+        """``H[M]`` with padding no-ops removed (user-facing view)."""
+        aligned = self.aligned()
+        return History(
+            tuple(s for s in aligned.modified.statements if not is_no_op(s))
+        )

@@ -1,0 +1,190 @@
+"""Why-provenance for reenactment queries.
+
+Reenactment was originally built to capture the provenance of
+transactional workloads (the paper's Section 12 situates Mahif in that
+line of work).  This module recovers that capability for the in-memory
+engine: evaluating a query with :func:`evaluate_with_provenance` annotates
+every output tuple with its *witness set* — the base-relation tuples it
+derives from — and :func:`explain_delta` uses it to answer the natural
+follow-up to a what-if query: *which original rows caused this change?*
+
+Semantics (why-provenance over set semantics):
+
+* scan: each tuple's witness is itself,
+* projection/selection: witnesses pass through,
+* union: witnesses of all sources producing the tuple are unioned,
+* join: the union of the two sides' witnesses,
+* difference: the left side's witnesses (the minimal-why convention),
+* singleton: the empty witness set (the tuple is query-generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..relational.algebra import (
+    Difference,
+    Join,
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from ..relational.database import Database
+from ..relational.expressions import evaluate
+from ..relational.schema import Schema
+from .delta import DatabaseDelta
+from .engine import MahifResult
+
+__all__ = [
+    "SourceTuple",
+    "AnnotatedRelation",
+    "evaluate_with_provenance",
+    "explain_delta",
+]
+
+
+@dataclass(frozen=True)
+class SourceTuple:
+    """A base-relation tuple acting as a provenance witness."""
+
+    relation: str
+    row: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class AnnotatedRelation:
+    """Query result where each tuple maps to its witness set."""
+
+    schema: Schema
+    annotations: Mapping[tuple[Any, ...], frozenset[SourceTuple]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "annotations", dict(self.annotations))
+
+    def rows(self) -> set[tuple[Any, ...]]:
+        return set(self.annotations)
+
+    def witnesses_of(self, row: tuple[Any, ...]) -> frozenset[SourceTuple]:
+        return self.annotations.get(tuple(row), frozenset())
+
+
+def _merge(
+    into: dict[tuple[Any, ...], set[SourceTuple]],
+    row: tuple[Any, ...],
+    witnesses: frozenset[SourceTuple] | set[SourceTuple],
+) -> None:
+    into.setdefault(row, set()).update(witnesses)
+
+
+def evaluate_with_provenance(
+    op: Operator, db: Database
+) -> AnnotatedRelation:
+    """Evaluate an operator tree, tracking why-provenance."""
+    if isinstance(op, RelScan):
+        relation = db[op.name]
+        return AnnotatedRelation(
+            relation.schema,
+            {
+                t: frozenset({SourceTuple(op.name, t)})
+                for t in relation
+            },
+        )
+    if isinstance(op, Singleton):
+        return AnnotatedRelation(op.schema, {op.row: frozenset()})
+    if isinstance(op, Select):
+        child = evaluate_with_provenance(op.input, db)
+        kept = {
+            row: witnesses
+            for row, witnesses in child.annotations.items()
+            if bool(evaluate(op.condition, child.schema.as_dict(row)))
+        }
+        return AnnotatedRelation(child.schema, kept)
+    if isinstance(op, Project):
+        child = evaluate_with_provenance(op.input, db)
+        out_schema = Schema(tuple(name for _, name in op.outputs))
+        merged: dict[tuple[Any, ...], set[SourceTuple]] = {}
+        for row, witnesses in child.annotations.items():
+            binding = child.schema.as_dict(row)
+            out_row = tuple(
+                evaluate(expr, binding) for expr, _ in op.outputs
+            )
+            _merge(merged, out_row, witnesses)
+        return AnnotatedRelation(
+            out_schema,
+            {r: frozenset(w) for r, w in merged.items()},
+        )
+    if isinstance(op, Union):
+        left = evaluate_with_provenance(op.left, db)
+        right = evaluate_with_provenance(op.right, db)
+        merged = {r: set(w) for r, w in left.annotations.items()}
+        for row, witnesses in right.annotations.items():
+            _merge(merged, row, witnesses)
+        return AnnotatedRelation(
+            left.schema, {r: frozenset(w) for r, w in merged.items()}
+        )
+    if isinstance(op, Difference):
+        left = evaluate_with_provenance(op.left, db)
+        right = evaluate_with_provenance(op.right, db)
+        kept = {
+            row: witnesses
+            for row, witnesses in left.annotations.items()
+            if row not in right.annotations
+        }
+        return AnnotatedRelation(left.schema, kept)
+    if isinstance(op, Join):
+        left = evaluate_with_provenance(op.left, db)
+        right = evaluate_with_provenance(op.right, db)
+        schema = left.schema.concat(right.schema)
+        merged = {}
+        for lrow, lwit in left.annotations.items():
+            binding = left.schema.as_dict(lrow)
+            for rrow, rwit in right.annotations.items():
+                full = dict(binding)
+                full.update(right.schema.as_dict(rrow))
+                if bool(evaluate(op.condition, full)):
+                    _merge(merged, lrow + rrow, lwit | rwit)
+        return AnnotatedRelation(
+            schema, {r: frozenset(w) for r, w in merged.items()}
+        )
+    raise TypeError(f"cannot trace provenance through {op!r}")
+
+
+def explain_delta(
+    result: MahifResult,
+    relation: str,
+    database: Database | None = None,
+) -> dict[tuple[Any, ...], frozenset[SourceTuple]]:
+    """Explain every delta tuple of ``relation``: map it to the base
+    tuples it derives from in whichever history produced it.
+
+    ``result`` must come from a reenactment method (``R``/``R+DS``/...),
+    whose queries — and the time-travelled database they were evaluated
+    over — are exposed on the result object.
+    """
+    if result.queries_original is None or result.queries_modified is None:
+        raise ValueError(
+            "explain_delta needs a reenactment result (not NAIVE)"
+        )
+    if database is None:
+        database = result.base_database
+    if database is None:
+        raise ValueError("no base database available on the result")
+    delta = result.delta.relations.get(relation)
+    if delta is None:
+        return {}
+    annotated_original = evaluate_with_provenance(
+        result.queries_original[relation], database
+    )
+    annotated_modified = evaluate_with_provenance(
+        result.queries_modified[relation], database
+    )
+    explanation: dict[tuple[Any, ...], frozenset[SourceTuple]] = {}
+    for row in delta.removed:
+        explanation[row] = annotated_original.witnesses_of(row)
+    for row in delta.added:
+        explanation[row] = annotated_modified.witnesses_of(row)
+    return explanation

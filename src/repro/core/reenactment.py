@@ -1,0 +1,107 @@
+"""Reenactment: compiling histories into queries (Definition 3).
+
+Each statement becomes one relational-algebra operator over the previous
+state of its target relation::
+
+    R_{U_{Set,theta}} = Π_{if theta then e_1 else A_1, ...}(R)
+    R_{D_theta}       = σ_{not theta}(R)
+    R_{I_t}           = R ∪ {t}
+    R_{I_Q}           = R ∪ Q
+
+The reenactment query of a history is the composition: every reference to
+the target relation in ``R_{u_i}`` is substituted by ``R_{u_{i-1}}``.  For
+multi-relation histories one query per relation is produced, and queries
+inside ``INSERT ... SELECT`` statements reference the reenactment of their
+source relations *as of that position* — which is exactly the semantics of
+evaluating Q over ``D_{i-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..relational.algebra import (
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+    substitute_scans,
+)
+from ..relational.expressions import Attr, Expr, If, Not, simplify
+from ..relational.history import History
+from ..relational.schema import Schema
+from ..relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    Statement,
+    UpdateStatement,
+)
+
+__all__ = [
+    "reenact_statement",
+    "reenactment_queries",
+    "reenactment_query",
+]
+
+
+def reenact_statement(stmt: Statement, schema: Schema) -> Operator:
+    """The single-statement reenactment query ``R_u`` (over a base scan of
+    the target relation)."""
+    scan = RelScan(stmt.relation)
+    if isinstance(stmt, UpdateStatement):
+        outputs: list[tuple[Expr, str]] = []
+        for attribute in schema:
+            if attribute in stmt.set_clauses:
+                expr: Expr = If(
+                    stmt.condition,
+                    stmt.set_clauses[attribute],
+                    Attr(attribute),
+                )
+            else:
+                expr = Attr(attribute)
+            outputs.append((expr, attribute))
+        return Project(scan, tuple(outputs))
+    if isinstance(stmt, DeleteStatement):
+        return Select(scan, simplify(Not(stmt.condition)))
+    if isinstance(stmt, InsertTuple):
+        return Union(scan, Singleton(schema, stmt.values))
+    if isinstance(stmt, InsertQuery):
+        return Union(scan, stmt.query)
+    raise TypeError(f"cannot reenact {stmt!r}")
+
+
+def reenactment_queries(
+    history: History, schemas: Mapping[str, Schema]
+) -> dict[str, Operator]:
+    """Per-relation reenactment queries ``R^R_H`` for a whole history.
+
+    Maintains one current query per relation, starting at the base scan;
+    each statement's reenactment has its scans substituted with the
+    current queries (both the target relation and, for ``I_Q``, the source
+    relations read by Q).
+    """
+    current: dict[str, Operator] = {
+        name: RelScan(name) for name in schemas
+    }
+    for stmt in history:
+        schema = schemas.get(stmt.relation)
+        if schema is None:
+            raise KeyError(
+                f"statement targets unknown relation {stmt.relation!r}"
+            )
+        template = reenact_statement(stmt, schema)
+        # Substitute every base scan with that relation's current query:
+        # the target scan becomes R_{u_{i-1}}, and scans inside an
+        # INSERT ... SELECT query see the other relations as of D_{i-1}.
+        current[stmt.relation] = substitute_scans(template, dict(current))
+    return current
+
+
+def reenactment_query(
+    history: History, relation: str, schemas: Mapping[str, Schema]
+) -> Operator:
+    """The reenactment query for one relation (``R^R_H``)."""
+    return reenactment_queries(history, schemas)[relation]

@@ -1,0 +1,299 @@
+"""Bag (multiset) semantics: relations, statements, reenactment, deltas.
+
+The paper's reenactment theorem is proved for annotated relations, which
+specializes to both set and bag semantics (footnote to Definition 3).
+The main library uses set semantics — simpler, and faithful to Section 5's
+presentation — but set semantics has one caveat: an update can *merge* two
+tuples onto the same value, and data slicing may then perturb the delta
+unless histories are key-preserving (see DESIGN.md).  Under bag semantics
+rows keep their multiplicity, merging cannot lose information, and the
+slicing theorems hold without the key assumption.
+
+This module provides the bag world: :class:`BagRelation` (tuple →
+multiplicity), statement application, a bag evaluator for the same
+operator algebra, and bag deltas.  Tests use it to show the set-semantics
+collision counterexample is benign under bags.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from .algebra import (
+    Difference,
+    Join,
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from .database import Database
+from .expressions import Expr, evaluate
+from .history import History
+from .relation import Relation
+from .schema import Schema, SchemaError
+from .statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    Statement,
+    UpdateStatement,
+)
+
+__all__ = [
+    "BagRelation",
+    "BagDatabase",
+    "apply_statement_bag",
+    "execute_history_bag",
+    "evaluate_query_bag",
+    "bag_delta",
+]
+
+
+@dataclass(frozen=True)
+class BagRelation:
+    """An immutable multiset relation: rows with multiplicities."""
+
+    schema: Schema
+    multiplicities: Mapping[tuple[Any, ...], int]
+
+    def __post_init__(self) -> None:
+        cleaned: dict[tuple[Any, ...], int] = {}
+        for row, count in dict(self.multiplicities).items():
+            row = tuple(row)
+            if len(row) != self.schema.arity:
+                raise SchemaError(
+                    f"row {row} has arity {len(row)}, expected "
+                    f"{self.schema.arity}"
+                )
+            if count < 0:
+                raise ValueError(f"negative multiplicity for {row}")
+            if count:
+                cleaned[row] = count
+        object.__setattr__(self, "multiplicities", cleaned)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, schema: Schema | Iterable[str], rows: Iterable[Iterable[Any]]
+    ) -> "BagRelation":
+        if not isinstance(schema, Schema):
+            schema = Schema(tuple(schema))
+        counts = Counter(tuple(r) for r in rows)
+        return cls(schema, counts)
+
+    @classmethod
+    def from_set_relation(cls, relation: Relation) -> "BagRelation":
+        return cls(relation.schema, {t: 1 for t in relation})
+
+    def to_set_relation(self) -> Relation:
+        return Relation(self.schema, frozenset(self.multiplicities))
+
+    # -- protocol ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Total row count including duplicates."""
+        return sum(self.multiplicities.values())
+
+    def distinct_count(self) -> int:
+        return len(self.multiplicities)
+
+    def count_of(self, row: Iterable[Any]) -> int:
+        return self.multiplicities.get(tuple(row), 0)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate rows with repetition."""
+        for row, count in self.multiplicities.items():
+            for _ in range(count):
+                yield row
+
+    # -- bag algebra ---------------------------------------------------------
+    def union_all(self, other: "BagRelation") -> "BagRelation":
+        if self.schema.arity != other.schema.arity:
+            raise SchemaError("bag union arity mismatch")
+        counts = Counter(self.multiplicities)
+        counts.update(other.multiplicities)
+        return BagRelation(self.schema, counts)
+
+    def monus(self, other: "BagRelation") -> "BagRelation":
+        """Bag difference: multiplicities subtract, floored at zero."""
+        if self.schema.arity != other.schema.arity:
+            raise SchemaError("bag difference arity mismatch")
+        counts = {
+            row: count - other.multiplicities.get(row, 0)
+            for row, count in self.multiplicities.items()
+        }
+        return BagRelation(
+            self.schema, {r: c for r, c in counts.items() if c > 0}
+        )
+
+    def filter(self, condition: Expr) -> "BagRelation":
+        kept = {
+            row: count
+            for row, count in self.multiplicities.items()
+            if bool(evaluate(condition, self.schema.as_dict(row)))
+        }
+        return BagRelation(self.schema, kept)
+
+    def add_row(self, row: Iterable[Any], count: int = 1) -> "BagRelation":
+        counts = Counter(self.multiplicities)
+        counts[tuple(row)] += count
+        return BagRelation(self.schema, counts)
+
+
+class BagDatabase:
+    """A named collection of bag relations (mirrors :class:`Database`)."""
+
+    def __init__(self, relations: Mapping[str, BagRelation]) -> None:
+        self._relations = dict(relations)
+
+    @classmethod
+    def from_set_database(cls, db: Database) -> "BagDatabase":
+        return cls(
+            {
+                name: BagRelation.from_set_relation(rel)
+                for name, rel in db.relations.items()
+            }
+        )
+
+    def __getitem__(self, name: str) -> BagRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def schema_of(self, name: str) -> Schema:
+        return self[name].schema
+
+    def with_relation(self, name: str, relation: BagRelation) -> "BagDatabase":
+        updated = dict(self._relations)
+        updated[name] = relation
+        return BagDatabase(updated)
+
+    def same_contents(self, other: "BagDatabase") -> bool:
+        names = set(self._relations) | set(other._relations)
+        for name in names:
+            left = self._relations.get(name)
+            right = other._relations.get(name)
+            left_counts = dict(left.multiplicities) if left else {}
+            right_counts = dict(right.multiplicities) if right else {}
+            if left_counts != right_counts:
+                return False
+        return True
+
+
+# -- statements over bags -----------------------------------------------------
+
+def apply_statement_bag(stmt: Statement, db: BagDatabase) -> BagDatabase:
+    """Apply a statement with bag semantics (multiplicities preserved)."""
+    relation = db[stmt.relation]
+    if isinstance(stmt, UpdateStatement):
+        counts: Counter = Counter()
+        for row, count in relation.multiplicities.items():
+            binding = relation.schema.as_dict(row)
+            updated = stmt.apply_to_row(binding)
+            counts[relation.schema.from_dict(updated)] += count
+        return db.with_relation(
+            stmt.relation, BagRelation(relation.schema, counts)
+        )
+    if isinstance(stmt, DeleteStatement):
+        kept = {
+            row: count
+            for row, count in relation.multiplicities.items()
+            if not bool(
+                evaluate(stmt.condition, relation.schema.as_dict(row))
+            )
+        }
+        return db.with_relation(
+            stmt.relation, BagRelation(relation.schema, kept)
+        )
+    if isinstance(stmt, InsertTuple):
+        return db.with_relation(
+            stmt.relation, relation.add_row(stmt.values)
+        )
+    if isinstance(stmt, InsertQuery):
+        result = evaluate_query_bag(stmt.query, db)
+        return db.with_relation(
+            stmt.relation, relation.union_all(result)
+        )
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def execute_history_bag(history: History, db: BagDatabase) -> BagDatabase:
+    for stmt in history:
+        db = apply_statement_bag(stmt, db)
+    return db
+
+
+# -- bag evaluator ------------------------------------------------------------
+
+def evaluate_query_bag(op: Operator, db: BagDatabase) -> BagRelation:
+    """Evaluate an operator tree with bag semantics.
+
+    Projection preserves multiplicities (no dedup), union is additive,
+    difference is monus, join multiplies multiplicities — the standard
+    N[X]-semiring specialization.
+    """
+    if isinstance(op, RelScan):
+        return db[op.name]
+    if isinstance(op, Singleton):
+        return BagRelation(op.schema, {op.row: 1})
+    if isinstance(op, Select):
+        return evaluate_query_bag(op.input, db).filter(op.condition)
+    if isinstance(op, Project):
+        child = evaluate_query_bag(op.input, db)
+        out_schema = Schema(tuple(name for _, name in op.outputs))
+        counts: Counter = Counter()
+        for row, count in child.multiplicities.items():
+            binding = child.schema.as_dict(row)
+            out_row = tuple(evaluate(expr, binding) for expr, _ in op.outputs)
+            counts[out_row] += count
+        return BagRelation(out_schema, counts)
+    if isinstance(op, Union):
+        return evaluate_query_bag(op.left, db).union_all(
+            evaluate_query_bag(op.right, db)
+        )
+    if isinstance(op, Difference):
+        return evaluate_query_bag(op.left, db).monus(
+            evaluate_query_bag(op.right, db)
+        )
+    if isinstance(op, Join):
+        left = evaluate_query_bag(op.left, db)
+        right = evaluate_query_bag(op.right, db)
+        schema = left.schema.concat(right.schema)
+        counts = Counter()
+        for lrow, lcount in left.multiplicities.items():
+            binding = left.schema.as_dict(lrow)
+            for rrow, rcount in right.multiplicities.items():
+                full = dict(binding)
+                full.update(right.schema.as_dict(rrow))
+                if bool(evaluate(op.condition, full)):
+                    counts[lrow + rrow] += lcount * rcount
+        return BagRelation(schema, counts)
+    raise TypeError(f"unknown operator {op!r}")
+
+
+# -- bag deltas --------------------------------------------------------------
+
+def bag_delta(
+    current: BagRelation, modified: BagRelation
+) -> dict[tuple[Any, ...], int]:
+    """Signed multiplicity delta: row -> (count in modified) - (count in
+    current); zero entries are dropped.  Negative = removed by the
+    hypothetical change, positive = added."""
+    rows = set(current.multiplicities) | set(modified.multiplicities)
+    delta = {}
+    for row in rows:
+        diff = modified.count_of(row) - current.count_of(row)
+        if diff:
+            delta[row] = diff
+    return delta

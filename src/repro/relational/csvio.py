@@ -1,0 +1,109 @@
+"""CSV import/export for relations and databases.
+
+The middleware's bulk interface: load base tables from CSV files (with
+light type inference: int → float → string; empty cells are NULL), save
+query results and deltas back out.  Used by the command-line tool and
+handy in tests/examples.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Any, Iterable
+
+from .database import Database
+from .relation import Relation
+from .schema import Schema
+
+__all__ = [
+    "relation_from_csv",
+    "relation_to_csv",
+    "load_database_dir",
+    "parse_value",
+    "format_value",
+]
+
+
+def parse_value(text: str) -> Any:
+    """Infer a Python value from a CSV cell.
+
+    Empty cell → NULL; ``true``/``false`` → bool; then int, float, str.
+    """
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def relation_from_csv(source: str | pathlib.Path | io.TextIOBase) -> Relation:
+    """Load a relation from a CSV file (first row is the header)."""
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, newline="") as fh:
+            return relation_from_csv(fh)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV file is empty (no header row)") from None
+    schema = Schema(tuple(h.strip() for h in header))
+    rows = []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != schema.arity:
+            raise ValueError(
+                f"line {line_number}: expected {schema.arity} cells, "
+                f"got {len(row)}"
+            )
+        rows.append(tuple(parse_value(cell) for cell in row))
+    return Relation.from_rows(schema, rows)
+
+
+def relation_to_csv(
+    relation: Relation, target: str | pathlib.Path | io.TextIOBase
+) -> None:
+    """Write a relation to CSV (deterministic row order)."""
+    if isinstance(target, (str, pathlib.Path)):
+        with open(target, "w", newline="") as fh:
+            relation_to_csv(relation, fh)
+            return
+    writer = csv.writer(target)
+    writer.writerow(relation.schema.attributes)
+    for row in relation.sorted_rows():
+        writer.writerow([format_value(v) for v in row])
+
+
+def load_database_dir(directory: str | pathlib.Path) -> Database:
+    """Load every ``*.csv`` in a directory as a relation named after the
+    file stem."""
+    directory = pathlib.Path(directory)
+    relations = {}
+    for path in sorted(directory.glob("*.csv")):
+        relations[path.stem] = relation_from_csv(path)
+    if not relations:
+        raise ValueError(f"no CSV files found in {directory}")
+    return Database(relations)

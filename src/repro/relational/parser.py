@@ -1,0 +1,426 @@
+"""A small SQL parser for the statement and expression language.
+
+The paper's middleware consumes SQL update/delete/insert statements
+(without joins or subqueries in conditions, per Section 2).  Offline we
+cannot use ``sqlglot``, so this module implements a tokenizer and a Pratt
+(precedence-climbing) expression parser plus statement parsers for::
+
+    UPDATE <rel> SET A = e [, ...] WHERE phi
+    DELETE FROM <rel> [WHERE phi]
+    INSERT INTO <rel> VALUES (v, ...)
+    INSERT INTO <rel> SELECT e [, ...] FROM <rel> [WHERE phi]
+
+Expression syntax supports arithmetic, comparisons (including ``<>``),
+AND/OR/NOT, ``IS [NOT] NULL``, ``CASE WHEN phi THEN e ELSE e END``,
+``BETWEEN``, ``IN (...)`` and parentheses.  ``BETWEEN`` and ``IN``
+desugar into the core grammar of Figure 7.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .algebra import Operator, Project, RelScan, Select
+from .expressions import (
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Expr,
+    If,
+    IsNull,
+    Logic,
+    Not,
+    TRUE,
+    and_,
+    or_,
+)
+from .statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    Statement,
+    UpdateStatement,
+)
+
+__all__ = ["parse_expression", "parse_statement", "parse_history", "ParseError"]
+
+
+class ParseError(Exception):
+    """Raised on malformed input."""
+
+
+_KEYWORDS = {
+    "update", "set", "where", "delete", "from", "insert", "into", "values",
+    "select", "and", "or", "not", "is", "null", "true", "false", "case",
+    "when", "then", "else", "end", "between", "in",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|\(|\)|,|;)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'string' | 'name' | 'keyword' | 'op' | 'eof'
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize SQL-ish input; raises :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r} at offset {pos}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "name" and text.lower() in _KEYWORDS:
+            tokens.append(Token("keyword", text.lower(), match.start()))
+        else:
+            assert kind is not None
+            tokens.append(Token(kind, text, match.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent / Pratt parser over a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- stream helpers ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            expectation = text or kind
+            raise ParseError(
+                f"expected {expectation!r} but found {self.current.text!r} "
+                f"at offset {self.current.position}"
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.current.kind == "eof"
+
+    # -- expression grammar (precedence climbing) -------------------------
+    # precedence: OR < AND < NOT < comparison < additive < multiplicative
+    def parse_condition(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept("keyword", "or"):
+            right = self._parse_and()
+            left = Logic("or", left, right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept("keyword", "and"):
+            right = self._parse_not()
+            left = Logic("and", left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept("keyword", "not"):
+            return Not(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        # IS [NOT] NULL
+        if self.accept("keyword", "is"):
+            negated = self.accept("keyword", "not") is not None
+            self.expect("keyword", "null")
+            test: Expr = IsNull(left)
+            return Not(test) if negated else test
+        # [NOT] BETWEEN lo AND hi
+        negated_between = False
+        if self.check("keyword", "not") and self._peek_is_between():
+            self.advance()
+            negated_between = True
+        if self.accept("keyword", "between"):
+            low = self._parse_additive()
+            self.expect("keyword", "and")
+            high = self._parse_additive()
+            rng = Logic("and", Cmp(">=", left, low), Cmp("<=", left, high))
+            return Not(rng) if negated_between else rng
+        # [NOT] IN (v, ...)
+        negated_in = False
+        if self.check("keyword", "not") and self._peek_is_in():
+            self.advance()
+            negated_in = True
+        if self.accept("keyword", "in"):
+            self.expect("op", "(")
+            options = [self._parse_additive()]
+            while self.accept("op", ","):
+                options.append(self._parse_additive())
+            self.expect("op", ")")
+            membership = or_(*[Cmp("=", left, o) for o in options])
+            return Not(membership) if negated_in else membership
+        for op_text, op in (
+            ("<>", "!="), ("!=", "!="), ("<=", "<="), (">=", ">="),
+            ("=", "="), ("<", "<"), (">", ">"),
+        ):
+            if self.accept("op", op_text):
+                right = self._parse_additive()
+                return Cmp(op, left, right)
+        return left
+
+    def _peek_is_between(self) -> bool:
+        nxt = self._tokens[self._index + 1]
+        return nxt.kind == "keyword" and nxt.text == "between"
+
+    def _peek_is_in(self) -> bool:
+        nxt = self._tokens[self._index + 1]
+        return nxt.kind == "keyword" and nxt.text == "in"
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self.accept("op", "+"):
+                left = Arith("+", left, self._parse_multiplicative())
+            elif self.accept("op", "-"):
+                left = Arith("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self.accept("op", "*"):
+                left = Arith("*", left, self._parse_unary())
+            elif self.accept("op", "/"):
+                left = Arith("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Const) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Const(-operand.value)
+            return Arith("-", Const(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return Const(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Const(token.text[1:-1].replace("''", "'"))
+        if token.kind == "keyword":
+            if token.text == "true":
+                self.advance()
+                return Const(True)
+            if token.text == "false":
+                self.advance()
+                return Const(False)
+            if token.text == "null":
+                self.advance()
+                return Const(None)
+            if token.text == "case":
+                return self._parse_case()
+            raise ParseError(
+                f"unexpected keyword {token.text!r} at offset {token.position}"
+            )
+        if token.kind == "name":
+            self.advance()
+            return Attr(token.text)
+        if self.accept("op", "("):
+            inner = self.parse_condition()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+    def _parse_case(self) -> Expr:
+        """``CASE WHEN c THEN e [WHEN c THEN e]... ELSE e END``."""
+        self.expect("keyword", "case")
+        branches: list[tuple[Expr, Expr]] = []
+        while self.accept("keyword", "when"):
+            cond = self.parse_condition()
+            self.expect("keyword", "then")
+            value = self.parse_condition()
+            branches.append((cond, value))
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN branch")
+        self.expect("keyword", "else")
+        orelse = self.parse_condition()
+        self.expect("keyword", "end")
+        result = orelse
+        for cond, value in reversed(branches):
+            result = If(cond, value, result)
+        return result
+
+    # -- statements -----------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        if self.check("keyword", "update"):
+            return self._parse_update()
+        if self.check("keyword", "delete"):
+            return self._parse_delete()
+        if self.check("keyword", "insert"):
+            return self._parse_insert()
+        raise ParseError(
+            f"expected UPDATE/DELETE/INSERT, found {self.current.text!r}"
+        )
+
+    def _parse_update(self) -> UpdateStatement:
+        self.expect("keyword", "update")
+        relation = self.expect("name").text
+        self.expect("keyword", "set")
+        clauses: dict[str, Expr] = {}
+        while True:
+            attribute = self.expect("name").text
+            self.expect("op", "=")
+            clauses[attribute] = self.parse_condition()
+            if not self.accept("op", ","):
+                break
+        condition: Expr = TRUE
+        if self.accept("keyword", "where"):
+            condition = self.parse_condition()
+        return UpdateStatement(relation, clauses, condition)
+
+    def _parse_delete(self) -> DeleteStatement:
+        self.expect("keyword", "delete")
+        self.expect("keyword", "from")
+        relation = self.expect("name").text
+        condition: Expr = TRUE
+        if self.accept("keyword", "where"):
+            condition = self.parse_condition()
+        return DeleteStatement(relation, condition)
+
+    def _parse_insert(self) -> Statement:
+        self.expect("keyword", "insert")
+        self.expect("keyword", "into")
+        relation = self.expect("name").text
+        if self.accept("keyword", "values"):
+            self.expect("op", "(")
+            values: list[Any] = [self._parse_literal()]
+            while self.accept("op", ","):
+                values.append(self._parse_literal())
+            self.expect("op", ")")
+            return InsertTuple(relation, tuple(values))
+        if self.check("keyword", "select"):
+            query = self._parse_select()
+            return InsertQuery(relation, query)
+        raise ParseError("INSERT requires VALUES or SELECT")
+
+    def _parse_literal(self) -> Any:
+        expr = self.parse_condition()
+        if not isinstance(expr, Const):
+            raise ParseError("VALUES entries must be literals")
+        return expr.value
+
+    def _parse_select(self) -> Operator:
+        """``SELECT e [, ...] FROM rel [WHERE phi]`` → algebra tree.
+
+        ``SELECT *`` projects nothing (plain scan/selection).
+        """
+        self.expect("keyword", "select")
+        star = self.accept("op", "*") is not None
+        outputs: list[tuple[Expr, str]] = []
+        if not star:
+            index = 0
+            while True:
+                expr = self.parse_condition()
+                name = (
+                    expr.name if isinstance(expr, Attr) else f"col_{index}"
+                )
+                outputs.append((expr, name))
+                index += 1
+                if not self.accept("op", ","):
+                    break
+        self.expect("keyword", "from")
+        relation = self.expect("name").text
+        tree: Operator = RelScan(relation)
+        if self.accept("keyword", "where"):
+            tree = Select(tree, self.parse_condition())
+        if not star:
+            tree = Project(tree, tuple(outputs))
+        return tree
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse an expression/condition string into an AST."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_condition()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input at offset {parser.current.position}: "
+            f"{parser.current.text!r}"
+        )
+    return expr
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse a single SQL statement (trailing ``;`` allowed)."""
+    parser = _Parser(tokenize(source))
+    stmt = parser.parse_statement()
+    parser.accept("op", ";")
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input at offset {parser.current.position}: "
+            f"{parser.current.text!r}"
+        )
+    return stmt
+
+
+def parse_history(source: str) -> list[Statement]:
+    """Parse a ``;``-separated script into a list of statements."""
+    parser = _Parser(tokenize(source))
+    statements: list[Statement] = []
+    while not parser.at_end():
+        statements.append(parser.parse_statement())
+        if not parser.accept("op", ";") and not parser.at_end():
+            raise ParseError(
+                f"expected ';' between statements at offset "
+                f"{parser.current.position}"
+            )
+    return statements

@@ -1,0 +1,117 @@
+"""Render statements and algebra trees back to SQL text.
+
+Mahif is a *middleware*: in the paper it rewrites histories into SQL that a
+backend (PostgreSQL) executes.  Our backend is the in-memory evaluator, but
+the SQL rendering is kept both as documentation of what would be shipped to
+a real DBMS and to round-trip-test the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .algebra import (
+    Difference,
+    Join,
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from .expressions import Expr, to_string
+from .statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    Statement,
+    UpdateStatement,
+)
+
+__all__ = ["statement_to_sql", "query_to_sql", "history_to_sql"]
+
+
+def _literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def statement_to_sql(stmt: Statement) -> str:
+    """Render a statement as a SQL string (parseable by our parser)."""
+    if isinstance(stmt, UpdateStatement):
+        sets = ", ".join(
+            f"{attr} = {to_string(expr)}"
+            for attr, expr in sorted(stmt.set_clauses.items())
+        )
+        return (
+            f"UPDATE {stmt.relation} SET {sets} "
+            f"WHERE {to_string(stmt.condition)};"
+        )
+    if isinstance(stmt, DeleteStatement):
+        return f"DELETE FROM {stmt.relation} WHERE {to_string(stmt.condition)};"
+    if isinstance(stmt, InsertTuple):
+        values = ", ".join(_literal(v) for v in stmt.values)
+        return f"INSERT INTO {stmt.relation} VALUES ({values});"
+    if isinstance(stmt, InsertQuery):
+        return f"INSERT INTO {stmt.relation} {query_to_sql(stmt.query)};"
+    raise TypeError(f"cannot render statement {stmt!r}")
+
+
+def history_to_sql(statements: list[Statement] | tuple[Statement, ...]) -> str:
+    """Render a sequence of statements as a SQL script."""
+    return "\n".join(statement_to_sql(s) for s in statements)
+
+
+def query_to_sql(op: Operator, indent: int = 0) -> str:
+    """Render an algebra tree as (nested) SQL.
+
+    Reenactment queries are deeply nested projections; the rendering mirrors
+    that structure with derived-table subqueries, which is exactly the SQL
+    the middleware would send to a backend.
+    """
+    pad = "  " * indent
+    if isinstance(op, RelScan):
+        return f"SELECT * FROM {op.name}"
+    if isinstance(op, Singleton):
+        row = ", ".join(
+            f"{_literal(v)} AS {a}"
+            for v, a in zip(op.row, op.schema.attributes)
+        )
+        return f"SELECT {row}"
+    if isinstance(op, Project):
+        cols = ", ".join(
+            f"{to_string(expr)} AS {name}" for expr, name in op.outputs
+        )
+        inner = query_to_sql(op.input, indent + 1)
+        return f"SELECT {cols} FROM (\n{pad}  {inner}\n{pad}) AS sub"
+    if isinstance(op, Select):
+        inner = query_to_sql(op.input, indent + 1)
+        return (
+            f"SELECT * FROM (\n{pad}  {inner}\n{pad}) AS sub "
+            f"WHERE {to_string(op.condition)}"
+        )
+    if isinstance(op, Union):
+        left = query_to_sql(op.left, indent + 1)
+        right = query_to_sql(op.right, indent + 1)
+        return f"({left})\n{pad}UNION\n{pad}({right})"
+    if isinstance(op, Difference):
+        left = query_to_sql(op.left, indent + 1)
+        right = query_to_sql(op.right, indent + 1)
+        return f"({left})\n{pad}EXCEPT\n{pad}({right})"
+    if isinstance(op, Join):
+        left = query_to_sql(op.left, indent + 1)
+        right = query_to_sql(op.right, indent + 1)
+        return (
+            f"SELECT * FROM (\n{pad}  {left}\n{pad}) AS lhs, "
+            f"(\n{pad}  {right}\n{pad}) AS rhs "
+            f"WHERE {to_string(op.condition)}"
+        )
+    raise TypeError(f"cannot render operator {op!r}")

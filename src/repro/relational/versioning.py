@@ -1,0 +1,97 @@
+"""Versioned databases: the time-travel substrate.
+
+The paper assumes a DBMS with time travel (Oracle/SQL Server/DB2-style) so
+Mahif can access ``D``, the database state *before* the first modified
+statement ran.  This module provides that capability for the in-memory
+engine: a :class:`VersionedDatabase` records the initial state and a
+snapshot after every committed statement.  Because relations are immutable
+frozensets, snapshots share storage for untouched relations, so keeping a
+full version chain costs O(changed tuples), not O(database size) per
+version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .database import Database
+from .history import History
+from .statements import Statement
+
+__all__ = ["VersionedDatabase", "VersionError"]
+
+
+class VersionError(Exception):
+    """Raised for invalid version accesses."""
+
+
+class VersionedDatabase:
+    """A database with a linear version history supporting time travel.
+
+    Versions are numbered ``0..n`` where version ``i`` is the state after
+    executing the first ``i`` statements (version 0 is the initial state,
+    matching the paper's ``D_i = H_i(D)``).
+    """
+
+    def __init__(self, initial: Database) -> None:
+        self._snapshots: list[Database] = [initial]
+        self._statements: list[Statement] = []
+
+    # -- recording -----------------------------------------------------------
+    def execute(self, stmt: Statement) -> Database:
+        """Apply a statement to the current version and record a snapshot."""
+        new_state = stmt.apply(self.current)
+        self._snapshots.append(new_state)
+        self._statements.append(stmt)
+        return new_state
+
+    def execute_history(self, history: History) -> Database:
+        """Execute an entire history, recording every version."""
+        for stmt in history:
+            self.execute(stmt)
+        return self.current
+
+    # -- access ----------------------------------------------------------
+    @property
+    def current(self) -> Database:
+        """The latest database state ``H(D)``."""
+        return self._snapshots[-1]
+
+    @property
+    def version_count(self) -> int:
+        """Number of versions, ``len(history) + 1``."""
+        return len(self._snapshots)
+
+    def as_of(self, version: int) -> Database:
+        """Time travel: the state after the first ``version`` statements."""
+        if not 0 <= version < len(self._snapshots):
+            raise VersionError(
+                f"version {version} out of range 0..{len(self._snapshots) - 1}"
+            )
+        return self._snapshots[version]
+
+    def initial(self) -> Database:
+        """The state before any statement ran (version 0)."""
+        return self._snapshots[0]
+
+    def history(self) -> History:
+        """The recorded history as a :class:`History`."""
+        return History(tuple(self._statements))
+
+    def history_since(self, version: int) -> History:
+        """Statements executed after ``version`` (for HWQ suffix replay)."""
+        if not 0 <= version < len(self._snapshots):
+            raise VersionError(f"version {version} out of range")
+        return History(tuple(self._statements[version:]))
+
+    def versions(self) -> Iterator[tuple[int, Database]]:
+        """Iterate ``(version, state)`` pairs oldest-first."""
+        return iter(enumerate(self._snapshots))
+
+    @classmethod
+    def from_history(cls, db: Database, history: History) -> "VersionedDatabase":
+        """Build a versioned database by executing ``history`` over ``db``."""
+        versioned = cls(db)
+        versioned.execute_history(history)
+        return versioned

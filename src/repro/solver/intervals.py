@@ -1,0 +1,257 @@
+"""Interval-propagation presolver.
+
+The dependency checks of Section 9 mostly produce conjunctions of range
+comparisons over a handful of variables (window-overlap questions).  A
+full MILP solve is overkill for those; this presolver decides many of them
+by interval reasoning:
+
+* normalize the formula to DNF (with a size cutoff — blowup aborts),
+* for each disjunct, intersect per-variable intervals implied by its
+  atomic comparisons,
+* a disjunct with a non-empty box *and no residual non-interval atoms* is
+  a witness (SAT); if every disjunct's box is empty the formula is UNSAT;
+  anything else is inconclusive and falls through to the MILP.
+
+Only comparisons of the shape ``var op constant`` / ``constant op var``
+(over numbers or strings — strings only for ``=``/``!=``) participate;
+any other atom makes its disjunct inconclusive-for-SAT but can still be
+proven UNSAT by the box alone.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..relational.expressions import (
+    Attr,
+    Cmp,
+    Const,
+    Expr,
+    Logic,
+    Not,
+    Var,
+    simplify,
+)
+
+__all__ = ["IntervalOutcome", "interval_presolve"]
+
+#: Abort DNF expansion beyond this many disjuncts.
+_DNF_LIMIT = 256
+
+
+class IntervalOutcome(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class _Box:
+    """Per-variable closed/open interval intersection plus string facts."""
+
+    lower: dict[str, float]
+    lower_strict: dict[str, bool]
+    upper: dict[str, float]
+    upper_strict: dict[str, bool]
+    string_eq: dict[str, str]
+    string_neq: dict[str, set[str]]
+    numeric_neq: dict[str, set[float]]
+    impossible: bool = False
+    residual: bool = False  # saw an atom we could not interpret
+
+    @classmethod
+    def empty(cls) -> "_Box":
+        return cls({}, {}, {}, {}, {}, {}, {})
+
+    def finalize(self) -> None:
+        """Checks that need the complete fact set: point intervals hitting
+        an exclusion, and variables with both string and numeric facts."""
+        for name, excluded in self.numeric_neq.items():
+            low = self.lower.get(name, -math.inf)
+            high = self.upper.get(name, math.inf)
+            if low == high and low in excluded:
+                self.impossible = True
+        numeric_names = set(self.lower) | set(self.upper) | set(
+            self.numeric_neq
+        )
+        string_names = set(self.string_eq) | set(self.string_neq)
+        if numeric_names & string_names:
+            self.residual = True  # mixed-type facts: let the MILP decide
+
+    def add_lower(self, name: str, bound: float, strict: bool) -> None:
+        current = self.lower.get(name, -math.inf)
+        if bound > current or (
+            bound == current and strict and not self.lower_strict.get(name, False)
+        ):
+            self.lower[name] = bound
+            self.lower_strict[name] = strict
+        self._check(name)
+
+    def add_upper(self, name: str, bound: float, strict: bool) -> None:
+        current = self.upper.get(name, math.inf)
+        if bound < current or (
+            bound == current and strict and not self.upper_strict.get(name, False)
+        ):
+            self.upper[name] = bound
+            self.upper_strict[name] = strict
+        self._check(name)
+
+    def add_string_eq(self, name: str, value: str) -> None:
+        existing = self.string_eq.get(name)
+        if existing is not None and existing != value:
+            self.impossible = True
+            return
+        if value in self.string_neq.get(name, set()):
+            self.impossible = True
+            return
+        self.string_eq[name] = value
+
+    def add_string_neq(self, name: str, value: str) -> None:
+        if self.string_eq.get(name) == value:
+            self.impossible = True
+            return
+        self.string_neq.setdefault(name, set()).add(value)
+
+    def _check(self, name: str) -> None:
+        low = self.lower.get(name, -math.inf)
+        high = self.upper.get(name, math.inf)
+        if low > high:
+            self.impossible = True
+        elif low == high and (
+            self.lower_strict.get(name, False)
+            or self.upper_strict.get(name, False)
+        ):
+            self.impossible = True
+
+
+def _to_nnf(expr: Expr, negated: bool = False) -> Expr:
+    """Push negations to the atoms (negation normal form)."""
+    if isinstance(expr, Not):
+        return _to_nnf(expr.operand, not negated)
+    if isinstance(expr, Logic):
+        op = expr.op
+        if negated:
+            op = "or" if op == "and" else "and"
+        return Logic(op, _to_nnf(expr.left, negated), _to_nnf(expr.right, negated))
+    if isinstance(expr, Cmp) and negated:
+        flipped = {
+            "=": "!=", "!=": "=",
+            "<": ">=", ">=": "<",
+            ">": "<=", "<=": ">",
+        }[expr.op]
+        return Cmp(flipped, expr.left, expr.right)
+    if isinstance(expr, Const) and negated:
+        return Const(not bool(expr.value))
+    if negated:
+        return Not(expr)
+    return expr
+
+
+def _dnf(expr: Expr) -> list[list[Expr]] | None:
+    """Expand NNF into a list of conjunctions of atoms; None on blowup."""
+    if isinstance(expr, Logic):
+        if expr.op == "or":
+            left = _dnf(expr.left)
+            right = _dnf(expr.right)
+            if left is None or right is None:
+                return None
+            combined = left + right
+            return combined if len(combined) <= _DNF_LIMIT else None
+        left = _dnf(expr.left)
+        right = _dnf(expr.right)
+        if left is None or right is None:
+            return None
+        product = [a + b for a in left for b in right]
+        return product if len(product) <= _DNF_LIMIT else None
+    return [[expr]]
+
+
+def _reference_name(expr: Expr) -> str | None:
+    if isinstance(expr, (Attr, Var)):
+        return expr.name
+    return None
+
+
+def _apply_atom(box: _Box, atom: Expr) -> None:
+    """Fold one atom into the box; unknown shapes set ``residual``."""
+    if isinstance(atom, Const):
+        if atom.value is True:
+            return
+        if atom.value is False:
+            box.impossible = True
+            return
+        box.residual = True
+        return
+    if not isinstance(atom, Cmp):
+        box.residual = True
+        return
+    left_name = _reference_name(atom.left)
+    right_name = _reference_name(atom.right)
+    left_const = atom.left.value if isinstance(atom.left, Const) else None
+    right_const = atom.right.value if isinstance(atom.right, Const) else None
+
+    if left_name is not None and isinstance(atom.right, Const):
+        name, value, op = left_name, right_const, atom.op
+    elif right_name is not None and isinstance(atom.left, Const):
+        mirrored = {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+                    "=": "=", "!=": "!="}[atom.op]
+        name, value, op = right_name, left_const, mirrored
+    else:
+        box.residual = True
+        return
+
+    if isinstance(value, str):
+        if op == "=":
+            box.add_string_eq(name, value)
+        elif op == "!=":
+            box.add_string_neq(name, value)
+        else:
+            box.residual = True
+        return
+    if value is None or isinstance(value, bool):
+        box.residual = True
+        return
+
+    value = float(value)
+    if op == "=":
+        box.add_lower(name, value, strict=False)
+        box.add_upper(name, value, strict=False)
+    elif op == "!=":
+        # an exclusion from a continuum only matters for point intervals;
+        # recorded and re-checked in finalize()
+        box.numeric_neq.setdefault(name, set()).add(value)
+    elif op == "<":
+        box.add_upper(name, value, strict=True)
+    elif op == "<=":
+        box.add_upper(name, value, strict=False)
+    elif op == ">":
+        box.add_lower(name, value, strict=True)
+    else:  # >=
+        box.add_lower(name, value, strict=False)
+
+
+def interval_presolve(formula: Expr) -> IntervalOutcome:
+    """Try to decide satisfiability by interval reasoning alone."""
+    normalized = _to_nnf(simplify(formula))
+    disjuncts = _dnf(normalized)
+    if disjuncts is None:
+        return IntervalOutcome.UNKNOWN
+
+    any_unknown = False
+    for atoms in disjuncts:
+        box = _Box.empty()
+        for atom in atoms:
+            _apply_atom(box, atom)
+            if box.impossible:
+                break
+        if not box.impossible:
+            box.finalize()
+        if box.impossible:
+            continue
+        if box.residual:
+            any_unknown = True
+            continue
+        return IntervalOutcome.SAT
+    return IntervalOutcome.UNKNOWN if any_unknown else IntervalOutcome.UNSAT

@@ -1,0 +1,194 @@
+"""A small mixed-integer linear program (MILP) model.
+
+The paper (Section 11) compiles slicing conditions into MILPs and solves
+them with CPLEX.  CPLEX is not available offline, so this module defines a
+minimal MILP representation — continuous and binary variables plus linear
+constraints — that :mod:`repro.solver.branch_bound` solves with a
+branch-and-bound search over LP relaxations computed by
+``scipy.optimize.linprog``.
+
+Only feasibility is ever needed (the slicing check asks whether the
+negation of the slicing condition is satisfiable), so models carry no
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["Variable", "LinearConstraint", "MILPModel", "ModelError"]
+
+
+class ModelError(Exception):
+    """Raised for malformed models (unknown variables, bad senses)."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A model variable.
+
+    ``kind`` is ``"continuous"`` or ``"binary"``.  Binary variables are the
+    boolean guards produced by the Figure-13 compilation; continuous
+    variables carry attribute values.
+    """
+
+    name: str
+    kind: str = "continuous"
+    lower: float = -1e7
+    upper: float = 1e7
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("continuous", "binary"):
+            raise ModelError(f"unknown variable kind {self.kind!r}")
+        if self.kind == "binary":
+            object.__setattr__(self, "lower", 0.0)
+            object.__setattr__(self, "upper", 1.0)
+        if self.lower > self.upper:
+            raise ModelError(
+                f"variable {self.name}: lower {self.lower} > upper {self.upper}"
+            )
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A linear constraint ``sum(coef_i * var_i) <sense> rhs``.
+
+    ``sense`` is one of ``"<="``, ``">="``, ``"="``.
+    """
+
+    coefficients: Mapping[str, float]
+    sense: str
+    rhs: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "="):
+            raise ModelError(f"unknown constraint sense {self.sense!r}")
+        object.__setattr__(self, "coefficients", dict(self.coefficients))
+
+
+class MILPModel:
+    """A mutable MILP under construction.
+
+    Variables are registered before use; adding a constraint that mentions
+    an unregistered variable raises :class:`ModelError`.
+    """
+
+    def __init__(self) -> None:
+        self._variables: dict[str, Variable] = {}
+        self._constraints: list[LinearConstraint] = []
+        self._counter = 0
+
+    # -- variables ---------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        kind: str = "continuous",
+        lower: float = -1e7,
+        upper: float = 1e7,
+    ) -> Variable:
+        """Register a variable; re-registering with the same signature is a
+        no-op, conflicting signatures raise."""
+        var = Variable(name, kind, lower, upper)
+        existing = self._variables.get(name)
+        if existing is not None:
+            if existing != var:
+                raise ModelError(
+                    f"variable {name!r} already registered with a "
+                    f"different signature"
+                )
+            return existing
+        self._variables[name] = var
+        return var
+
+    def fresh_name(self, prefix: str) -> str:
+        """A model-unique variable name."""
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def add_binary(self, prefix: str = "b") -> Variable:
+        """Register a fresh binary variable."""
+        return self.add_variable(self.fresh_name(prefix), "binary")
+
+    def add_continuous(
+        self, prefix: str = "v", lower: float = -1e7, upper: float = 1e7
+    ) -> Variable:
+        """Register a fresh continuous variable."""
+        return self.add_variable(self.fresh_name(prefix), "continuous", lower, upper)
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise ModelError(f"unknown variable {name!r}") from None
+
+    @property
+    def variables(self) -> list[Variable]:
+        return list(self._variables.values())
+
+    @property
+    def binary_names(self) -> list[str]:
+        return [v.name for v in self._variables.values() if v.kind == "binary"]
+
+    # -- constraints ---------------------------------------------------------
+    def add_constraint(
+        self,
+        coefficients: Mapping[str, float],
+        sense: str,
+        rhs: float,
+        label: str = "",
+    ) -> LinearConstraint:
+        for name in coefficients:
+            if name not in self._variables:
+                raise ModelError(
+                    f"constraint references unknown variable {name!r}"
+                )
+        constraint = LinearConstraint(coefficients, sense, rhs, label)
+        self._constraints.append(constraint)
+        return constraint
+
+    def fix_variable(self, name: str, value: float) -> None:
+        """Pin a variable to a value with an equality constraint."""
+        self.add_constraint({name: 1.0}, "=", value, label=f"fix {name}")
+
+    @property
+    def constraints(self) -> list[LinearConstraint]:
+        return list(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    # -- diagnostics ---------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Model size summary (useful for the paper's cost discussion)."""
+        return {
+            "variables": len(self._variables),
+            "binaries": len(self.binary_names),
+            "constraints": len(self._constraints),
+        }
+
+    def check_assignment(
+        self, assignment: Mapping[str, float], tolerance: float = 1e-6
+    ) -> bool:
+        """Verify that an assignment satisfies every constraint and bound."""
+        for var in self._variables.values():
+            value = assignment.get(var.name)
+            if value is None:
+                return False
+            if not (var.lower - tolerance <= value <= var.upper + tolerance):
+                return False
+            if var.kind == "binary" and abs(value - round(value)) > tolerance:
+                return False
+        for constraint in self._constraints:
+            total = sum(
+                coef * assignment[name]
+                for name, coef in constraint.coefficients.items()
+            )
+            if constraint.sense == "<=" and total > constraint.rhs + tolerance:
+                return False
+            if constraint.sense == ">=" and total < constraint.rhs - tolerance:
+                return False
+            if constraint.sense == "=" and abs(total - constraint.rhs) > tolerance:
+                return False
+        return True

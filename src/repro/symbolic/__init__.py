@@ -1,0 +1,33 @@
+"""Symbolic-execution substrate: VC-tables and database compression.
+
+Implements Sections 8.1–8.3.1 of the paper: Virtual C-tables with
+possible-world semantics, the linear-size update semantics of Definition 6,
+and lossy compression of databases into range constraints.
+"""
+
+from .expansion import (
+    apply_statement_expansion,
+    execute_history_expansion,
+)
+from .compress import (
+    CompressionConfig,
+    compress_relation,
+    constraint_admits_all,
+)
+from .symexec import (
+    SingleTupleRun,
+    SymbolicExecutionError,
+    VariableNamer,
+    apply_statement,
+    execute_history,
+    run_history_single_tuple,
+)
+from .vctable import SymbolicTuple, VCDatabase, VCTable
+
+__all__ = [
+    "SymbolicTuple", "VCTable", "VCDatabase",
+    "VariableNamer", "apply_statement", "execute_history",
+    "SingleTupleRun", "run_history_single_tuple", "SymbolicExecutionError",
+    "CompressionConfig", "compress_relation", "constraint_admits_all",
+    "apply_statement_expansion", "execute_history_expansion",
+]

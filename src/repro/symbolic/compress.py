@@ -1,0 +1,143 @@
+"""Database compression into range constraints (Section 8.3.1).
+
+The input database is (lossily) compressed into a disjunction of
+conjunctions of range constraints Φ_D over the single-tuple variables:
+rows are partitioned into groups (by a chosen attribute, or quantile
+buckets of a numeric attribute), and each group contributes one conjunct
+per attribute bounding the variable by the group's min/max (numeric) or by
+a small IN-set (categorical).  Every tuple of the relation satisfies Φ_D,
+so the possible worlds of the compressed VC-database are a *superset* of
+the database — the property Theorem 4's proof relies on.
+
+Attributes with unordered (string) domains of high cardinality are simply
+omitted from the constraint, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..relational.expressions import (
+    Expr,
+    TRUE,
+    and_,
+    eq,
+    ge,
+    le,
+    or_,
+)
+from ..relational.relation import Relation
+from .vctable import SymbolicTuple
+
+__all__ = ["CompressionConfig", "compress_relation", "constraint_admits_all"]
+
+#: Above this many distinct strings an attribute is left unconstrained.
+DEFAULT_MAX_DISTINCT = 12
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """How to compress one relation.
+
+    ``group_by``: attribute to partition on (``None`` = single group).
+    ``num_groups``: for numeric group-by attributes, the number of
+    quantile buckets; categorical group-by uses one group per value.
+    ``max_distinct``: categorical attributes with more distinct values
+    than this are omitted from the constraint.
+    """
+
+    group_by: str | None = None
+    num_groups: int = 2
+    max_distinct: int = DEFAULT_MAX_DISTINCT
+
+
+def compress_relation(
+    relation: Relation,
+    symbolic_tuple: SymbolicTuple,
+    config: CompressionConfig | None = None,
+) -> Expr:
+    """Compress ``relation`` into a constraint over ``symbolic_tuple``.
+
+    Returns Φ_D: a disjunction with one disjunct per group.  An empty
+    relation compresses to ``TRUE`` (no information, all worlds possible —
+    still a safe over-approximation).
+    """
+    config = config or CompressionConfig()
+    rows = [relation.schema.as_dict(t) for t in relation]
+    if not rows:
+        return TRUE
+
+    groups = _partition(rows, config)
+    disjuncts = [
+        _group_constraint(group, relation, symbolic_tuple, config)
+        for group in groups
+        if group
+    ]
+    return or_(*disjuncts) if disjuncts else TRUE
+
+
+def _partition(
+    rows: list[dict[str, Any]], config: CompressionConfig
+) -> list[list[dict[str, Any]]]:
+    """Split rows into groups per the configuration."""
+    if config.group_by is None:
+        return [rows]
+    attribute = config.group_by
+    sample = rows[0].get(attribute)
+    if isinstance(sample, str) or isinstance(sample, bool):
+        buckets: dict[Any, list[dict[str, Any]]] = {}
+        for row in rows:
+            buckets.setdefault(row[attribute], []).append(row)
+        return list(buckets.values())
+    # numeric group-by: quantile buckets
+    ordered = sorted(rows, key=lambda r: (r[attribute] is None, r[attribute]))
+    n = max(1, config.num_groups)
+    size = max(1, (len(ordered) + n - 1) // n)
+    return [ordered[i : i + size] for i in range(0, len(ordered), size)]
+
+
+def _group_constraint(
+    group: list[dict[str, Any]],
+    relation: Relation,
+    symbolic_tuple: SymbolicTuple,
+    config: CompressionConfig,
+) -> Expr:
+    """One conjunction of per-attribute range constraints for a group."""
+    conjuncts: list[Expr] = []
+    for attribute in relation.schema:
+        var = symbolic_tuple[attribute]
+        values = [row[attribute] for row in group if row[attribute] is not None]
+        if not values:
+            continue
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            low, high = min(values), max(values)
+            if low == high:
+                conjuncts.append(eq(var, low))
+            else:
+                conjuncts.append(and_(ge(var, low), le(var, high)))
+        elif all(isinstance(v, str) for v in values):
+            distinct = sorted(set(values))
+            if len(distinct) <= config.max_distinct:
+                conjuncts.append(or_(*[eq(var, v) for v in distinct]))
+            # else: unordered high-cardinality attribute — omit (paper)
+        # mixed-type / boolean attributes: omit, still sound
+    return and_(*conjuncts) if conjuncts else TRUE
+
+
+def constraint_admits_all(
+    constraint: Expr, relation: Relation, symbolic_tuple: SymbolicTuple
+) -> bool:
+    """Check the soundness invariant: every tuple of the relation, read as
+    an assignment of the symbolic variables, satisfies Φ_D.  Used by tests
+    and available for debugging compressed workloads."""
+    from ..relational.expressions import evaluate, Var
+
+    for row in relation.rows_as_dicts():
+        assignment = {}
+        for attribute, expr in symbolic_tuple.values.items():
+            if isinstance(expr, Var):
+                assignment[expr.name] = row[attribute]
+        if not bool(evaluate(constraint, assignment)):
+            return False
+    return True

@@ -1,0 +1,119 @@
+"""Expansion semantics for updates over VC-tables (Section 8.2, first
+encoding).
+
+Before introducing the fresh-variable encoding of Definition 6, the paper
+sketches the direct encoding: an update turns every tuple ``t`` into *two*
+tuples —
+
+* ``t`` guarded by ``phi(t) ∧ ¬theta(t)`` (the update did not apply), and
+* ``Set(t)`` guarded by ``phi(t) ∧ theta(t)`` (it did),
+
+merging duplicates by disjoining their local conditions.  The result
+needs no global condition but can grow ``2^n``-fold over ``n`` updates —
+which is exactly why Definition 6 exists.  We implement it anyway:
+
+* it is the simplest executable specification of possible-world update
+  semantics, so the tests use it as an *oracle* against the Definition-6
+  encoding, and
+* the blow-up is measurable, which makes the paper's complexity argument
+  a unit test instead of a claim.
+"""
+
+from __future__ import annotations
+
+from ..relational.expressions import (
+    Expr,
+    Not,
+    TRUE,
+    and_,
+    or_,
+    simplify,
+    substitute_attributes,
+)
+from ..relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    Statement,
+    UpdateStatement,
+)
+from .symexec import SymbolicExecutionError
+from .vctable import SymbolicTuple, VCDatabase, VCTable
+
+__all__ = ["apply_statement_expansion", "execute_history_expansion"]
+
+
+def _bind(expr: Expr, symbolic_tuple: SymbolicTuple) -> Expr:
+    return substitute_attributes(expr, dict(symbolic_tuple.values))
+
+
+def apply_statement_expansion(
+    db: VCDatabase, stmt: Statement
+) -> VCDatabase:
+    """Apply one statement with the tuple-doubling encoding."""
+    if isinstance(stmt, InsertQuery):
+        raise SymbolicExecutionError(
+            "INSERT ... SELECT cannot be executed symbolically"
+        )
+    table = db[stmt.relation]
+
+    if isinstance(stmt, UpdateStatement):
+        merged: dict[SymbolicTuple, Expr] = {}
+
+        def add(symbolic_tuple: SymbolicTuple, condition: Expr) -> None:
+            condition = simplify(condition)
+            if condition == Not(TRUE) or condition == simplify(Not(TRUE)):
+                return
+            existing = merged.get(symbolic_tuple)
+            merged[symbolic_tuple] = (
+                condition if existing is None
+                else simplify(or_(existing, condition))
+            )
+
+        for symbolic_tuple, local in table:
+            theta = _bind(stmt.condition, symbolic_tuple)
+            # branch 1: condition false, tuple unchanged
+            add(symbolic_tuple, and_(local, Not(theta)))
+            # branch 2: condition true, Set applied (symbolically)
+            updated_values = dict(symbolic_tuple.values)
+            for attribute, expr in stmt.set_clauses.items():
+                updated_values[attribute] = simplify(
+                    _bind(expr, symbolic_tuple)
+                )
+            add(SymbolicTuple(updated_values), and_(local, theta))
+        rows = tuple(
+            (t, condition)
+            for t, condition in merged.items()
+            if simplify(condition) != simplify(Not(TRUE))
+        )
+        return db.with_table(stmt.relation, VCTable(table.schema, rows))
+
+    if isinstance(stmt, DeleteStatement):
+        rows = tuple(
+            (t, simplify(and_(local, Not(_bind(stmt.condition, t)))))
+            for t, local in table
+        )
+        return db.with_table(stmt.relation, VCTable(table.schema, rows))
+
+    if isinstance(stmt, InsertTuple):
+        from ..relational.expressions import Const
+
+        inserted = SymbolicTuple(
+            {
+                attribute: Const(value)
+                for attribute, value in zip(table.schema, stmt.values)
+            }
+        )
+        return db.with_table(
+            stmt.relation,
+            VCTable(table.schema, table.rows + ((inserted, TRUE),)),
+        )
+
+    raise SymbolicExecutionError(f"unsupported statement {stmt!r}")
+
+
+def execute_history_expansion(db: VCDatabase, history) -> VCDatabase:
+    """Execute a whole history with the expansion encoding."""
+    for stmt in history:
+        db = apply_statement_expansion(db, stmt)
+    return db

@@ -1,0 +1,210 @@
+"""Virtual C-tables (VC-tables) — Section 8.1 of the paper.
+
+A VC-table is a relation whose tuples hold *symbolic expressions* over a
+set of variables; each tuple carries a *local condition* governing its
+membership, and the table (database) carries a *global condition* that
+every variable assignment must satisfy.  A VC-database encodes the
+incomplete database ``Mod(D)``: one possible world per assignment
+``lambda`` of the variables satisfying the global condition (Definition 5).
+
+Program slicing uses single-tuple VC-databases, but the implementation is
+general: tables may hold any number of symbolic tuples, which is also what
+the Definition 6 update semantics (in :mod:`repro.symbolic.symexec`)
+require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..relational.database import Database
+from ..relational.expressions import (
+    Expr,
+    TRUE,
+    Var,
+    and_,
+    evaluate,
+    simplify,
+    substitute_variables,
+    variables_of,
+)
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+
+__all__ = ["SymbolicTuple", "VCTable", "VCDatabase"]
+
+
+@dataclass(frozen=True)
+class SymbolicTuple:
+    """A tuple whose attribute values are symbolic expressions."""
+
+    values: Mapping[str, Expr]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+
+    def __hash__(self) -> int:
+        # the dict field defeats the generated hash; expressions are
+        # frozen dataclasses, so content hashing is well-defined
+        return hash(tuple(sorted(self.values.items(), key=lambda kv: kv[0])))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicTuple):
+            return NotImplemented
+        return dict(self.values) == dict(other.values)
+
+    def __getitem__(self, attribute: str) -> Expr:
+        return self.values[attribute]
+
+    def attributes(self) -> list[str]:
+        return list(self.values)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for expr in self.values.values():
+            names |= variables_of(expr)
+        return names
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "SymbolicTuple":
+        """Replace variables in every attribute expression."""
+        return SymbolicTuple(
+            {
+                attr: substitute_variables(expr, mapping)
+                for attr, expr in self.values.items()
+            }
+        )
+
+    def instantiate(self, assignment: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply an assignment ``lambda`` to obtain a concrete row."""
+        return {
+            attr: evaluate(expr, assignment)
+            for attr, expr in self.values.items()
+        }
+
+    @classmethod
+    def fresh(cls, schema: Schema, prefix: str = "x") -> "SymbolicTuple":
+        """A tuple of fresh variables, one per attribute (the paper's
+        ``(x_A1, ..., x_An)`` single-tuple instance)."""
+        return cls({attr: Var(f"{prefix}_{attr}") for attr in schema})
+
+
+@dataclass(frozen=True)
+class VCTable:
+    """A VC-table: symbolic tuples paired with local conditions."""
+
+    schema: Schema
+    rows: tuple[tuple[SymbolicTuple, Expr], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+
+    @classmethod
+    def single_tuple(cls, schema: Schema, prefix: str = "x") -> "VCTable":
+        """The single-tuple instance used by program slicing: one symbolic
+        tuple of fresh variables with local condition ``true``."""
+        return cls(schema, ((SymbolicTuple.fresh(schema, prefix), TRUE),))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[SymbolicTuple, Expr]]:
+        return iter(self.rows)
+
+    def local_condition(self, index: int) -> Expr:
+        return self.rows[index][1]
+
+    def tuple_at(self, index: int) -> SymbolicTuple:
+        return self.rows[index][0]
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for symbolic_tuple, condition in self.rows:
+            names |= symbolic_tuple.variables()
+            names |= variables_of(condition)
+        return names
+
+    def instantiate(self, assignment: Mapping[str, Any]) -> Relation:
+        """Apply ``lambda``: keep rows whose local condition holds."""
+        rows = set()
+        for symbolic_tuple, condition in self.rows:
+            if bool(evaluate(condition, assignment)):
+                concrete = symbolic_tuple.instantiate(assignment)
+                rows.add(self.schema.from_dict(concrete))
+        return Relation(self.schema, frozenset(rows))
+
+
+@dataclass(frozen=True)
+class VCDatabase:
+    """A VC-database: named VC-tables plus a global condition.
+
+    The global condition is stored as a tuple of conjuncts (symbolic
+    execution appends one defining equality per updated attribute per
+    statement; keeping them flat gives linear-size formulas, the key point
+    of Definition 6).
+    """
+
+    tables: Mapping[str, VCTable]
+    global_conjuncts: tuple[Expr, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tables", dict(self.tables))
+        object.__setattr__(
+            self, "global_conjuncts", tuple(self.global_conjuncts)
+        )
+
+    @property
+    def global_condition(self) -> Expr:
+        """The global condition Φ as a single conjunction."""
+        return and_(*self.global_conjuncts) if self.global_conjuncts else TRUE
+
+    def __getitem__(self, name: str) -> VCTable:
+        return self.tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def with_table(self, name: str, table: VCTable) -> "VCDatabase":
+        updated = dict(self.tables)
+        updated[name] = table
+        return VCDatabase(updated, self.global_conjuncts)
+
+    def with_conjunct(self, conjunct: Expr) -> "VCDatabase":
+        return VCDatabase(self.tables, self.global_conjuncts + (conjunct,))
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for table in self.tables.values():
+            names |= table.variables()
+        for conjunct in self.global_conjuncts:
+            names |= variables_of(conjunct)
+        return names
+
+    def admits(self, assignment: Mapping[str, Any]) -> bool:
+        """True when ``lambda`` satisfies the global condition."""
+        return bool(evaluate(self.global_condition, assignment))
+
+    def instantiate(self, assignment: Mapping[str, Any]) -> Database | None:
+        """The possible world for ``lambda``, or ``None`` when the global
+        condition rejects the assignment (Definition 5)."""
+        if not self.admits(assignment):
+            return None
+        return Database(
+            {
+                name: table.instantiate(assignment)
+                for name, table in self.tables.items()
+            }
+        )
+
+    @classmethod
+    def single_tuple_database(
+        cls, schemas: Mapping[str, Schema], prefix: str = "x"
+    ) -> "VCDatabase":
+        """A VC-database with one fresh single-tuple VC-table per relation
+        (the program-slicing input ``D_0``, Section 8.3)."""
+        return cls(
+            {
+                name: VCTable.single_tuple(schema, prefix=f"{prefix}_{name}")
+                for name, schema in schemas.items()
+            }
+        )

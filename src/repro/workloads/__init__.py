@@ -1,0 +1,23 @@
+"""Workload substrate: synthetic datasets and parameterized histories.
+
+Stands in for the paper's Chicago-taxi / TPC-C / YCSB data and the
+Benchbase-generated transactional workloads (Section 13.1–13.2).
+"""
+
+from .datasets import (
+    DATASETS,
+    TAXI_SCHEMA,
+    TPCC_STOCK_SCHEMA,
+    YCSB_SCHEMA,
+    dataset_by_name,
+    taxi_trips,
+    tpcc_stock,
+    ycsb_usertable,
+)
+from .generator import Workload, WorkloadSpec, build_workload
+
+__all__ = [
+    "taxi_trips", "tpcc_stock", "ycsb_usertable", "dataset_by_name",
+    "DATASETS", "TAXI_SCHEMA", "TPCC_STOCK_SCHEMA", "YCSB_SCHEMA",
+    "WorkloadSpec", "Workload", "build_workload",
+]

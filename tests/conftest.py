@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's running example and small databases."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# Fallback so the tests run even without the editable install.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro import (
+    Database,
+    History,
+    Relation,
+    Schema,
+    parse_history,
+    parse_statement,
+)
+
+ORDER_SCHEMA = Schema.of("ID", "Customer", "Country", "Price", "ShippingFee")
+
+ORDER_ROWS = [
+    (11, "Susan", "UK", 20, 5),
+    (12, "Alex", "UK", 50, 5),
+    (13, "Jack", "US", 60, 3),
+    (14, "Mark", "US", 30, 4),
+]
+
+
+@pytest.fixture
+def orders_db() -> Database:
+    """The paper's Figure 1 database."""
+    return Database(
+        {"Orders": Relation.from_rows(ORDER_SCHEMA, ORDER_ROWS)}
+    )
+
+
+@pytest.fixture
+def paper_history() -> History:
+    """The paper's Figure 2 history (u1, u2, u3)."""
+    return History(
+        tuple(
+            parse_history(
+                """
+                UPDATE Orders SET ShippingFee = 0 WHERE Price >= 50;
+                UPDATE Orders SET ShippingFee = ShippingFee + 5
+                    WHERE Country = 'UK' AND Price <= 100;
+                UPDATE Orders SET ShippingFee = ShippingFee - 2
+                    WHERE Price <= 30 AND ShippingFee >= 10;
+                """
+            )
+        )
+    )
+
+
+@pytest.fixture
+def u1_prime():
+    """The paper's hypothetical replacement u1' (threshold $60)."""
+    return parse_statement(
+        "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60;"
+    )

@@ -1,0 +1,151 @@
+"""Unit tests for the relational algebra and its evaluator."""
+
+import pytest
+
+from repro import Database, Relation, Schema
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+    base_relations,
+    evaluate_query,
+    inject_selection,
+    operator_count,
+    output_schema,
+    substitute_scans,
+)
+from repro.relational.expressions import (
+    Attr,
+    Const,
+    TRUE,
+    col,
+    eq,
+    gt,
+    if_,
+    ge,
+)
+from repro.relational.schema import SchemaError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation.from_rows(Schema.of("a", "b"), [(1, 10), (2, 20), (3, 30)]),
+            "S": Relation.from_rows(Schema.of("c"), [(2,), (3,), (4,)]),
+        }
+    )
+
+
+class TestEvaluation:
+    def test_scan(self, db):
+        assert set(evaluate_query(RelScan("R"), db)) == set(db["R"])
+
+    def test_singleton(self, db):
+        result = evaluate_query(Singleton(Schema.of("a", "b"), (9, 90)), db)
+        assert set(result) == {(9, 90)}
+
+    def test_singleton_arity_check(self):
+        with pytest.raises(SchemaError):
+            Singleton(Schema.of("a"), (1, 2))
+
+    def test_select(self, db):
+        result = evaluate_query(Select(RelScan("R"), gt(col("a"), 1)), db)
+        assert set(result) == {(2, 20), (3, 30)}
+
+    def test_project_expressions(self, db):
+        query = Project(
+            RelScan("R"), ((col("a") + 100, "a"), (col("b"), "b"))
+        )
+        result = evaluate_query(query, db)
+        assert (101, 10) in result
+
+    def test_project_conditional_expression(self, db):
+        # the reenactment pattern: if cond then e else A
+        query = Project(
+            RelScan("R"),
+            ((col("a"), "a"), (if_(ge(col("a"), 2), Const(0), col("b")), "b")),
+        )
+        result = evaluate_query(query, db)
+        assert set(result) == {(1, 10), (2, 0), (3, 0)}
+
+    def test_project_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(RelScan("R"), ((col("a"), "x"), (col("b"), "x")))
+
+    def test_union_deduplicates(self, db):
+        query = Union(RelScan("R"), RelScan("R"))
+        assert len(evaluate_query(query, db)) == 3
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            evaluate_query(Union(RelScan("R"), RelScan("S")), db)
+
+    def test_difference(self, db):
+        query = Difference(
+            RelScan("R"), Select(RelScan("R"), gt(col("a"), 1))
+        )
+        assert set(evaluate_query(query, db)) == {(1, 10)}
+
+    def test_join(self, db):
+        query = Join(RelScan("R"), RelScan("S"), eq(col("a"), col("c")))
+        result = evaluate_query(query, db)
+        assert set(result) == {(2, 20, 2), (3, 30, 3)}
+
+    def test_cross_join(self, db):
+        query = Join(RelScan("R"), RelScan("S"), TRUE)
+        assert len(evaluate_query(query, db)) == 9
+
+
+class TestSchemaInference:
+    def test_scan_schema(self, db):
+        schemas = {n: db.schema_of(n) for n in db}
+        assert output_schema(RelScan("R"), schemas).attributes == ("a", "b")
+
+    def test_project_schema(self, db):
+        schemas = {n: db.schema_of(n) for n in db}
+        query = Project(RelScan("R"), ((col("a"), "x"),))
+        assert output_schema(query, schemas).attributes == ("x",)
+
+    def test_join_schema(self, db):
+        schemas = {n: db.schema_of(n) for n in db}
+        query = Join(RelScan("R"), RelScan("S"), TRUE)
+        assert output_schema(query, schemas).attributes == ("a", "b", "c")
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(SchemaError):
+            output_schema(RelScan("Z"), {})
+
+
+class TestRewrites:
+    def test_base_relations(self):
+        query = Union(RelScan("R"), Select(RelScan("S"), TRUE))
+        assert base_relations(query) == {"R", "S"}
+
+    def test_operator_count(self):
+        query = Select(Project(RelScan("R"), ((col("a"), "a"),)), TRUE)
+        assert operator_count(query) == 3
+
+    def test_substitute_scans_composes_queries(self, db):
+        inner = Select(RelScan("R"), gt(col("a"), 1))
+        outer = Project(RelScan("R"), ((col("a"), "a"), (col("b"), "b")))
+        composed = substitute_scans(outer, {"R": inner})
+        assert operator_count(composed) == 3
+        assert len(evaluate_query(composed, db)) == 2
+
+    def test_inject_selection_wraps_scans(self, db):
+        query = Project(RelScan("R"), ((col("a"), "a"), (col("b"), "b")))
+        injected = inject_selection(query, {"R": gt(col("a"), 2)})
+        assert len(evaluate_query(injected, db)) == 1
+
+    def test_inject_selection_skips_true(self, db):
+        query = RelScan("R")
+        assert inject_selection(query, {"R": TRUE}) == query
+
+    def test_inject_selection_other_relations_untouched(self, db):
+        query = RelScan("R")
+        assert inject_selection(query, {"S": gt(col("c"), 0)}) == query

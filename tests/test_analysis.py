@@ -1,0 +1,121 @@
+"""Dependency-graph analysis tests."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.analysis import build_dependency_graph
+from repro.relational.algebra import RelScan
+from repro.relational.expressions import and_, col, ge, le, lit
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+)
+
+SCHEMA = Schema.of("k", "P", "F")
+ROWS = [(i, i * 10, 5) for i in range(1, 11)]
+
+
+def db_with(rows=ROWS):
+    return Database({"R": Relation.from_rows(SCHEMA, rows)})
+
+
+def window(low, high):
+    return and_(ge(col("P"), low), le(col("P"), high))
+
+
+class TestDependencyGraph:
+    def test_overlapping_updates_connected(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 50)),
+            UpdateStatement("R", {"F": col("F") + 1}, window(40, 90)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert (1, 2) in analysis.graph.edges()
+
+    def test_disjoint_updates_isolated(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 30)),
+            UpdateStatement("R", {"F": col("F") + 1}, window(80, 100)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert analysis.graph.number_of_edges() == 0
+        assert analysis.independent_statements() == [1, 2]
+
+    def test_transitive_chain_via_attributes(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(50)}, window(10, 30)),
+            UpdateStatement("R", {"F": col("F") * 2}, ge(col("F"), 50)),
+            UpdateStatement("R", {"k": lit(0)}, ge(col("F"), 100)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert (1, 2) in analysis.graph.edges()
+        assert (2, 3) in analysis.graph.edges()
+        assert analysis.reachable_from(1) == {1, 2, 3}
+
+    def test_inserts_do_not_interact(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 30)),
+            InsertTuple("R", (99, 20, 5)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert analysis.graph.number_of_edges() == 0
+
+    def test_insert_query_conservatively_connected(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 30)),
+            InsertQuery("R", RelScan("R")),
+            UpdateStatement("R", {"F": col("F") + 1}, window(80, 100)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert (1, 2) in analysis.graph.edges()
+        assert (2, 3) in analysis.graph.edges()
+
+    def test_different_relations_never_connected(self):
+        other = Schema.of("x")
+        db = Database(
+            {
+                "R": Relation.from_rows(SCHEMA, ROWS),
+                "S": Relation.from_rows(other, [(1,)]),
+            }
+        )
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 90)),
+            UpdateStatement("S", {"x": col("x") + 1}, ge(col("x"), 0)),
+        )
+        analysis = build_dependency_graph(history, db)
+        assert analysis.graph.number_of_edges() == 0
+
+    def test_node_attributes(self):
+        history = History.of(
+            DeleteStatement("R", window(10, 20)),
+            InsertTuple("R", (99, 20, 5)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert analysis.graph.nodes[1]["kind"] == "delete"
+        assert analysis.graph.nodes[2]["kind"] == "insert"
+        assert analysis.graph.nodes[1]["relation"] == "R"
+
+    def test_summary(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 30)),
+        )
+        analysis = build_dependency_graph(history, db_with())
+        assert "1 statements" in analysis.summary()
+
+    def test_generated_workload_matches_d_parameter(self):
+        """The workload generator's independent updates must be isolated
+        from statement 1 in the graph."""
+        from repro.workloads import WorkloadSpec, build_workload
+
+        workload = build_workload(
+            WorkloadSpec(rows=400, updates=10, dependent_pct=20, seed=3)
+        )
+        analysis = build_dependency_graph(
+            workload.history,
+            workload.database,
+        )
+        # statement 1 (the modified one) must not reach the far windows
+        descendants = analysis.reachable_from(1)
+        assert len(descendants) <= 4

@@ -1,0 +1,180 @@
+"""Bag-semantics tests, including the set-semantics collision case."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.reenactment import reenactment_query
+from repro.relational.bag import (
+    BagDatabase,
+    BagRelation,
+    apply_statement_bag,
+    bag_delta,
+    evaluate_query_bag,
+    execute_history_bag,
+)
+from repro.relational.expressions import col, eq, ge, lit
+from repro.relational.schema import SchemaError
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertTuple,
+    UpdateStatement,
+)
+
+SCHEMA = Schema.of("a", "b")
+
+
+def bag(rows):
+    return BagRelation.from_rows(SCHEMA, rows)
+
+
+class TestBagRelation:
+    def test_multiplicities(self):
+        relation = bag([(1, 1), (1, 1), (2, 2)])
+        assert len(relation) == 3
+        assert relation.distinct_count() == 2
+        assert relation.count_of((1, 1)) == 2
+
+    def test_zero_counts_dropped(self):
+        relation = BagRelation(SCHEMA, {(1, 1): 0, (2, 2): 1})
+        assert relation.distinct_count() == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BagRelation(SCHEMA, {(1, 1): -1})
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            BagRelation(SCHEMA, {(1,): 1})
+
+    def test_union_all_adds(self):
+        combined = bag([(1, 1)]).union_all(bag([(1, 1), (2, 2)]))
+        assert combined.count_of((1, 1)) == 2
+
+    def test_monus_floors_at_zero(self):
+        result = bag([(1, 1)]).monus(bag([(1, 1), (1, 1)]))
+        assert result.count_of((1, 1)) == 0
+
+    def test_filter_preserves_counts(self):
+        result = bag([(1, 1), (1, 1), (2, 2)]).filter(eq(col("a"), 1))
+        assert result.count_of((1, 1)) == 2
+        assert result.count_of((2, 2)) == 0
+
+    def test_iteration_with_repetition(self):
+        assert sorted(bag([(1, 1), (1, 1)])) == [(1, 1), (1, 1)]
+
+    def test_set_round_trip(self):
+        relation = Relation.from_rows(SCHEMA, [(1, 1), (2, 2)])
+        assert BagRelation.from_set_relation(
+            relation
+        ).to_set_relation() == relation
+
+
+class TestBagStatements:
+    def test_update_merges_counts_not_rows(self):
+        db = BagDatabase({"R": bag([(1, 10), (2, 10)])})
+        # both rows map onto (0, 10): bag keeps multiplicity 2
+        stmt = UpdateStatement("R", {"a": lit(0)}, ge(col("a"), 0))
+        result = apply_statement_bag(stmt, db)
+        assert result["R"].count_of((0, 10)) == 2
+
+    def test_delete(self):
+        db = BagDatabase({"R": bag([(1, 10), (1, 10), (2, 20)])})
+        result = apply_statement_bag(DeleteStatement("R", eq(col("a"), 1)), db)
+        assert len(result["R"]) == 1
+
+    def test_insert_increases_multiplicity(self):
+        db = BagDatabase({"R": bag([(1, 10)])})
+        result = apply_statement_bag(InsertTuple("R", (1, 10)), db)
+        assert result["R"].count_of((1, 10)) == 2
+
+    def test_history_execution(self):
+        db = BagDatabase({"R": bag([(1, 10), (2, 20)])})
+        history = History.of(
+            UpdateStatement("R", {"b": col("b") + 1}, ge(col("b"), 20)),
+            InsertTuple("R", (3, 30)),
+        )
+        final = execute_history_bag(history, db)
+        assert final["R"].count_of((2, 21)) == 1
+        assert final["R"].count_of((3, 30)) == 1
+
+
+class TestBagReenactment:
+    def test_reenactment_equivalence_under_bags(self):
+        """R_H evaluated with bag semantics equals bag execution of H —
+        including a merging update where set semantics loses counts."""
+        rows = [(1, 10), (2, 10), (2, 10)]
+        db = BagDatabase({"R": BagRelation.from_rows(SCHEMA, rows)})
+        history = History.of(
+            UpdateStatement("R", {"a": lit(0)}, ge(col("b"), 10)),
+            UpdateStatement("R", {"b": col("b") * 2}, ge(col("b"), 10)),
+        )
+        query = reenactment_query(history, "R", {"R": SCHEMA})
+        reenacted = evaluate_query_bag(query, db)
+        executed = execute_history_bag(history, db)["R"]
+        assert dict(reenacted.multiplicities) == dict(
+            executed.multiplicities
+        )
+
+    def test_collision_counterexample_resolved_by_bags(self):
+        """DESIGN.md's set-semantics caveat: u = (A=2 -> A=1),
+        u' = (A=3 -> A=1) over D = {1, 2}.  Under set semantics filtering
+        with theta_u OR theta_u' perturbs the delta; under bag semantics
+        the filtered and unfiltered deltas agree."""
+        schema = Schema.of("A")
+        rows = [(1,), (2,)]
+        u = UpdateStatement("R", {"A": lit(1)}, eq(col("A"), 2))
+        u_prime = UpdateStatement("R", {"A": lit(1)}, eq(col("A"), 3))
+        condition = eq(col("A"), 2)  # theta_u OR theta_u' simplifies here
+
+        full = BagRelation.from_rows(schema, rows)
+        filtered = full.filter(
+            eq(col("A"), 2)
+        ).union_all(full.filter(eq(col("A"), 3)))
+
+        def run(statement, relation):
+            db = BagDatabase({"R": relation})
+            return apply_statement_bag(statement, db)["R"]
+
+        # unfiltered delta
+        delta_full = bag_delta(run(u, full), run(u_prime, full))
+        # filtered delta (tuples failing both conditions removed)
+        delta_filtered = bag_delta(run(u, filtered), run(u_prime, filtered))
+        assert delta_full == delta_filtered == {(1,): -1, (2,): 1}
+
+    def test_set_semantics_differs_on_collision(self):
+        """The same scenario under set semantics shows the discrepancy —
+        the reason the main engine documents its key-preservation
+        requirement."""
+        schema = Schema.of("A")
+        db = Database({"R": Relation.from_rows(schema, [(1,), (2,)])})
+        u = UpdateStatement("R", {"A": lit(1)}, eq(col("A"), 2))
+        u_prime = UpdateStatement("R", {"A": lit(1)}, eq(col("A"), 3))
+        full_u = set(u.apply(db)["R"])           # {1}
+        full_up = set(u_prime.apply(db)["R"])    # {1, 2}
+        full_delta = full_u ^ full_up            # {2}
+
+        filtered = Database(
+            {"R": db["R"].filter(eq(col("A"), 2))}
+        )
+        f_u = set(u.apply(filtered)["R"])        # {1}
+        f_up = set(u_prime.apply(filtered)["R"])  # {2}
+        filtered_delta = f_u ^ f_up              # {1, 2} != {2}
+        assert filtered_delta != full_delta
+
+
+class TestBagDelta:
+    def test_signed_counts(self):
+        current = bag([(1, 1), (1, 1), (2, 2)])
+        modified = bag([(1, 1), (3, 3)])
+        delta = bag_delta(current, modified)
+        assert delta == {(1, 1): -1, (2, 2): -1, (3, 3): 1}
+
+    def test_empty_delta(self):
+        assert bag_delta(bag([(1, 1)]), bag([(1, 1)])) == {}
+
+    def test_bag_database_same_contents(self):
+        a = BagDatabase({"R": bag([(1, 1)])})
+        b = BagDatabase({"R": bag([(1, 1)])})
+        c = BagDatabase({"R": bag([(1, 1), (1, 1)])})
+        assert a.same_contents(b)
+        assert not a.same_contents(c)

@@ -1,0 +1,123 @@
+"""Database compression tests (Section 8.3.1).
+
+The key invariant (used by Theorem 4): every tuple of the input relation
+satisfies Φ_D, i.e. the compressed worlds over-approximate the database.
+"""
+
+import pytest
+
+from repro import Relation, Schema
+from repro.relational.expressions import TRUE, disjuncts_of, evaluate
+from repro.symbolic.compress import (
+    CompressionConfig,
+    compress_relation,
+    constraint_admits_all,
+)
+from repro.symbolic.vctable import SymbolicTuple
+
+SCHEMA = Schema.of("Country", "ID", "Price", "Fee")
+
+ROWS = [
+    ("UK", 11, 20, 5),
+    ("UK", 12, 50, 5),
+    ("US", 13, 60, 3),
+    ("US", 14, 30, 4),
+]
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(SCHEMA, ROWS)
+
+
+@pytest.fixture
+def symbolic_tuple():
+    return SymbolicTuple.fresh(SCHEMA, prefix="x")
+
+
+class TestCompression:
+    def test_single_group_ranges(self, relation, symbolic_tuple):
+        phi = compress_relation(relation, symbolic_tuple)
+        # the box [20..60] x [3..5] with countries {UK, US}
+        assert evaluate(
+            phi, {"x_Country": "UK", "x_ID": 11, "x_Price": 20, "x_Fee": 5}
+        )
+        assert not evaluate(
+            phi, {"x_Country": "UK", "x_ID": 11, "x_Price": 500, "x_Fee": 5}
+        )
+
+    def test_soundness_invariant(self, relation, symbolic_tuple):
+        for config in (
+            CompressionConfig(),
+            CompressionConfig(group_by="Country"),
+            CompressionConfig(group_by="Price", num_groups=2),
+            CompressionConfig(group_by="Price", num_groups=4),
+        ):
+            phi = compress_relation(relation, symbolic_tuple, config)
+            assert constraint_admits_all(phi, relation, symbolic_tuple)
+
+    def test_paper_example7_group_by_country(self, relation, symbolic_tuple):
+        """Example 7: grouping on Country yields two disjuncts with the
+        ranges Price∈[20,50] (UK) and Price∈[30,60] (US)."""
+        phi = compress_relation(
+            relation, symbolic_tuple, CompressionConfig(group_by="Country")
+        )
+        groups = disjuncts_of(phi)
+        assert len(groups) == 2
+        # UK group admits price 35, US group does not admit price 20
+        uk = {"x_Country": "UK", "x_ID": 11, "x_Price": 35, "x_Fee": 5}
+        assert evaluate(phi, uk)
+        bad_us = {"x_Country": "US", "x_ID": 13, "x_Price": 20, "x_Fee": 3}
+        assert not evaluate(phi, bad_us)
+
+    def test_tighter_than_single_box(self, relation, symbolic_tuple):
+        """Grouping excludes worlds the single box admits."""
+        box = compress_relation(relation, symbolic_tuple)
+        grouped = compress_relation(
+            relation, symbolic_tuple, CompressionConfig(group_by="Country")
+        )
+        # (US, price 25) is inside the box but outside the US group range
+        world = {"x_Country": "US", "x_ID": 13, "x_Price": 25, "x_Fee": 4}
+        assert evaluate(box, world)
+        assert not evaluate(grouped, world)
+
+    def test_numeric_group_by_quantiles(self, relation, symbolic_tuple):
+        phi = compress_relation(
+            relation,
+            symbolic_tuple,
+            CompressionConfig(group_by="Price", num_groups=2),
+        )
+        assert len(disjuncts_of(phi)) == 2
+        assert constraint_admits_all(phi, relation, symbolic_tuple)
+
+    def test_empty_relation_compresses_to_true(self, symbolic_tuple):
+        phi = compress_relation(Relation.empty(SCHEMA), symbolic_tuple)
+        assert phi == TRUE
+
+    def test_high_cardinality_strings_omitted(self, symbolic_tuple):
+        rows = [(f"company-{i}", i, i, i) for i in range(50)]
+        relation = Relation.from_rows(SCHEMA, rows)
+        phi = compress_relation(
+            relation, symbolic_tuple, CompressionConfig(max_distinct=10)
+        )
+        # Country must be unconstrained: any string value admitted
+        assert evaluate(
+            phi, {"x_Country": "unseen", "x_ID": 5, "x_Price": 5, "x_Fee": 5}
+        )
+
+    def test_constant_attribute_becomes_equality(self, symbolic_tuple):
+        rows = [("UK", 1, 7, 7), ("UK", 2, 7, 9)]
+        relation = Relation.from_rows(SCHEMA, rows)
+        phi = compress_relation(relation, symbolic_tuple)
+        assert not evaluate(
+            phi, {"x_Country": "UK", "x_ID": 1, "x_Price": 8, "x_Fee": 8}
+        )
+
+    def test_null_values_skipped(self, symbolic_tuple):
+        rows = [("UK", 1, None, 5), ("US", 2, 30, None)]
+        relation = Relation.from_rows(SCHEMA, rows)
+        phi = compress_relation(relation, symbolic_tuple)
+        # price constrained by the single non-null value
+        assert evaluate(
+            phi, {"x_Country": "UK", "x_ID": 1, "x_Price": 30, "x_Fee": 5}
+        )

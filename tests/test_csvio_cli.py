@@ -1,0 +1,202 @@
+"""CSV I/O and command-line interface tests."""
+
+import io
+import pathlib
+
+import pytest
+
+from repro import Relation, Schema
+from repro.cli import main
+from repro.relational.csvio import (
+    format_value,
+    load_database_dir,
+    parse_value,
+    relation_from_csv,
+    relation_to_csv,
+)
+
+
+class TestValueParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("", None),
+            ("true", True),
+            ("False", False),
+            ("42", 42),
+            ("-3", -3),
+            ("2.5", 2.5),
+            ("hello", "hello"),
+            ("12abc", "12abc"),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_value(text) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(None, ""), (True, "true"), (1.5, "1.5"), (7, "7"), ("x", "x")],
+    )
+    def test_format(self, value, expected):
+        assert format_value(value) == expected
+
+    def test_roundtrip(self):
+        for value in (None, True, False, 0, -5, 2.25, "text"):
+            assert parse_value(format_value(value)) == value
+
+
+class TestCsv:
+    def test_read_write_roundtrip(self, tmp_path):
+        relation = Relation.from_rows(
+            Schema.of("k", "name", "score"),
+            [(1, "a", 1.5), (2, "b", None)],
+        )
+        path = tmp_path / "r.csv"
+        relation_to_csv(relation, path)
+        loaded = relation_from_csv(path)
+        assert set(loaded) == set(relation)
+        assert loaded.schema.attributes == relation.schema.attributes
+
+    def test_read_from_buffer(self):
+        buffer = io.StringIO("a,b\n1,x\n2,y\n")
+        relation = relation_from_csv(buffer)
+        assert set(relation) == {(1, "x"), (2, "y")}
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            relation_from_csv(io.StringIO(""))
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="line 2"):
+            relation_from_csv(io.StringIO("a,b\n1\n"))
+
+    def test_load_database_dir(self, tmp_path):
+        (tmp_path / "orders.csv").write_text("id,total\n1,10\n")
+        (tmp_path / "users.csv").write_text("id\n1\n")
+        db = load_database_dir(tmp_path)
+        assert set(db.relation_names()) == {"orders", "users"}
+
+    def test_load_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_database_dir(tmp_path)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    data = tmp_path / "data"
+    data.mkdir()
+    (data / "Orders.csv").write_text(
+        "ID,Customer,Country,Price,ShippingFee\n"
+        "11,Susan,UK,20,5\n"
+        "12,Alex,UK,50,5\n"
+        "13,Jack,US,60,3\n"
+        "14,Mark,US,30,4\n"
+    )
+    history = tmp_path / "history.sql"
+    history.write_text(
+        "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 50;\n"
+        "UPDATE Orders SET ShippingFee = ShippingFee + 5 "
+        "WHERE Country = 'UK' AND Price <= 100;\n"
+        "UPDATE Orders SET ShippingFee = ShippingFee - 2 "
+        "WHERE Price <= 30 AND ShippingFee >= 10;\n"
+    )
+    return tmp_path
+
+
+class TestCli:
+    def test_whatif_prints_delta(self, workspace, capsys):
+        code = main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--replace", "1",
+                "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Alex" in out
+        assert "slice: kept" in out
+
+    def test_whatif_writes_csv(self, workspace, capsys, tmp_path):
+        out_file = tmp_path / "delta.csv"
+        main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--replace", "1",
+                "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+                "--out", str(out_file),
+                "--quiet",
+            ]
+        )
+        content = out_file.read_text()
+        assert "Orders,-" in content and "Orders,+" in content
+
+    def test_whatif_explain(self, workspace, capsys):
+        main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--replace", "1",
+                "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+                "--method", "R",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "provenance for Δ Orders" in out
+        assert "<-" in out
+
+    def test_whatif_delete_statement(self, workspace, capsys):
+        code = main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--delete-stmt", "2",
+                "--method", "N",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Δ Orders" in out
+
+    def test_whatif_requires_modifications(self, workspace):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                ]
+            )
+
+    def test_replay(self, workspace, capsys):
+        code = main(
+            [
+                "replay",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--relation", "Orders",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Susan" in out
+
+    def test_replay_writes_csv(self, workspace, tmp_path, capsys):
+        out_file = tmp_path / "state.csv"
+        main(
+            [
+                "replay",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--relation", "Orders",
+                "--out", str(out_file),
+            ]
+        )
+        assert "Susan" in out_file.read_text()

@@ -1,0 +1,326 @@
+"""Data slicing tests (Section 6, Theorem 2)."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.data_slicing import (
+    compute_data_slicing,
+    push_condition_through_query,
+)
+from repro.core.delta import DatabaseDelta
+from repro.core.hwq import AlignedHistories, Replace, align
+from repro.core.reenactment import reenactment_queries
+from repro.relational.algebra import (
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+    evaluate_query,
+    inject_selection,
+)
+from repro.relational.expressions import (
+    FALSE,
+    TRUE,
+    and_,
+    col,
+    eq,
+    evaluate,
+    ge,
+    le,
+    lit,
+    or_,
+    simplify,
+)
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+)
+
+SCHEMA = Schema.of("k", "P", "F")
+
+
+def db_with(rows):
+    return Database({"R": Relation.from_rows(SCHEMA, rows)})
+
+
+def schemas():
+    return {"R": SCHEMA}
+
+
+def check_theorem2(db, aligned: AlignedHistories):
+    """Executable Theorem 2: the delta with and without data slicing must
+    agree."""
+    schemas_map = {n: db.schema_of(n) for n in db}
+    queries_h = reenactment_queries(aligned.original, schemas_map)
+    queries_m = reenactment_queries(aligned.modified, schemas_map)
+    conditions = compute_data_slicing(aligned, schemas_map)
+
+    unsliced = {}
+    sliced = {}
+    for name in schemas_map:
+        plain_h = evaluate_query(queries_h[name], db)
+        plain_m = evaluate_query(queries_m[name], db)
+        unsliced[name] = (plain_h, plain_m)
+        ds_h = evaluate_query(
+            inject_selection(queries_h[name], dict(conditions.for_original)),
+            db,
+        )
+        ds_m = evaluate_query(
+            inject_selection(queries_m[name], dict(conditions.for_modified)),
+            db,
+        )
+        sliced[name] = (ds_h, ds_m)
+
+    for name in schemas_map:
+        plain_h, plain_m = unsliced[name]
+        ds_h, ds_m = sliced[name]
+        plain_delta = plain_h.symmetric_difference(plain_m)
+        ds_delta = ds_h.symmetric_difference(ds_m)
+        assert set(plain_delta) == set(ds_delta), name
+    return conditions
+
+
+class TestBaseConditions:
+    def test_update_update_disjunction(self):
+        """Equation 7: theta_u OR theta_u' on both sides."""
+        u = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u2 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 60))
+        aligned = align(History.of(u), [Replace(1, u2)])
+        conditions = compute_data_slicing(aligned, schemas())
+        expected = simplify(or_(ge(col("P"), 50), ge(col("P"), 60)))
+        assert conditions.for_original["R"] == expected
+        assert conditions.for_modified["R"] == expected
+
+    def test_delete_delete_refinement(self):
+        """Section 6's simplified delete conditions: theta_u' for H and
+        theta_u for H[M]."""
+        d = DeleteStatement("R", ge(col("P"), 50))
+        d2 = DeleteStatement("R", ge(col("P"), 60))
+        aligned = align(History.of(d), [Replace(1, d2)])
+        conditions = compute_data_slicing(aligned, schemas())
+        assert conditions.for_original["R"] == ge(col("P"), 60)
+        assert conditions.for_modified["R"] == ge(col("P"), 50)
+
+    def test_insert_modification_admits_colliding_tuples_only(self):
+        """An insert-pair modification filters the base relation down to
+        tuples that could collide with either inserted value (set
+        semantics; see _affected_condition_map)."""
+        i = InsertTuple("R", (9, 9, 9))
+        i2 = InsertTuple("R", (9, 9, 99))
+        aligned = align(History.of(i), [Replace(1, i2)])
+        conditions = compute_data_slicing(aligned, schemas())
+        condition = conditions.for_original["R"]
+        assert evaluate(condition, {"k": 9, "P": 9, "F": 9}) is True
+        assert evaluate(condition, {"k": 9, "P": 9, "F": 99}) is True
+        assert evaluate(condition, {"k": 1, "P": 9, "F": 9}) is False
+
+    def test_insert_vs_update_modification_collision(self):
+        """The regression hypothesis found: replacing an insert with an
+        update (or vice versa) must keep colliding base tuples on both
+        sides of the delta."""
+        from repro.core import (
+            DatabaseDelta,
+            HistoricalWhatIfQuery,
+            Mahif,
+            Method,
+        )
+
+        db = Database({"R": Relation.from_rows(SCHEMA, [])})
+        history = History.of(
+            InsertTuple("R", (100, 1, 0)), InsertTuple("R", (100, 1, 0))
+        )
+        replacement = UpdateStatement(
+            "R", {"P": lit(7)}, and_(ge(col("P"), 5), le(col("P"), 40))
+        )
+        query = HistoricalWhatIfQuery(
+            history, db, (Replace(2, replacement),)
+        )
+        direct = DatabaseDelta.between(
+            history.execute(db), query.aligned().modified.execute(db)
+        )
+        for method in Method:
+            assert Mahif().answer(query, method).delta == direct, method
+
+    def test_condition_size_accounting(self):
+        u = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u2 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 60))
+        aligned = align(History.of(u), [Replace(1, u2)])
+        conditions = compute_data_slicing(aligned, schemas())
+        assert conditions.condition_size() > 0
+        assert conditions.affected_relations() == {"R"}
+
+
+class TestPushdown:
+    def test_example4_pushdown_through_updates(self):
+        """Example 4: pushing (P<=40 AND F>=10) through u2 and u1."""
+        u1 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u2 = UpdateStatement(
+            "R", {"F": col("F") + 5},
+            and_(eq(col("k"), 1), le(col("P"), 100)),
+        )
+        u3 = UpdateStatement(
+            "R", {"F": col("F") - 2},
+            and_(le(col("P"), 30), ge(col("F"), 10)),
+        )
+        u3p = UpdateStatement(
+            "R", {"F": col("F") - 2},
+            and_(le(col("P"), 40), ge(col("F"), 10)),
+        )
+        aligned = align(History.of(u1, u2, u3), [Replace(3, u3p)])
+        conditions = compute_data_slicing(aligned, schemas())
+        condition = conditions.for_original["R"]
+        # For the paper's tuple 11 (k=1, P=20, F=5): F'=5, F''=10 -> true
+        assert evaluate(condition, {"k": 1, "P": 20, "F": 5}) is True
+        # Tuple 13 (k=3, P=60, F=3): F'=0, F''=0 -> false
+        assert evaluate(condition, {"k": 3, "P": 60, "F": 3}) is False
+
+    def test_pushdown_only_when_attributes_referenced(self):
+        """Conditions over never-updated attributes pass through
+        unchanged."""
+        u_first = UpdateStatement("R", {"F": col("F") + 1}, ge(col("P"), 0))
+        u_mod = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u_mod2 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 60))
+        aligned = align(
+            History.of(u_first, u_mod), [Replace(2, u_mod2)]
+        )
+        trimmed, dropped = aligned.trim_prefix()
+        assert dropped == 1  # prefix before first modified is trimmed...
+        # ...but compute on the untrimmed pair to exercise the pushdown:
+        conditions = compute_data_slicing(aligned, schemas())
+        expected = simplify(or_(ge(col("P"), 50), ge(col("P"), 60)))
+        assert conditions.for_original["R"] == expected
+
+    def test_pushdown_substitutes_updated_attribute(self):
+        """A condition over an updated attribute picks up the conditional
+        update expression."""
+        u_first = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u_mod = UpdateStatement("R", {"k": lit(0)}, ge(col("F"), 10))
+        u_mod2 = UpdateStatement("R", {"k": lit(0)}, ge(col("F"), 20))
+        aligned = align(History.of(u_first, u_mod), [Replace(2, u_mod2)])
+        conditions = compute_data_slicing(aligned, schemas())
+        condition = conditions.for_original["R"]
+        # a tuple with P>=50 has F set to 0, so it cannot satisfy F>=10
+        assert evaluate(condition, {"k": 1, "P": 60, "F": 99}) is False
+        assert evaluate(condition, {"k": 1, "P": 10, "F": 15}) is True
+
+
+class TestPushThroughQuery:
+    def test_scan(self):
+        assert push_condition_through_query(
+            ge(col("a"), 1), "R", RelScan("R"), {}
+        ) == ge(col("a"), 1)
+        assert (
+            push_condition_through_query(TRUE, "R", RelScan("S"), {}) is None
+        )
+
+    def test_select_conjoins(self):
+        query = Select(RelScan("R"), ge(col("a"), 5))
+        pushed = push_condition_through_query(
+            ge(col("b"), 1), "R", query, {"R": Schema.of("a", "b")}
+        )
+        assert evaluate(pushed, {"a": 6, "b": 2}) is True
+        assert evaluate(pushed, {"a": 1, "b": 2}) is False
+
+    def test_project_substitutes(self):
+        query = Project(RelScan("R"), ((col("a") + 1, "b"),))
+        pushed = push_condition_through_query(
+            ge(col("b"), 5), "R", query, {"R": Schema.of("a")}
+        )
+        assert evaluate(pushed, {"a": 4}) is True
+        assert evaluate(pushed, {"a": 3}) is False
+
+    def test_union_disjunction(self):
+        query = Union(
+            Select(RelScan("R"), ge(col("a"), 5)),
+            Select(RelScan("R"), le(col("a"), 1)),
+        )
+        pushed = push_condition_through_query(
+            TRUE, "R", query, {"R": Schema.of("a")}
+        )
+        assert evaluate(pushed, {"a": 6}) is True
+        assert evaluate(pushed, {"a": 0}) is True
+        assert evaluate(pushed, {"a": 3}) is False
+
+    def test_singleton_contributes_nothing(self):
+        query = Union(RelScan("R"), Singleton(Schema.of("a"), (1,)))
+        pushed = push_condition_through_query(
+            ge(col("a"), 5), "R", query, {"R": Schema.of("a")}
+        )
+        assert pushed == ge(col("a"), 5)
+
+    def test_join_pushes_side_conjuncts(self):
+        from repro.relational.algebra import Join
+
+        query = Join(
+            RelScan("R"), RelScan("S"), eq(col("a"), col("c"))
+        )
+        schemas_map = {"R": Schema.of("a", "b"), "S": Schema.of("c")}
+        pushed = push_condition_through_query(
+            ge(col("a"), 5), "R", query, schemas_map
+        )
+        # the single-side conjunct a>=5 is pushable to R
+        assert evaluate(pushed, {"a": 6, "b": 0}) is True
+        assert evaluate(pushed, {"a": 4, "b": 0}) is False
+
+
+class TestTheorem2EndToEnd:
+    ROWS = [(i, i * 10, i) for i in range(1, 11)]
+
+    def test_update_modification(self):
+        u = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u2 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 70))
+        downstream = UpdateStatement(
+            "R", {"F": col("F") + 1}, le(col("P"), 60)
+        )
+        aligned = align(History.of(u, downstream), [Replace(1, u2)])
+        conditions = check_theorem2(db_with(self.ROWS), aligned)
+        assert "R" in conditions.for_original
+
+    def test_delete_modification(self):
+        d = DeleteStatement("R", ge(col("P"), 80))
+        d2 = DeleteStatement("R", ge(col("P"), 50))
+        downstream = UpdateStatement("R", {"F": col("F") * 2}, TRUE)
+        aligned = align(History.of(d, downstream), [Replace(1, d2)])
+        check_theorem2(db_with(self.ROWS), aligned)
+
+    def test_multiple_modifications(self):
+        u1 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u1b = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 70))
+        u2 = UpdateStatement("R", {"F": col("F") + 3}, le(col("P"), 40))
+        u2b = UpdateStatement("R", {"F": col("F") + 3}, le(col("P"), 20))
+        aligned = align(
+            History.of(u1, u2), [Replace(1, u1b), Replace(2, u2b)]
+        )
+        check_theorem2(db_with(self.ROWS), aligned)
+
+    def test_insert_query_modification(self):
+        """Modifying an INSERT ... SELECT: sources get pushed conditions."""
+        iq = InsertQuery(
+            "R",
+            Project(
+                Select(RelScan("R"), ge(col("P"), 90)),
+                ((col("k") + 100, "k"), (col("P"), "P"), (col("F"), "F")),
+            ),
+        )
+        iq2 = InsertQuery(
+            "R",
+            Project(
+                Select(RelScan("R"), ge(col("P"), 80)),
+                ((col("k") + 100, "k"), (col("P"), "P"), (col("F"), "F")),
+            ),
+        )
+        aligned = align(History.of(iq), [Replace(1, iq2)])
+        check_theorem2(db_with(self.ROWS), aligned)
+
+    def test_filtering_actually_filters(self):
+        """The injected selection must reduce the reenacted input."""
+        u = UpdateStatement("R", {"F": lit(0)}, eq(col("P"), 10))
+        u2 = UpdateStatement("R", {"F": lit(0)}, eq(col("P"), 20))
+        aligned = align(History.of(u), [Replace(1, u2)])
+        conditions = compute_data_slicing(aligned, {"R": SCHEMA})
+        relation = db_with(self.ROWS)["R"]
+        kept = relation.filter(conditions.for_original["R"])
+        assert len(kept) == 2  # only P=10 and P=20 rows

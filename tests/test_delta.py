@@ -1,0 +1,96 @@
+"""Tests for database deltas and the delta query (Sections 3-4)."""
+
+import pytest
+
+from repro import Database, Relation, Schema
+from repro.core.delta import DatabaseDelta, RelationDelta, delta_query
+from repro.relational.algebra import RelScan, evaluate_query
+
+
+def rel(rows):
+    return Relation.from_rows(Schema.of("k", "v"), rows)
+
+
+class TestRelationDelta:
+    def test_between(self):
+        delta = RelationDelta.between(rel([(1, 10), (2, 20)]), rel([(2, 20), (3, 30)]))
+        assert delta.removed == {(1, 10)}
+        assert delta.added == {(3, 30)}
+        assert len(delta) == 2
+
+    def test_empty(self):
+        delta = RelationDelta.between(rel([(1, 1)]), rel([(1, 1)]))
+        assert delta.is_empty()
+
+    def test_annotated_rows_order(self):
+        delta = RelationDelta.between(rel([(1, 1)]), rel([(2, 2)]))
+        rows = list(delta.annotated_rows())
+        assert rows[0][0] == "-" and rows[1][0] == "+"
+
+    def test_equality_ignores_schema_types(self):
+        typed = Schema.of("k", "v", types=["int", "int"])
+        untyped = Schema.of("k", "v")
+        a = RelationDelta(typed, frozenset({(1, 1)}), frozenset())
+        b = RelationDelta(untyped, frozenset({(1, 1)}), frozenset())
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_contents(self):
+        a = RelationDelta(Schema.of("k"), frozenset({(1,)}), frozenset())
+        b = RelationDelta(Schema.of("k"), frozenset(), frozenset({(1,)}))
+        assert a != b
+
+    def test_pretty(self):
+        delta = RelationDelta.between(rel([(1, 1)]), rel([]))
+        assert "- (1, 1)" in delta.pretty()
+        assert RelationDelta.between(rel([]), rel([])).pretty() == "(empty delta)"
+
+
+class TestDatabaseDelta:
+    def test_between_drops_empty_relations(self):
+        a = Database({"R": rel([(1, 1)]), "S": rel([(9, 9)])})
+        b = Database({"R": rel([(2, 2)]), "S": rel([(9, 9)])})
+        delta = DatabaseDelta.between(a, b)
+        assert "R" in delta and "S" not in delta
+        assert len(delta) == 2
+
+    def test_between_handles_missing_relations(self):
+        a = Database({"R": rel([(1, 1)])})
+        b = Database({})
+        delta = DatabaseDelta.between(a, b)
+        assert delta["R"].removed == {(1, 1)}
+
+    def test_is_empty(self):
+        a = Database({"R": rel([(1, 1)])})
+        assert DatabaseDelta.between(a, a).is_empty()
+
+    def test_getitem_raises_for_unchanged(self):
+        a = Database({"R": rel([(1, 1)])})
+        delta = DatabaseDelta.between(a, a)
+        with pytest.raises(KeyError):
+            delta["R"]
+
+    def test_equality(self):
+        a = Database({"R": rel([(1, 1)])})
+        b = Database({"R": rel([(2, 2)])})
+        assert DatabaseDelta.between(a, b) == DatabaseDelta.between(a, b)
+        assert DatabaseDelta.between(a, b) != DatabaseDelta.between(b, a)
+
+    def test_pretty(self):
+        a = Database({"R": rel([(1, 1)])})
+        b = Database({"R": rel([(2, 2)])})
+        rendered = DatabaseDelta.between(a, b).pretty()
+        assert "Δ R" in rendered
+
+
+class TestDeltaQuery:
+    def test_delta_query_matches_direct_computation(self):
+        """The paper's Π(R_cur − R_mod) ∪ Π(R_mod − R_cur) query."""
+        current = Database({"cur": rel([(1, 10), (2, 20)]),
+                            "mod": rel([(2, 20), (3, 30)])})
+        query = delta_query(
+            Schema.of("k", "v"), RelScan("cur"), RelScan("mod")
+        )
+        result = evaluate_query(query, current)
+        assert set(result) == {(1, 10, "-"), (3, 30, "+")}
+        assert result.schema.attributes == ("k", "v", "_annotation")

@@ -1,0 +1,184 @@
+"""History equivalence checking tests (the paper's future-work item)."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.equivalence import (
+    EquivalenceVerdict,
+    check_history_equivalence,
+)
+from repro.relational.algebra import RelScan
+from repro.relational.expressions import and_, col, ge, le, lit
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+)
+
+SCHEMA = Schema.of("k", "P", "F")
+ROWS = [(i, i * 10, 5) for i in range(1, 11)]  # P in 10..100, F = 5
+
+
+def db_with(rows=ROWS):
+    return Database({"R": Relation.from_rows(SCHEMA, rows)})
+
+
+def window(low, high):
+    return and_(ge(col("P"), low), le(col("P"), high))
+
+
+class TestEquivalent:
+    def test_syntactic_identity(self):
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, window(10, 50))
+        )
+        result = check_history_equivalence(history, history, db_with())
+        assert result.is_equivalent
+
+    def test_reordered_independent_updates(self):
+        u_low = UpdateStatement("R", {"F": col("F") + 1}, window(10, 30))
+        u_high = UpdateStatement("R", {"F": col("F") + 2}, window(80, 100))
+        result = check_history_equivalence(
+            History.of(u_low, u_high), History.of(u_high, u_low), db_with()
+        )
+        assert result.is_equivalent
+
+    def test_noop_padding_is_equivalent(self):
+        u = UpdateStatement("R", {"F": lit(0)}, window(10, 50))
+        from repro.relational.statements import no_op
+
+        result = check_history_equivalence(
+            History.of(u), History.of(u, no_op("R")), db_with()
+        )
+        assert result.is_equivalent
+
+    def test_equivalence_via_data_constraints(self):
+        """Two different conditions that agree on every admitted tuple:
+        F is always 5, so 'F >= 5' and 'F >= 1' coincide on this data."""
+        u1 = UpdateStatement("R", {"P": col("P") + 1}, ge(col("F"), 5))
+        u2 = UpdateStatement("R", {"P": col("P") + 1}, ge(col("F"), 1))
+        result = check_history_equivalence(
+            History.of(u1), History.of(u2), db_with()
+        )
+        assert result.is_equivalent
+
+    def test_masked_update_equivalence(self):
+        """An update completely overwritten by a later unconditional
+        update is removable."""
+        masked = UpdateStatement("R", {"F": lit(3)}, window(10, 50))
+        overwrite = UpdateStatement("R", {"F": lit(9)}, window(0, 200))
+        with_masked = History.of(masked, overwrite)
+        without = History.of(overwrite)
+        result = check_history_equivalence(with_masked, without, db_with())
+        assert result.is_equivalent
+
+    def test_identical_inserts(self):
+        h1 = History.of(
+            InsertTuple("R", (99, 50, 5)),
+            UpdateStatement("R", {"F": lit(0)}, window(40, 60)),
+        )
+        h2 = History.of(
+            InsertTuple("R", (99, 50, 5)),
+            UpdateStatement("R", {"F": lit(0)}, window(40, 60)),
+        )
+        assert check_history_equivalence(h1, h2, db_with()).is_equivalent
+
+
+class TestDifferent:
+    def test_different_thresholds(self):
+        u1 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        u2 = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 60))
+        result = check_history_equivalence(
+            History.of(u1), History.of(u2), db_with()
+        )
+        assert result.verdict is EquivalenceVerdict.DIFFERENT
+        assert result.relation == "R"
+
+    def test_reordered_dependent_updates_differ(self):
+        set_zero = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        add_five = UpdateStatement("R", {"F": col("F") + 5}, ge(col("P"), 50))
+        result = check_history_equivalence(
+            History.of(set_zero, add_five),
+            History.of(add_five, set_zero),
+            db_with(),
+        )
+        assert result.verdict is EquivalenceVerdict.DIFFERENT
+
+    def test_different_inserted_tuples(self):
+        h1 = History.of(InsertTuple("R", (99, 50, 5)))
+        h2 = History.of(InsertTuple("R", (99, 50, 6)))
+        result = check_history_equivalence(h1, h2, db_with())
+        assert result.verdict is EquivalenceVerdict.DIFFERENT
+        assert result.witness is not None
+
+    def test_delete_vs_update(self):
+        delete = DeleteStatement("R", ge(col("P"), 90))
+        update = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 90))
+        result = check_history_equivalence(
+            History.of(delete), History.of(update), db_with()
+        )
+        assert result.verdict is EquivalenceVerdict.DIFFERENT
+
+    def test_different_lengths(self):
+        u = UpdateStatement("R", {"F": col("F") + 1}, window(10, 50))
+        result = check_history_equivalence(
+            History.of(u), History.of(u, u), db_with()
+        )
+        assert result.verdict is EquivalenceVerdict.DIFFERENT
+
+
+class TestUnknown:
+    def test_insert_query_yields_unknown(self):
+        h = History.of(InsertQuery("R", RelScan("R")))
+        result = check_history_equivalence(h, h, db_with())
+        assert result.verdict is EquivalenceVerdict.UNKNOWN
+
+    def test_nonlinear_arithmetic_yields_unknown_or_better(self):
+        quad = UpdateStatement(
+            "R", {"F": col("F") * col("F")}, window(10, 50)
+        )
+        other = UpdateStatement(
+            "R", {"F": col("F") * col("F")}, window(10, 60)
+        )
+        result = check_history_equivalence(
+            History.of(quad), History.of(other), db_with()
+        )
+        # must not claim equivalence for genuinely different histories
+        assert result.verdict is not EquivalenceVerdict.EQUIVALENT
+
+    def test_unknown_relation_rejected(self):
+        h = History.of(UpdateStatement("Z", {"x": lit(0)}))
+        with pytest.raises(KeyError):
+            check_history_equivalence(h, h, db_with())
+
+
+class TestSoundness:
+    def test_equivalent_verdicts_hold_on_the_database(self):
+        """Whenever EQUIVALENT is claimed, direct execution agrees."""
+        cases = [
+            (
+                History.of(
+                    UpdateStatement("R", {"F": col("F") + 1}, window(10, 30)),
+                    UpdateStatement("R", {"F": col("F") + 2}, window(80, 100)),
+                ),
+                History.of(
+                    UpdateStatement("R", {"F": col("F") + 2}, window(80, 100)),
+                    UpdateStatement("R", {"F": col("F") + 1}, window(10, 30)),
+                ),
+            ),
+            (
+                History.of(
+                    UpdateStatement("R", {"F": lit(3)}, window(10, 50)),
+                    UpdateStatement("R", {"F": lit(9)}, window(0, 200)),
+                ),
+                History.of(
+                    UpdateStatement("R", {"F": lit(9)}, window(0, 200))
+                ),
+            ),
+        ]
+        db = db_with()
+        for h1, h2 in cases:
+            result = check_history_equivalence(h1, h2, db)
+            if result.is_equivalent:
+                assert h1.execute(db).same_contents(h2.execute(db))

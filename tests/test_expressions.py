@@ -1,0 +1,251 @@
+"""Unit tests for the expression language (Figure 7)."""
+
+import pytest
+
+from repro.relational.expressions import (
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    EvaluationError,
+    FALSE,
+    If,
+    IsNull,
+    Logic,
+    Not,
+    TRUE,
+    Var,
+    and_,
+    attributes_of,
+    conjuncts_of,
+    disjuncts_of,
+    eq,
+    evaluate,
+    expr_size,
+    ge,
+    gt,
+    if_,
+    le,
+    lit,
+    lt,
+    neq,
+    not_,
+    or_,
+    rename_attributes,
+    simplify,
+    substitute,
+    substitute_attributes,
+    to_string,
+    variables_of,
+    is_condition,
+    col,
+)
+
+
+class TestConstruction:
+    def test_const_rejects_nested_expression(self):
+        with pytest.raises(TypeError):
+            Const(Attr("x"))
+
+    def test_arith_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Arith("%", lit(1), lit(2))
+
+    def test_cmp_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Cmp("~", lit(1), lit(2))
+
+    def test_logic_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Logic("xor", TRUE, FALSE)
+
+    def test_operator_overloads_build_nodes(self):
+        expr = col("a") + 1
+        assert expr == Arith("+", Attr("a"), Const(1))
+        assert (col("a") * 2).op == "*"
+        assert (3 - col("a")).left == Const(3)
+
+    def test_nary_helpers(self):
+        assert and_() == TRUE
+        assert or_() == FALSE
+        assert and_(TRUE) == TRUE
+        three = and_(eq(col("a"), 1), eq(col("b"), 2), eq(col("c"), 3))
+        assert len(conjuncts_of(three)) == 3
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert evaluate(lit(5)) == 5
+
+    def test_attribute_lookup(self):
+        assert evaluate(col("a"), {"a": 7}) == 7
+
+    def test_unbound_reference_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(col("missing"), {})
+
+    def test_var_lookup(self):
+        assert evaluate(Var("x"), {"x": 3}) == 3
+
+    @pytest.mark.parametrize(
+        "op,expected", [("+", 9), ("-", 5), ("*", 14), ("/", 3.5)]
+    )
+    def test_arithmetic(self, op, expected):
+        assert evaluate(Arith(op, lit(7), lit(2))) == expected
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate(Arith("/", lit(1), lit(0))) is None
+
+    def test_null_propagates_through_arithmetic(self):
+        assert evaluate(Arith("+", lit(None), lit(2))) is None
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True),
+         (">", False), (">=", False)],
+    )
+    def test_comparisons(self, op, expected):
+        assert evaluate(Cmp(op, lit(1), lit(2))) is expected
+
+    def test_null_comparison_is_false(self):
+        assert evaluate(eq(lit(None), lit(None))) is False
+        assert evaluate(lt(lit(None), lit(5))) is False
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            evaluate(lt(lit("a"), lit(1)))
+
+    def test_logic_and_or_not(self):
+        assert evaluate(and_(TRUE, TRUE)) is True
+        assert evaluate(and_(TRUE, FALSE)) is False
+        assert evaluate(or_(FALSE, TRUE)) is True
+        assert evaluate(not_(FALSE)) is True
+
+    def test_isnull(self):
+        assert evaluate(IsNull(lit(None))) is True
+        assert evaluate(IsNull(lit(0))) is False
+
+    def test_conditional(self):
+        expr = if_(gt(col("a"), 0), lit("pos"), lit("neg"))
+        assert evaluate(expr, {"a": 5}) == "pos"
+        assert evaluate(expr, {"a": -5}) == "neg"
+
+    def test_string_equality(self):
+        assert evaluate(eq(col("c"), "UK"), {"c": "UK"}) is True
+        assert evaluate(eq(col("c"), "UK"), {"c": "US"}) is False
+
+
+class TestStructure:
+    def test_attributes_of(self):
+        expr = and_(eq(col("a"), col("b")), gt(col("a") + Var("v"), 1))
+        assert attributes_of(expr) == {"a", "b"}
+        assert variables_of(expr) == {"v"}
+
+    def test_expr_size(self):
+        assert expr_size(lit(1)) == 1
+        assert expr_size(eq(col("a"), 1)) == 3
+
+    def test_substitute_structural(self):
+        expr = eq(col("a") + 1, col("b"))
+        result = substitute(expr, {Attr("a"): Const(10)})
+        assert evaluate(result, {"b": 11}) is True
+
+    def test_substitute_is_simultaneous(self):
+        # a -> b and b -> a must swap, not chain
+        expr = Arith("+", col("a"), col("b"))
+        result = substitute(expr, {Attr("a"): Attr("b"), Attr("b"): Attr("a")})
+        assert result == Arith("+", Attr("b"), Attr("a"))
+
+    def test_substitute_attributes(self):
+        expr = ge(col("Fee"), 10)
+        replaced = substitute_attributes(
+            expr, {"Fee": if_(ge(col("P"), 50), lit(0), col("Fee"))}
+        )
+        assert evaluate(replaced, {"P": 60, "Fee": 99}) is False
+        assert evaluate(replaced, {"P": 10, "Fee": 12}) is True
+
+    def test_rename_attributes(self):
+        expr = eq(col("a"), col("b"))
+        renamed = rename_attributes(expr, {"a": "x"})
+        assert attributes_of(renamed) == {"x", "b"}
+
+    def test_conjuncts_and_disjuncts(self):
+        e = or_(eq(col("a"), 1), eq(col("a"), 2))
+        assert len(disjuncts_of(e)) == 2
+        assert disjuncts_of(lit(True)) == [TRUE]
+
+    def test_is_condition(self):
+        assert is_condition(eq(col("a"), 1))
+        assert is_condition(TRUE)
+        assert not is_condition(lit(5))
+        assert not is_condition(col("a") + 1)
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(Arith("+", lit(2), lit(3))) == Const(5)
+        assert simplify(eq(lit(2), lit(2))) == TRUE
+
+    def test_boolean_absorption(self):
+        phi = gt(col("a"), 1)
+        assert simplify(and_(phi, TRUE)) == phi
+        assert simplify(and_(phi, FALSE)) == FALSE
+        assert simplify(or_(phi, FALSE)) == phi
+        assert simplify(or_(phi, TRUE)) == TRUE
+
+    def test_idempotence(self):
+        phi = gt(col("a"), 1)
+        assert simplify(and_(phi, phi)) == phi
+        assert simplify(or_(phi, phi)) == phi
+
+    def test_double_negation(self):
+        phi = gt(col("a"), 1)
+        assert simplify(not_(not_(phi))) == phi
+
+    def test_negated_comparison_flips_operator(self):
+        assert simplify(not_(lt(col("a"), 1))) == ge(col("a"), 1)
+        assert simplify(not_(eq(col("a"), 1))) == neq(col("a"), 1)
+
+    def test_conditional_folding(self):
+        assert simplify(if_(TRUE, col("a"), col("b"))) == col("a")
+        assert simplify(if_(FALSE, col("a"), col("b"))) == col("b")
+        assert simplify(if_(gt(col("x"), 0), col("a"), col("a"))) == col("a")
+
+    def test_arithmetic_identities(self):
+        assert simplify(col("a") + 0) == col("a")
+        assert simplify(col("a") * 1) == col("a")
+        assert simplify(col("a") * 0) == Const(0)
+
+    def test_reflexive_comparison(self):
+        assert simplify(eq(col("a"), col("a"))) == TRUE
+        assert simplify(neq(col("a"), col("a"))) == FALSE
+
+    def test_simplify_preserves_semantics(self):
+        expr = and_(
+            or_(gt(col("a"), 1), FALSE),
+            not_(not_(le(col("b"), col("a") + 0))),
+        )
+        simplified = simplify(expr)
+        for a in (0, 1, 2):
+            for b in (0, 2, 5):
+                binding = {"a": a, "b": b}
+                assert evaluate(expr, binding) == evaluate(
+                    simplified, binding
+                )
+
+
+class TestRendering:
+    def test_string_literal_escaping(self):
+        assert to_string(lit("O'Hare")) == "'O''Hare'"
+
+    def test_null_and_booleans(self):
+        assert to_string(lit(None)) == "NULL"
+        assert to_string(TRUE) == "true"
+
+    def test_case_rendering(self):
+        rendered = to_string(if_(ge(col("P"), 50), lit(0), col("F")))
+        assert rendered.startswith("CASE WHEN")
+        assert "ELSE" in rendered and rendered.endswith("END")
+
+    def test_neq_renders_as_sql_diamond(self):
+        assert "<>" in to_string(neq(col("a"), 1))

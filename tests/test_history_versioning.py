@@ -1,0 +1,154 @@
+"""Unit tests for histories and the time-travel substrate."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema, VersionedDatabase
+from repro.relational.expressions import TRUE, col, ge, lit
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertTuple,
+    UpdateStatement,
+)
+from repro.relational.versioning import VersionError
+
+
+def make_db():
+    return Database(
+        {"R": Relation.from_rows(Schema.of("k", "v"), [(1, 10), (2, 20)])}
+    )
+
+
+def make_history():
+    return History.of(
+        UpdateStatement("R", {"v": col("v") + 1}, ge(col("v"), 20)),
+        InsertTuple("R", (3, 30)),
+        DeleteStatement("R", ge(col("v"), 30)),
+    )
+
+
+class TestHistory:
+    def test_execute(self):
+        result = make_history().execute(make_db())
+        assert set(result["R"]) == {(1, 10), (2, 21)}
+
+    def test_execute_with_snapshots(self):
+        snapshots = make_history().execute_with_snapshots(make_db())
+        assert len(snapshots) == 4
+        assert set(snapshots[0]["R"]) == {(1, 10), (2, 20)}
+        assert (3, 30) in snapshots[2]["R"]
+
+    def test_one_based_indexing(self):
+        history = make_history()
+        assert isinstance(history[1], UpdateStatement)
+        assert isinstance(history[3], DeleteStatement)
+        with pytest.raises(IndexError):
+            history[0]
+        with pytest.raises(IndexError):
+            history[4]
+
+    def test_prefix(self):
+        history = make_history()
+        assert len(history.prefix(0)) == 0
+        assert len(history.prefix(2)) == 2
+        with pytest.raises(IndexError):
+            history.prefix(9)
+
+    def test_slice_range(self):
+        history = make_history()
+        assert len(history.slice_range(2, 3)) == 2
+        with pytest.raises(IndexError):
+            history.slice_range(3, 2)
+
+    def test_subset_sorts_indices(self):
+        history = make_history()
+        subset = history.subset([3, 1])
+        assert isinstance(subset[1], UpdateStatement)
+        assert isinstance(subset[2], DeleteStatement)
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_history().subset([5])
+
+    def test_replace_insert_delete(self):
+        history = make_history()
+        replaced = history.replace(1, no := DeleteStatement("R", TRUE))
+        assert replaced[1] == no
+        inserted = history.insert_at(2, no)
+        assert len(inserted) == 4 and inserted[2] == no
+        deleted = history.delete_at(2)
+        assert len(deleted) == 2
+
+    def test_accessed_and_target_relations(self):
+        history = make_history()
+        assert history.accessed_relations() == {"R"}
+        assert history.target_relations() == {"R"}
+
+    def test_restrict_to_relation(self):
+        pairs = make_history().restrict_to_relation("R")
+        assert [p for p, _ in pairs] == [1, 2, 3]
+        assert make_history().restrict_to_relation("S") == []
+
+    def test_tuple_independence_flag(self):
+        assert make_history().is_tuple_independent()
+
+    def test_positions(self):
+        assert list(make_history().positions()) == [1, 2, 3]
+
+
+class TestVersionedDatabase:
+    def test_records_every_version(self):
+        versioned = VersionedDatabase(make_db())
+        versioned.execute_history(make_history())
+        assert versioned.version_count == 4
+
+    def test_time_travel_matches_snapshots(self):
+        db = make_db()
+        history = make_history()
+        snapshots = history.execute_with_snapshots(db)
+        versioned = VersionedDatabase.from_history(db, history)
+        for i, snapshot in enumerate(snapshots):
+            assert versioned.as_of(i).same_contents(snapshot)
+
+    def test_initial_and_current(self):
+        versioned = VersionedDatabase.from_history(make_db(), make_history())
+        assert versioned.initial().same_contents(make_db())
+        assert versioned.current.same_contents(
+            make_history().execute(make_db())
+        )
+
+    def test_version_out_of_range(self):
+        versioned = VersionedDatabase(make_db())
+        with pytest.raises(VersionError):
+            versioned.as_of(1)
+        with pytest.raises(VersionError):
+            versioned.as_of(-1)
+
+    def test_history_roundtrip(self):
+        history = make_history()
+        versioned = VersionedDatabase.from_history(make_db(), history)
+        assert versioned.history() == history
+
+    def test_history_since(self):
+        history = make_history()
+        versioned = VersionedDatabase.from_history(make_db(), history)
+        suffix = versioned.history_since(1)
+        assert len(suffix) == 2
+        # replaying the suffix from version 1 reproduces the final state
+        assert suffix.execute(versioned.as_of(1)).same_contents(
+            versioned.current
+        )
+
+    def test_versions_iterator(self):
+        versioned = VersionedDatabase.from_history(make_db(), make_history())
+        versions = list(versioned.versions())
+        assert [v for v, _ in versions] == [0, 1, 2, 3]
+
+    def test_snapshot_sharing_is_cheap(self):
+        """Untouched relations share storage between versions."""
+        db = make_db().with_relation(
+            "BIG",
+            Relation.from_rows(Schema.of("x"), [(i,) for i in range(1000)]),
+        )
+        versioned = VersionedDatabase(db)
+        versioned.execute(UpdateStatement("R", {"v": lit(0)}, TRUE))
+        assert versioned.as_of(0)["BIG"] is versioned.as_of(1)["BIG"]

@@ -1,0 +1,153 @@
+"""Tests for HWQ definitions, modification alignment and padding."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.hwq import (
+    AlignedHistories,
+    DeleteStatementMod,
+    HistoricalWhatIfQuery,
+    InsertStatementMod,
+    ModificationError,
+    Replace,
+    align,
+)
+from repro.relational.expressions import TRUE, col, ge, lit
+from repro.relational.statements import (
+    DeleteStatement,
+    UpdateStatement,
+    is_no_op,
+)
+
+
+def u(n):
+    return UpdateStatement("R", {"v": lit(n)}, ge(col("v"), n))
+
+
+@pytest.fixture
+def history():
+    return History.of(u(1), u(2), u(3))
+
+
+class TestAlign:
+    def test_replace(self, history):
+        aligned = align(history, [Replace(2, u(99))])
+        assert len(aligned) == 3
+        assert aligned.modified[2] == u(99)
+        assert aligned.modified_positions == (2,)
+
+    def test_delete_pads_with_noop(self, history):
+        aligned = align(history, [DeleteStatementMod(3)])
+        assert len(aligned) == 3
+        assert is_no_op(aligned.modified[3])
+        assert aligned.original[3] == u(3)
+
+    def test_insert_pads_original_with_noop(self, history):
+        aligned = align(history, [InsertStatementMod(2, u(50))])
+        assert len(aligned) == 4
+        assert is_no_op(aligned.original[2])
+        assert aligned.modified[2] == u(50)
+        assert aligned.original[3] == aligned.modified[3] == u(2)
+
+    def test_append_via_insert_at_n_plus_1(self, history):
+        aligned = align(history, [InsertStatementMod(4, u(50))])
+        assert aligned.modified[4] == u(50)
+
+    def test_paper_example_replace_plus_delete(self, history):
+        """M = (u1 <- u1', del(3)) gives H[M] = u1', u2 (Section 3)."""
+        aligned = align(
+            history, [Replace(1, u(99)), DeleteStatementMod(3)]
+        )
+        effective = [
+            s for s in aligned.modified.statements if not is_no_op(s)
+        ]
+        assert effective == [u(99), u(2)]
+
+    def test_multiple_inserts_same_position_stack_in_order(self, history):
+        aligned = align(
+            history,
+            [InsertStatementMod(1, u(50)), InsertStatementMod(1, u(60))],
+        )
+        assert aligned.modified[1] == u(50)
+        assert aligned.modified[2] == u(60)
+
+    def test_conflicting_modifications_rejected(self, history):
+        with pytest.raises(ModificationError):
+            align(history, [Replace(1, u(9)), DeleteStatementMod(1)])
+        with pytest.raises(ModificationError):
+            align(history, [Replace(1, u(9)), Replace(1, u(8))])
+
+    def test_position_bounds(self, history):
+        with pytest.raises(ModificationError):
+            align(history, [Replace(4, u(9))])
+        with pytest.raises(ModificationError):
+            align(history, [DeleteStatementMod(0)])
+        with pytest.raises(ModificationError):
+            align(history, [InsertStatementMod(5, u(9))])
+
+    def test_alignment_preserves_semantics(self, history):
+        """Executing the padded modified history equals executing the
+        unpadded one (no-ops change nothing)."""
+        db = Database(
+            {"R": Relation.from_rows(Schema.of("k", "v"), [(1, 5), (2, 7)])}
+        )
+        modifications = [Replace(1, u(4)), DeleteStatementMod(2),
+                         InsertStatementMod(3, u(6))]
+        aligned = align(history, modifications)
+        padded_result = aligned.modified.execute(db)
+        unpadded = History(
+            tuple(s for s in aligned.modified.statements if not is_no_op(s))
+        )
+        assert padded_result.same_contents(unpadded.execute(db))
+
+
+class TestAlignedHistories:
+    def test_length_mismatch_rejected(self, history):
+        with pytest.raises(ModificationError):
+            AlignedHistories(history, History.of(u(1)))
+
+    def test_trim_prefix(self, history):
+        aligned = align(history, [Replace(3, u(99))])
+        trimmed, dropped = aligned.trim_prefix()
+        assert dropped == 2
+        assert len(trimmed) == 1
+        assert trimmed.modified_positions == (1,)
+
+    def test_trim_prefix_noop_when_first_modified(self, history):
+        aligned = align(history, [Replace(1, u(99))])
+        trimmed, dropped = aligned.trim_prefix()
+        assert dropped == 0 and trimmed is aligned
+
+    def test_subset(self, history):
+        aligned = align(history, [Replace(2, u(99))])
+        subset = aligned.subset([2, 3])
+        assert len(subset) == 2
+        assert subset.modified[1] == u(99)
+
+    def test_pairs(self, history):
+        aligned = align(history, [Replace(2, u(99))])
+        triples = list(aligned.pairs())
+        assert triples[1] == (2, u(2), u(99))
+
+    def test_target_relations(self, history):
+        aligned = align(history, [Replace(2, u(99))])
+        assert aligned.target_relations_of_modifications() == {"R"}
+
+
+class TestHistoricalWhatIfQuery:
+    def test_requires_modifications(self, history):
+        db = Database({"R": Relation.from_rows(Schema.of("k", "v"), [])})
+        with pytest.raises(ModificationError):
+            HistoricalWhatIfQuery(history, db, ())
+
+    def test_validates_positions_eagerly(self, history):
+        db = Database({"R": Relation.from_rows(Schema.of("k", "v"), [])})
+        with pytest.raises(ModificationError):
+            HistoricalWhatIfQuery(history, db, (Replace(7, u(1)),))
+
+    def test_modified_history_drops_noops(self, history):
+        db = Database({"R": Relation.from_rows(Schema.of("k", "v"), [])})
+        query = HistoricalWhatIfQuery(
+            history, db, (DeleteStatementMod(2),)
+        )
+        assert len(query.modified_history()) == 2

@@ -1,0 +1,141 @@
+"""Insert splitting tests (Section 10)."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.hwq import ModificationError, Replace, align
+from repro.core.insert_split import can_split, split_inserts
+from repro.relational.algebra import RelScan
+from repro.relational.expressions import col, ge, lit
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+    is_no_op,
+)
+
+SCHEMA = Schema.of("k", "v")
+
+
+def db_with(rows):
+    return Database({"R": Relation.from_rows(SCHEMA, rows)})
+
+
+def schemas():
+    return {"R": SCHEMA}
+
+
+class TestCanSplit:
+    def test_updates_and_inserts_ok(self):
+        aligned = align(
+            History.of(
+                UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 5)),
+                InsertTuple("R", (9, 9)),
+            ),
+            [Replace(1, UpdateStatement("R", {"v": lit(1)}, ge(col("v"), 5)))],
+        )
+        assert can_split(aligned)
+
+    def test_insert_query_blocks(self):
+        aligned = align(
+            History.of(
+                InsertQuery("R", RelScan("R")),
+                UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 5)),
+            ),
+            [Replace(2, UpdateStatement("R", {"v": lit(1)}, ge(col("v"), 5)))],
+        )
+        assert not can_split(aligned)
+        with pytest.raises(ModificationError):
+            split_inserts(aligned, schemas())
+
+
+class TestSplitInserts:
+    def test_split_preserves_union_semantics(self):
+        """H(D) == H_noIns(D) ∪ H(∅) — the Section 10 equivalence."""
+        history = History.of(
+            InsertTuple("R", (9, 90)),
+            UpdateStatement("R", {"v": col("v") + 1}, ge(col("v"), 50)),
+            InsertTuple("R", (10, 100)),
+            DeleteStatement("R", ge(col("v"), 101)),
+        )
+        aligned = align(
+            history,
+            [Replace(2, UpdateStatement("R", {"v": col("v") + 2},
+                                        ge(col("v"), 50)))],
+        )
+        db = db_with([(1, 10), (2, 60)])
+        split = split_inserts(aligned, schemas())
+
+        for side, full_history in (
+            ("original", aligned.original),
+            ("modified", aligned.modified),
+        ):
+            without = (
+                split.without_inserts.original
+                if side == "original"
+                else split.without_inserts.modified
+            )
+            inserted = (
+                split.inserted_original
+                if side == "original"
+                else split.inserted_modified
+            )
+            combined = without.execute(db)["R"].union(inserted["R"])
+            direct = full_history.execute(db)["R"]
+            assert set(combined) == set(direct), side
+
+    def test_positions_preserved(self):
+        history = History.of(
+            InsertTuple("R", (9, 90)),
+            UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 50)),
+        )
+        aligned = align(
+            history,
+            [Replace(2, UpdateStatement("R", {"v": lit(1)},
+                                        ge(col("v"), 50)))],
+        )
+        split = split_inserts(aligned, schemas())
+        assert len(split.without_inserts) == len(aligned)
+        assert split.insert_positions == (1,)
+        assert is_no_op(split.without_inserts.original[1])
+
+    def test_inserted_side_flows_through_suffix(self):
+        """Inserted tuples are transformed by downstream statements."""
+        history = History.of(
+            InsertTuple("R", (9, 90)),
+            UpdateStatement("R", {"v": col("v") * 2}, ge(col("v"), 90)),
+        )
+        aligned = align(
+            history,
+            [Replace(2, UpdateStatement("R", {"v": col("v") * 3},
+                                        ge(col("v"), 90)))],
+        )
+        split = split_inserts(aligned, schemas())
+        assert set(split.inserted_original["R"]) == {(9, 180)}
+        assert set(split.inserted_modified["R"]) == {(9, 270)}
+
+    def test_modified_insert_value(self):
+        """Replacing an insert's tuple shows up on the inserted side."""
+        history = History.of(InsertTuple("R", (9, 90)))
+        aligned = align(history, [Replace(1, InsertTuple("R", (9, 95)))])
+        split = split_inserts(aligned, schemas())
+        assert set(split.inserted_original["R"]) == {(9, 90)}
+        assert set(split.inserted_modified["R"]) == {(9, 95)}
+        # both sides of the no-insert pair are no-ops now
+        assert is_no_op(split.without_inserts.original[1])
+        assert is_no_op(split.without_inserts.modified[1])
+
+    def test_no_inserts_is_identity(self):
+        history = History.of(
+            UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 50))
+        )
+        aligned = align(
+            history,
+            [Replace(1, UpdateStatement("R", {"v": lit(1)},
+                                        ge(col("v"), 50)))],
+        )
+        split = split_inserts(aligned, schemas())
+        assert split.insert_positions == ()
+        assert split.without_inserts.original == aligned.original
+        assert len(split.inserted_original["R"]) == 0

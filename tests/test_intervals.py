@@ -1,0 +1,96 @@
+"""Interval presolver tests, including agreement with the MILP path."""
+
+import pytest
+
+from repro.relational.parser import parse_expression
+from repro.solver import SolverConfig, check_satisfiable
+from repro.solver.intervals import IntervalOutcome, interval_presolve
+
+
+class TestPresolve:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("x >= 1 AND x <= 5", IntervalOutcome.SAT),
+            ("x >= 5 AND x <= 1", IntervalOutcome.UNSAT),
+            ("x > 3 AND x < 3", IntervalOutcome.UNSAT),
+            ("x > 3 AND x <= 3", IntervalOutcome.UNSAT),
+            ("x >= 3 AND x <= 3", IntervalOutcome.SAT),
+            ("x = 3 AND x != 3", IntervalOutcome.UNSAT),
+            ("x != 3 AND x >= 1 AND x <= 5", IntervalOutcome.SAT),
+            ("x = 3 AND x = 4", IntervalOutcome.UNSAT),
+            ("x >= 1 OR x <= 0", IntervalOutcome.SAT),
+            ("(x >= 5 AND x <= 1) OR (y > 2 AND y < 2)", IntervalOutcome.UNSAT),
+            ("NOT (x >= 1)", IntervalOutcome.SAT),
+            ("NOT (x >= 1 OR x < 1)", IntervalOutcome.UNSAT),
+            ("c = 'UK' AND c = 'US'", IntervalOutcome.UNSAT),
+            ("c = 'UK' AND c != 'UK'", IntervalOutcome.UNSAT),
+            ("c = 'UK' AND c != 'US'", IntervalOutcome.SAT),
+            ("5 <= x AND 9 >= x", IntervalOutcome.SAT),   # mirrored atoms
+            ("10 < x AND x < 5", IntervalOutcome.UNSAT),
+            ("true", IntervalOutcome.SAT),
+            ("false", IntervalOutcome.UNSAT),
+        ],
+    )
+    def test_decidable_formulas(self, source, expected):
+        assert interval_presolve(parse_expression(source)) is expected
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x + y >= 3 AND x <= 0",          # non-atomic arithmetic
+            "a = b AND a != b",               # var-to-var comparison
+            "x * 2 = 6",                      # expression atom
+            "c = 'UK' AND c >= 5",            # mixed string/numeric facts
+        ],
+    )
+    def test_inconclusive_falls_through(self, source):
+        assert (
+            interval_presolve(parse_expression(source))
+            is IntervalOutcome.UNKNOWN
+        )
+
+    def test_point_interval_with_exclusion_order_independent(self):
+        # exclusion seen before the bounds must still kill the box
+        assert (
+            interval_presolve(parse_expression("x != 3 AND x = 3"))
+            is IntervalOutcome.UNSAT
+        )
+
+    def test_residual_disjunct_does_not_block_unsat_of_others(self):
+        # first disjunct provably empty, second residual -> UNKNOWN overall
+        formula = parse_expression("(x >= 5 AND x <= 1) OR a + b = 3")
+        assert interval_presolve(formula) is IntervalOutcome.UNKNOWN
+
+
+class TestAgreementWithMILP:
+    CASES = [
+        "x >= 1 AND x <= 5",
+        "x >= 5 AND x <= 1",
+        "x = 3 AND x != 3",
+        "(x >= 5 AND x <= 1) OR (y >= 0 AND y <= 1)",
+        "c = 'UK' AND c = 'US'",
+        "NOT (x >= 1 OR x < 1)",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_presolve_matches_milp(self, source):
+        formula = parse_expression(source)
+        with_presolve = check_satisfiable(
+            formula, SolverConfig(use_interval_presolve=True)
+        )
+        without = check_satisfiable(
+            formula, SolverConfig(use_interval_presolve=False)
+        )
+        assert with_presolve.status == without.status
+
+    def test_presolve_speeds_up_window_checks(self):
+        """The presolver must decide a typical dependency-check formula
+        (disjoint windows) without compiling a model."""
+        formula = parse_expression(
+            "(P >= 10 AND P <= 30 OR P >= 10 AND P <= 40)"
+            " AND P >= 80 AND P <= 95"
+        )
+        result = check_satisfiable(formula)
+        assert result.is_unsat
+        assert result.model_stats is None  # never reached the compiler

@@ -1,0 +1,210 @@
+"""Additional edge-case coverage across modules."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core import (
+    DatabaseDelta,
+    HistoricalWhatIfQuery,
+    Mahif,
+    Method,
+    Replace,
+)
+from repro.relational.expressions import (
+    IsNull,
+    and_,
+    col,
+    eq,
+    ge,
+    le,
+    lit,
+    not_,
+)
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertTuple,
+    UpdateStatement,
+)
+
+SCHEMA = Schema.of("k", "P", "F")
+
+
+class TestNullHandling:
+    def test_nulls_flow_through_histories(self):
+        db = Database(
+            {"R": Relation.from_rows(SCHEMA, [(1, None, 5), (2, 60, None)])}
+        )
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50)),
+        )
+        result = history.execute(db)
+        # NULL price fails the comparison: untouched
+        assert (1, None, 5) in result["R"]
+        assert (2, 60, 0) in result["R"]
+
+    def test_isnull_condition_in_history(self):
+        db = Database(
+            {"R": Relation.from_rows(SCHEMA, [(1, None, 5), (2, 60, 3)])}
+        )
+        history = History.of(
+            DeleteStatement("R", IsNull(col("P"))),
+        )
+        assert set(history.execute(db)["R"]) == {(2, 60, 3)}
+
+    def test_engine_on_null_data_all_methods_agree(self):
+        db = Database(
+            {"R": Relation.from_rows(
+                SCHEMA, [(1, None, 5), (2, 60, 3), (3, 40, None)]
+            )}
+        )
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50)),
+            DeleteStatement("R", IsNull(col("F"))),
+        )
+        query = HistoricalWhatIfQuery(
+            history,
+            db,
+            (Replace(1, UpdateStatement("R", {"F": lit(0)},
+                                        ge(col("P"), 30))),),
+        )
+        direct = DatabaseDelta.between(
+            history.execute(db), query.aligned().modified.execute(db)
+        )
+        for method in Method:
+            assert Mahif().answer(query, method).delta == direct, method
+        # the IS NULL statement makes symbolic checks UNKNOWN -> it must
+        # be kept, conservatively, and results stay correct
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_database(self):
+        db = Database({"R": Relation.empty(SCHEMA)})
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50)),
+        )
+        query = HistoricalWhatIfQuery(
+            history,
+            db,
+            (Replace(1, UpdateStatement("R", {"F": lit(1)},
+                                        ge(col("P"), 50))),),
+        )
+        for method in Method:
+            assert Mahif().answer(query, method).delta.is_empty()
+
+    def test_single_statement_history(self):
+        db = Database({"R": Relation.from_rows(SCHEMA, [(1, 60, 5)])})
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50)),
+        )
+        query = HistoricalWhatIfQuery(
+            history, db,
+            (Replace(1, DeleteStatement("R", ge(col("P"), 50))),),
+        )
+        direct = DatabaseDelta.between(
+            history.execute(db), query.aligned().modified.execute(db)
+        )
+        for method in Method:
+            assert Mahif().answer(query, method).delta == direct
+
+    def test_unconditional_statements(self):
+        db = Database({"R": Relation.from_rows(SCHEMA, [(1, 10, 5), (2, 20, 6)])})
+        history = History.of(
+            UpdateStatement("R", {"F": lit(0)}),  # no WHERE: applies to all
+        )
+        query = HistoricalWhatIfQuery(
+            history, db,
+            (Replace(1, UpdateStatement("R", {"F": lit(1)})),),
+        )
+        direct = DatabaseDelta.between(
+            history.execute(db), query.aligned().modified.execute(db)
+        )
+        for method in Method:
+            assert Mahif().answer(query, method).delta == direct
+
+    def test_modification_identical_to_original(self):
+        db = Database({"R": Relation.from_rows(SCHEMA, [(1, 60, 5)])})
+        u = UpdateStatement("R", {"F": lit(0)}, ge(col("P"), 50))
+        query = HistoricalWhatIfQuery(History.of(u), db, (Replace(1, u),))
+        for method in Method:
+            assert Mahif().answer(query, method).delta.is_empty()
+
+
+class TestStringConditions:
+    def test_string_predicates_through_the_engine(self):
+        schema = Schema.of("k", "Country", "Fee")
+        db = Database(
+            {"R": Relation.from_rows(
+                schema,
+                [(1, "UK", 5), (2, "US", 5), (3, "DE", 5), (4, "UK", 9)],
+            )}
+        )
+        history = History.of(
+            UpdateStatement("R", {"Fee": lit(0)}, eq(col("Country"), "UK")),
+            UpdateStatement(
+                "R", {"Fee": col("Fee") + 1}, eq(col("Country"), "DE")
+            ),
+        )
+        query = HistoricalWhatIfQuery(
+            history,
+            db,
+            (Replace(1, UpdateStatement("R", {"Fee": lit(0)},
+                                        eq(col("Country"), "US"))),),
+        )
+        direct = DatabaseDelta.between(
+            history.execute(db), query.aligned().modified.execute(db)
+        )
+        results = {}
+        for method in Method:
+            result = Mahif().answer(query, method)
+            assert result.delta == direct, method
+            results[method] = result
+        # the DE update is provably independent (different country)
+        kept = results[Method.R_PS_DS].slice_result.kept_positions
+        assert 2 not in kept
+
+
+class TestLargerComposites:
+    def test_long_history_many_modification_types(self):
+        rows = [(i, i * 5, i % 7) for i in range(1, 41)]
+        db = Database({"R": Relation.from_rows(SCHEMA, rows)})
+        statements = []
+        for i in range(10):
+            low = 5 + i * 15
+            statements.append(
+                UpdateStatement(
+                    "R",
+                    {"F": col("F") + (1 if i % 2 else -1)},
+                    and_(ge(col("P"), low), le(col("P"), low + 25)),
+                )
+            )
+        statements.insert(3, InsertTuple("R", (100, 77, 1)))
+        statements.insert(7, DeleteStatement("R", ge(col("P"), 190)))
+        history = History(tuple(statements))
+        from repro.core import DeleteStatementMod, InsertStatementMod
+
+        query = HistoricalWhatIfQuery(
+            history,
+            db,
+            (
+                Replace(
+                    1,
+                    UpdateStatement(
+                        "R", {"F": col("F") + 2},
+                        and_(ge(col("P"), 5), le(col("P"), 45)),
+                    ),
+                ),
+                DeleteStatementMod(5),
+                InsertStatementMod(
+                    9,
+                    UpdateStatement(
+                        "R", {"F": lit(3)},
+                        and_(ge(col("P"), 10), le(col("P"), 20)),
+                    ),
+                ),
+            ),
+        )
+        direct = DatabaseDelta.between(
+            history.execute(db), query.aligned().modified.execute(db)
+        )
+        for method in Method:
+            assert Mahif().answer(query, method).delta == direct, method

@@ -1,0 +1,87 @@
+"""Naive algorithm tests (Algorithm 1)."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.delta import DatabaseDelta
+from repro.core.hwq import HistoricalWhatIfQuery, Replace
+from repro.core.naive import naive_what_if
+from repro.relational.expressions import col, ge, lit
+from repro.relational.statements import UpdateStatement
+
+SCHEMA = Schema.of("k", "v")
+
+
+def make_query(rows, history_statements, modification):
+    db = Database({"R": Relation.from_rows(SCHEMA, rows)})
+    history = History(tuple(history_statements))
+    return HistoricalWhatIfQuery(history, db, (modification,)), db, history
+
+
+class TestNaive:
+    def test_matches_direct_delta(self):
+        query, db, history = make_query(
+            [(1, 10), (2, 60)],
+            [UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 50))],
+            Replace(1, UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 5))),
+        )
+        result = naive_what_if(query)
+        modified = query.aligned().modified.execute(db)
+        current = history.execute(db)
+        assert result.delta == DatabaseDelta.between(current, modified)
+
+    def test_phase_timings_populated(self):
+        query, _, _ = make_query(
+            [(1, 10)],
+            [UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 5))],
+            Replace(1, UpdateStatement("R", {"v": lit(1)}, ge(col("v"), 5))),
+        )
+        result = naive_what_if(query)
+        assert result.creation_seconds >= 0
+        assert result.execution_seconds >= 0
+        assert result.delta_seconds >= 0
+        assert result.total_seconds == pytest.approx(
+            result.creation_seconds
+            + result.execution_seconds
+            + result.delta_seconds
+        )
+
+    def test_prefix_trimming_uses_time_travel(self):
+        """A modification late in the history replays only the suffix,
+        starting from the version before it (Section 4's WLOG)."""
+        statements = [
+            UpdateStatement("R", {"v": col("v") + 1}, ge(col("v"), 0)),
+            UpdateStatement("R", {"v": col("v") * 2}, ge(col("v"), 50)),
+        ]
+        query, db, history = make_query(
+            [(1, 10), (2, 60)],
+            statements,
+            Replace(2, UpdateStatement("R", {"v": col("v") * 3},
+                                       ge(col("v"), 50))),
+        )
+        result = naive_what_if(query)
+        # direct computation for cross-check
+        current = history.execute(db)
+        modified = query.aligned().modified.execute(db)
+        assert result.delta == DatabaseDelta.between(current, modified)
+        assert len(result.delta) == 2  # tuple 2 differs (122 vs 183)
+
+    def test_accepts_precomputed_current_state(self):
+        query, db, history = make_query(
+            [(1, 10), (2, 60)],
+            [UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 50))],
+            Replace(1, UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 5))),
+        )
+        current = history.execute(db)
+        result = naive_what_if(query, current_state=current)
+        assert not result.delta.is_empty()
+
+    def test_empty_delta_when_modification_is_equivalent(self):
+        same = UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 50))
+        # replace with a syntactically different but equivalent condition
+        equivalent = UpdateStatement(
+            "R", {"v": lit(0)}, ge(col("v") + 0, 50)
+        )
+        query, _, _ = make_query([(1, 10), (2, 60)], [same],
+                                 Replace(1, equivalent))
+        assert naive_what_if(query).delta.is_empty()

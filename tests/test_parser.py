@@ -1,0 +1,187 @@
+"""Unit tests for the SQL-ish parser."""
+
+import pytest
+
+from repro.relational.algebra import Project, RelScan, Select
+from repro.relational.expressions import (
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    If,
+    IsNull,
+    Logic,
+    Not,
+    TRUE,
+    evaluate,
+)
+from repro.relational.parser import (
+    ParseError,
+    parse_expression,
+    parse_history,
+    parse_statement,
+    tokenize,
+)
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+)
+
+
+class TestTokenizer:
+    def test_numbers_strings_names(self):
+        tokens = tokenize("x >= 1.5 AND name = 'O''Hare'")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["name", "op", "number", "keyword", "name", "op",
+                         "string", "eof"]
+
+    def test_rejects_junk(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("UpDaTe")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].text == "update"
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic_over_comparison(self):
+        expr = parse_expression("a + 1 >= b * 2")
+        assert isinstance(expr, Cmp)
+        assert isinstance(expr.left, Arith)
+        assert isinstance(expr.right, Arith)
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, Logic) and expr.op == "or"
+        assert isinstance(expr.right, Logic) and expr.right.op == "and"
+
+    def test_parentheses(self):
+        expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, Not)
+
+    def test_diamond_not_equal(self):
+        assert parse_expression("a <> 1") == Cmp("!=", Attr("a"), Const(1))
+        assert parse_expression("a != 1") == Cmp("!=", Attr("a"), Const(1))
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse_expression("a IS NULL"), IsNull)
+        expr = parse_expression("a IS NOT NULL")
+        assert isinstance(expr, Not) and isinstance(expr.operand, IsNull)
+
+    def test_between_desugars(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert evaluate(expr, {"a": 3}) is True
+        assert evaluate(expr, {"a": 7}) is False
+
+    def test_not_between(self):
+        expr = parse_expression("a NOT BETWEEN 1 AND 5")
+        assert evaluate(expr, {"a": 7}) is True
+
+    def test_in_list_desugars(self):
+        expr = parse_expression("c IN ('UK', 'US')")
+        assert evaluate(expr, {"c": "UK"}) is True
+        assert evaluate(expr, {"c": "DE"}) is False
+
+    def test_not_in(self):
+        expr = parse_expression("c NOT IN (1, 2)")
+        assert evaluate(expr, {"c": 3}) is True
+
+    def test_case_expression(self):
+        expr = parse_expression(
+            "CASE WHEN a >= 1 THEN 10 WHEN a >= 0 THEN 5 ELSE 0 END"
+        )
+        assert evaluate(expr, {"a": 2}) == 10
+        assert evaluate(expr, {"a": 0.5}) == 5
+        assert evaluate(expr, {"a": -1}) == 0
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_unary_minus(self):
+        assert parse_expression("-5") == Const(-5)
+        expr = parse_expression("-a")
+        assert evaluate(expr, {"a": 3}) == -3
+
+    def test_float_and_int_literals(self):
+        assert parse_expression("1.5") == Const(1.5)
+        assert parse_expression("42") == Const(42)
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("true") == Const(True)
+        assert parse_expression("NULL") == Const(None)
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a = 1 b")
+
+    def test_string_escape(self):
+        assert parse_expression("'it''s'") == Const("it's")
+
+
+class TestStatementParsing:
+    def test_update(self):
+        stmt = parse_statement(
+            "UPDATE t SET a = a + 1, b = 0 WHERE a >= 5;"
+        )
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.relation == "t"
+        assert set(stmt.set_clauses) == {"a", "b"}
+
+    def test_update_without_where_is_unconditional(self):
+        stmt = parse_statement("UPDATE t SET a = 1")
+        assert stmt.condition == TRUE
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1;")
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.relation == "t"
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM t").condition == TRUE
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'x', 2.5, NULL);")
+        assert isinstance(stmt, InsertTuple)
+        assert stmt.values == (1, "x", 2.5, None)
+
+    def test_insert_values_negative_number(self):
+        stmt = parse_statement("INSERT INTO t VALUES (-3);")
+        assert stmt.values == (-3,)
+
+    def test_insert_values_rejects_expressions(self):
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO t VALUES (1 + 2);")
+
+    def test_insert_select_star(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM s WHERE a = 1;")
+        assert isinstance(stmt, InsertQuery)
+        assert isinstance(stmt.query, Select)
+        assert isinstance(stmt.query.input, RelScan)
+
+    def test_insert_select_projection(self):
+        stmt = parse_statement("INSERT INTO t SELECT a, b + 1 FROM s;")
+        assert isinstance(stmt.query, Project)
+        names = [name for _, name in stmt.query.outputs]
+        assert names[0] == "a"
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t;")
+
+    def test_history_script(self):
+        statements = parse_history(
+            "UPDATE t SET a = 1; DELETE FROM t WHERE a = 0;"
+        )
+        assert len(statements) == 2
+
+    def test_history_trailing_semicolon_optional(self):
+        assert len(parse_history("UPDATE t SET a = 1")) == 1

@@ -1,0 +1,130 @@
+"""Why-provenance tests."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core import HistoricalWhatIfQuery, Mahif, Method, Replace
+from repro.core.provenance import (
+    SourceTuple,
+    evaluate_with_provenance,
+    explain_delta,
+)
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from repro.relational.expressions import col, eq, ge, lit
+
+SCHEMA = Schema.of("k", "v")
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation.from_rows(SCHEMA, [(1, 10), (2, 20), (3, 30)]),
+            "S": Relation.from_rows(Schema.of("x"), [(2,), (3,)]),
+        }
+    )
+
+
+class TestEvaluateWithProvenance:
+    def test_scan_self_witness(self, db):
+        annotated = evaluate_with_provenance(RelScan("R"), db)
+        assert annotated.witnesses_of((1, 10)) == {SourceTuple("R", (1, 10))}
+
+    def test_selection_passes_witnesses(self, db):
+        annotated = evaluate_with_provenance(
+            Select(RelScan("R"), ge(col("v"), 20)), db
+        )
+        assert (1, 10) not in annotated.rows()
+        assert annotated.witnesses_of((2, 20)) == {SourceTuple("R", (2, 20))}
+
+    def test_projection_merges_witnesses(self, db):
+        # map every tuple to the same output: witnesses union
+        query = Project(RelScan("R"), ((lit(0), "z"),))
+        annotated = evaluate_with_provenance(query, db)
+        assert annotated.witnesses_of((0,)) == {
+            SourceTuple("R", (1, 10)),
+            SourceTuple("R", (2, 20)),
+            SourceTuple("R", (3, 30)),
+        }
+
+    def test_union_merges_sources(self, db):
+        query = Union(RelScan("R"), RelScan("R"))
+        annotated = evaluate_with_provenance(query, db)
+        assert annotated.witnesses_of((1, 10)) == {SourceTuple("R", (1, 10))}
+
+    def test_singleton_has_empty_witness(self, db):
+        query = Union(RelScan("R"), Singleton(SCHEMA, (9, 90)))
+        annotated = evaluate_with_provenance(query, db)
+        assert annotated.witnesses_of((9, 90)) == frozenset()
+
+    def test_difference_keeps_left_witnesses(self, db):
+        query = Difference(
+            RelScan("R"), Select(RelScan("R"), ge(col("v"), 20))
+        )
+        annotated = evaluate_with_provenance(query, db)
+        assert annotated.rows() == {(1, 10)}
+
+    def test_join_unions_witnesses(self, db):
+        query = Join(RelScan("R"), RelScan("S"), eq(col("k"), col("x")))
+        annotated = evaluate_with_provenance(query, db)
+        assert annotated.witnesses_of((2, 20, 2)) == {
+            SourceTuple("R", (2, 20)),
+            SourceTuple("S", (2,)),
+        }
+
+    def test_matches_plain_evaluation(self, db):
+        from repro.relational.algebra import evaluate_query
+
+        query = Project(
+            Select(RelScan("R"), ge(col("v"), 15)),
+            ((col("k"), "k"), (col("v") + 1, "v")),
+        )
+        annotated = evaluate_with_provenance(query, db)
+        assert annotated.rows() == set(evaluate_query(query, db))
+
+
+class TestExplainDelta:
+    def test_paper_example_explanation(self, orders_db, paper_history, u1_prime):
+        """The delta tuples of the running example trace back to Alex's
+        original order row."""
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif().answer(query, Method.R)
+        explanation = explain_delta(result, "Orders")
+        alex_source = SourceTuple("Orders", (12, "Alex", "UK", 50, 5))
+        assert explanation[(12, "Alex", "UK", 50, 5)] == {alex_source}
+        assert explanation[(12, "Alex", "UK", 50, 10)] == {alex_source}
+
+    def test_naive_result_rejected(self, orders_db, paper_history, u1_prime):
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif().answer(query, Method.NAIVE)
+        with pytest.raises(ValueError):
+            explain_delta(result, "Orders")
+
+    def test_unchanged_relation_yields_empty_explanation(
+        self, orders_db, paper_history, u1_prime
+    ):
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif().answer(query, Method.R)
+        assert explain_delta(result, "NoSuchRelation") == {}
+
+    def test_works_with_sliced_methods(self, orders_db, paper_history, u1_prime):
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif().answer(query, Method.R_PS_DS)
+        explanation = explain_delta(result, "Orders")
+        assert len(explanation) == 2

@@ -1,0 +1,163 @@
+"""Reenactment correctness (Definition 3): R_H(D) == H(D)."""
+
+import pytest
+
+from repro import Database, History, Relation, Schema
+from repro.core.reenactment import (
+    reenact_statement,
+    reenactment_queries,
+    reenactment_query,
+)
+from repro.relational.algebra import (
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+    evaluate_query,
+)
+from repro.relational.expressions import col, eq, ge, le, lit, and_
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+    no_op,
+)
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation.from_rows(
+                Schema.of("k", "v"), [(1, 10), (2, 20), (3, 30), (4, 40)]
+            ),
+            "S": Relation.from_rows(Schema.of("x", "y"), [(5, 50), (6, 60)]),
+        }
+    )
+
+
+def schemas_of(db):
+    return {n: db.schema_of(n) for n in db}
+
+
+class TestSingleStatement:
+    def test_update_becomes_conditional_projection(self, db):
+        stmt = UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 20))
+        query = reenact_statement(stmt, db.schema_of("R"))
+        assert isinstance(query, Project)
+        assert set(evaluate_query(query, db)) == set(stmt.apply(db)["R"])
+
+    def test_delete_becomes_negated_selection(self, db):
+        stmt = DeleteStatement("R", ge(col("v"), 20))
+        query = reenact_statement(stmt, db.schema_of("R"))
+        assert isinstance(query, Select)
+        assert set(evaluate_query(query, db)) == set(stmt.apply(db)["R"])
+
+    def test_insert_tuple_becomes_union_singleton(self, db):
+        stmt = InsertTuple("R", (9, 90))
+        query = reenact_statement(stmt, db.schema_of("R"))
+        assert isinstance(query, Union)
+        assert isinstance(query.right, Singleton)
+        assert set(evaluate_query(query, db)) == set(stmt.apply(db)["R"])
+
+    def test_insert_query_becomes_union_query(self, db):
+        inner = Project(RelScan("S"), ((col("x"), "k"), (col("y"), "v")))
+        stmt = InsertQuery("R", inner)
+        query = reenact_statement(stmt, db.schema_of("R"))
+        assert set(evaluate_query(query, db)) == set(stmt.apply(db)["R"])
+
+
+class TestHistoryReenactment:
+    @pytest.mark.parametrize(
+        "history",
+        [
+            History.of(
+                UpdateStatement("R", {"v": col("v") + 1}, ge(col("v"), 20)),
+                UpdateStatement("R", {"v": col("v") * 2}, le(col("v"), 21)),
+            ),
+            History.of(
+                UpdateStatement("R", {"v": lit(0)}, ge(col("v"), 20)),
+                DeleteStatement("R", eq(col("v"), 0)),
+                InsertTuple("R", (7, 70)),
+            ),
+            History.of(
+                InsertTuple("R", (7, 70)),
+                UpdateStatement("R", {"v": col("v") + 5}, ge(col("k"), 4)),
+                DeleteStatement("R", ge(col("v"), 70)),
+            ),
+            History.of(no_op("R"), no_op("R")),
+        ],
+        ids=["two-updates", "update-delete-insert", "insert-then-ops", "noops"],
+    )
+    def test_equivalence_single_relation(self, db, history):
+        query = reenactment_query(history, "R", schemas_of(db))
+        assert set(evaluate_query(query, db)) == set(history.execute(db)["R"])
+
+    def test_multi_relation_histories(self, db):
+        history = History.of(
+            UpdateStatement("R", {"v": col("v") + 1}, ge(col("v"), 20)),
+            UpdateStatement("S", {"y": col("y") - 1}, ge(col("y"), 50)),
+            DeleteStatement("R", ge(col("v"), 41)),
+        )
+        queries = reenactment_queries(history, schemas_of(db))
+        final = history.execute(db)
+        for name in ("R", "S"):
+            assert set(evaluate_query(queries[name], db)) == set(final[name])
+
+    def test_insert_query_sees_source_as_of_statement_time(self, db):
+        """I_Q must read the reenacted state of its sources (D_{i-1}),
+        not the base relation."""
+        history = History.of(
+            UpdateStatement("S", {"y": lit(99)}, eq(col("x"), 5)),
+            InsertQuery(
+                "R",
+                Project(
+                    Select(RelScan("S"), eq(col("y"), 99)),
+                    ((col("x"), "k"), (col("y"), "v")),
+                ),
+            ),
+        )
+        query = reenactment_query(history, "R", schemas_of(db))
+        expected = history.execute(db)["R"]
+        assert set(evaluate_query(query, db)) == set(expected)
+        assert (5, 99) in expected
+
+    def test_unknown_relation_raises(self, db):
+        history = History.of(UpdateStatement("Z", {"v": lit(0)}))
+        with pytest.raises(KeyError):
+            reenactment_queries(history, schemas_of(db))
+
+    def test_update_order_matters(self, db):
+        """Reenactment composes in history order (not commutative)."""
+        u_then_d = History.of(
+            UpdateStatement("R", {"v": lit(25)}, eq(col("v"), 10)),
+            DeleteStatement("R", eq(col("v"), 25)),
+        )
+        d_then_u = History.of(
+            DeleteStatement("R", eq(col("v"), 25)),
+            UpdateStatement("R", {"v": lit(25)}, eq(col("v"), 10)),
+        )
+        r1 = evaluate_query(
+            reenactment_query(u_then_d, "R", schemas_of(db)), db
+        )
+        r2 = evaluate_query(
+            reenactment_query(d_then_u, "R", schemas_of(db)), db
+        )
+        assert set(r1) != set(r2)
+
+    def test_paper_example3_structure(self, orders_db, paper_history):
+        """Example 3: the running example's reenactment query is three
+        nested conditional projections."""
+        query = reenactment_query(
+            paper_history, "Orders",
+            {n: orders_db.schema_of(n) for n in orders_db},
+        )
+        # Π(Π(Π(Orders))) — three projections over the base scan
+        assert isinstance(query, Project)
+        assert isinstance(query.input, Project)
+        assert isinstance(query.input.input, Project)
+        assert isinstance(query.input.input.input, RelScan)
+        result = evaluate_query(query, orders_db)
+        assert set(result) == set(paper_history.execute(orders_db)["Orders"])

@@ -1,0 +1,116 @@
+"""The paper's running example, end to end (Figures 1-4, Examples 1-9)."""
+
+import pytest
+
+from repro import (
+    Database,
+    HistoricalWhatIfQuery,
+    Mahif,
+    Method,
+    Relation,
+    Schema,
+)
+from repro.core import Replace
+from repro.core.data_slicing import compute_data_slicing
+from repro.core.hwq import align
+from repro.relational.expressions import col, evaluate, ge, or_, simplify
+from repro.relational.parser import parse_statement
+
+
+class TestRunningExample:
+    def test_figure3_original_history(self, orders_db, paper_history):
+        """Executing H over Figure 1 yields Figure 3."""
+        result = paper_history.execute(orders_db)["Orders"]
+        assert set(result) == {
+            (11, "Susan", "UK", 20, 8),
+            (12, "Alex", "UK", 50, 5),
+            (13, "Jack", "US", 60, 0),
+            (14, "Mark", "US", 30, 4),
+        }
+
+    def test_figure4_modified_history(self, orders_db, paper_history, u1_prime):
+        """Executing H[M] yields Figure 4 (Alex's fee 5 -> 10)."""
+        aligned = align(paper_history, [Replace(1, u1_prime)])
+        result = aligned.modified.execute(orders_db)["Orders"]
+        assert set(result) == {
+            (11, "Susan", "UK", 20, 8),
+            (12, "Alex", "UK", 50, 10),
+            (13, "Jack", "US", 60, 0),
+            (14, "Mark", "US", 30, 4),
+        }
+
+    @pytest.mark.parametrize("method", list(Method), ids=lambda m: m.value)
+    def test_example2_answer(self, orders_db, paper_history, u1_prime, method):
+        """Δ(H(D), H[M](D)) = {-o6, +o6'} for every method."""
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif().answer(query, method)
+        delta = result.delta["Orders"]
+        assert delta.removed == {(12, "Alex", "UK", 50, 5)}
+        assert delta.added == {(12, "Alex", "UK", 50, 10)}
+
+    def test_example_data_slicing_condition(self, paper_history, u1_prime):
+        """Section 6: the slicing condition for u1 <- u1' is
+        (Price >= 50) OR (Price >= 60), admitting only Alex and Jack."""
+        aligned = align(paper_history, [Replace(1, u1_prime)])
+        conditions = compute_data_slicing(
+            aligned,
+            {"Orders": Schema.of("ID", "Customer", "Country", "Price",
+                                 "ShippingFee")},
+        )
+        condition = conditions.for_original["Orders"]
+        expected = simplify(
+            or_(ge(col("Price"), 50), ge(col("Price"), 60))
+        )
+        assert condition == expected
+        rows = {
+            11: {"Price": 20}, 12: {"Price": 50},
+            13: {"Price": 60}, 14: {"Price": 30},
+        }
+        admitted = {
+            k for k, row in rows.items() if evaluate(condition, row)
+        }
+        assert admitted == {12, 13}
+
+    def test_program_slicing_drops_u3(self, orders_db, paper_history, u1_prime):
+        """u3 (discount for fee >= 10 and price <= 30) cannot interact
+        with the modification: no order is both cheap enough for u3 and
+        expensive enough for u1/u1'."""
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif().answer(query, Method.R_PS_DS)
+        kept = result.slice_result.kept_positions
+        assert 1 in kept and 2 in kept and 3 not in kept
+
+    def test_greedy_slicer_agrees(self, orders_db, paper_history, u1_prime):
+        from repro.core import MahifConfig
+
+        query = HistoricalWhatIfQuery(
+            paper_history, orders_db, (Replace(1, u1_prime),)
+        )
+        result = Mahif(MahifConfig(slicing_algorithm="greedy")).answer(
+            query, Method.R_PS_DS
+        )
+        assert 3 not in result.slice_result.kept_positions
+        delta = result.delta["Orders"]
+        assert delta.added == {(12, "Alex", "UK", 50, 10)}
+
+    def test_example1_narrative_parse(self, orders_db):
+        """The SQL from Figure 2 parses and reproduces the same states."""
+        u1 = parse_statement(
+            "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 50;"
+        )
+        u2 = parse_statement(
+            "UPDATE Orders SET ShippingFee = ShippingFee + 5 "
+            "WHERE Country = 'UK' AND Price <= 100;"
+        )
+        u3 = parse_statement(
+            "UPDATE Orders SET ShippingFee = ShippingFee - 2 "
+            "WHERE Price <= 30 AND ShippingFee >= 10;"
+        )
+        from repro import History
+
+        db = History.of(u1, u2, u3).execute(orders_db)
+        assert (11, "Susan", "UK", 20, 8) in db["Orders"]

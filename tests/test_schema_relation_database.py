@@ -1,0 +1,162 @@
+"""Unit tests for schemas, relations and databases."""
+
+import pytest
+
+from repro import Database, Relation, Schema
+from repro.relational.expressions import eq, col, gt
+from repro.relational.schema import SchemaError
+
+
+class TestSchema:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_types_default_to_any(self):
+        schema = Schema.of("a", "b")
+        assert schema.types == ("any", "any")
+
+    def test_types_length_must_match(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "b"), ("int",))
+
+    def test_index_and_type_lookup(self):
+        schema = Schema.of("a", "b", types=["int", "str"])
+        assert schema.index_of("b") == 1
+        assert schema.type_of("b") == "str"
+        with pytest.raises(SchemaError):
+            schema.index_of("zzz")
+
+    def test_dict_roundtrip(self):
+        schema = Schema.of("a", "b")
+        assert schema.as_dict((1, 2)) == {"a": 1, "b": 2}
+        assert schema.from_dict({"b": 2, "a": 1}) == (1, 2)
+
+    def test_as_dict_arity_check(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").as_dict((1, 2))
+
+    def test_rename_and_concat(self):
+        schema = Schema.of("a", "b")
+        assert Schema.of("x", "b").attributes == schema.rename(
+            {"a": "x"}
+        ).attributes
+        combined = schema.concat(Schema.of("c"))
+        assert combined.attributes == ("a", "b", "c")
+
+    def test_concat_name_clash_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_iteration_and_contains(self):
+        schema = Schema.of("a", "b")
+        assert list(schema) == ["a", "b"]
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 2
+
+
+class TestRelation:
+    def make(self):
+        return Relation.from_rows(Schema.of("k", "v"), [(1, 10), (2, 20)])
+
+    def test_set_semantics_deduplicates(self):
+        relation = Relation.from_rows(Schema.of("a"), [(1,), (1,), (2,)])
+        assert len(relation) == 2
+
+    def test_arity_check(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows(Schema.of("a"), [(1, 2)])
+
+    def test_union_difference_intersection(self):
+        r = self.make()
+        s = Relation.from_rows(Schema.of("k", "v"), [(2, 20), (3, 30)])
+        assert len(r.union(s)) == 3
+        assert set(r.difference(s)) == {(1, 10)}
+        assert set(r.intersection(s)) == {(2, 20)}
+        assert set(r.symmetric_difference(s)) == {(1, 10), (3, 30)}
+
+    def test_incompatible_arity_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().union(Relation.from_rows(Schema.of("a"), [(1,)]))
+
+    def test_filter(self):
+        filtered = self.make().filter(gt(col("v"), 15))
+        assert set(filtered) == {(2, 20)}
+
+    def test_insert(self):
+        grown = self.make().insert((3, 30))
+        assert len(grown) == 3
+        with pytest.raises(SchemaError):
+            self.make().insert((1,))
+
+    def test_immutability(self):
+        r = self.make()
+        r.insert((3, 30))
+        assert len(r) == 2
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts(
+            Schema.of("a", "b"), [{"a": 1, "b": 2}]
+        )
+        assert set(relation) == {(1, 2)}
+
+    def test_rows_as_dicts(self):
+        rows = sorted(self.make().rows_as_dicts(), key=lambda r: r["k"])
+        assert rows[0] == {"k": 1, "v": 10}
+
+    def test_sorted_rows_handles_mixed_types(self):
+        # NB: True == 1 in Python, so use 2 to keep four distinct rows
+        relation = Relation.from_rows(
+            Schema.of("x"), [(None,), (2,), ("a",), (True,)]
+        )
+        assert len(relation.sorted_rows()) == 4
+
+    def test_pretty_contains_header_and_rows(self):
+        rendered = self.make().pretty()
+        assert "k" in rendered and "10" in rendered
+
+    def test_pretty_truncates(self):
+        relation = Relation.from_rows(Schema.of("x"), [(i,) for i in range(30)])
+        assert "more rows" in relation.pretty(limit=5)
+
+
+class TestDatabase:
+    def make(self):
+        return Database(
+            {"R": Relation.from_rows(Schema.of("a"), [(1,), (2,)])}
+        )
+
+    def test_access(self):
+        db = self.make()
+        assert len(db["R"]) == 2
+        assert "R" in db and "S" not in db
+        with pytest.raises(SchemaError):
+            db["S"]
+
+    def test_with_relation_is_functional(self):
+        db = self.make()
+        grown = db.with_relation("R", db["R"].insert((3,)))
+        assert len(db["R"]) == 2
+        assert len(grown["R"]) == 3
+
+    def test_without_relation(self):
+        assert "R" not in self.make().without_relation("R")
+
+    def test_same_contents(self):
+        db = self.make()
+        assert db.same_contents(self.make())
+        other = db.with_relation("R", db["R"].insert((9,)))
+        assert not db.same_contents(other)
+
+    def test_same_contents_treats_missing_as_empty(self):
+        db = self.make()
+        with_empty = db.with_relation(
+            "S", Relation.from_rows(Schema.of("z"), [])
+        )
+        assert db.same_contents(with_empty)
+
+    def test_total_tuples(self):
+        assert self.make().total_tuples() == 2
+
+    def test_pretty(self):
+        assert "== R ==" in self.make().pretty()

@@ -1,0 +1,190 @@
+"""Unit tests for update statements (Equations 1-4) and tuple independence
+(Definition 1 / Lemma 1)."""
+
+import itertools
+
+import pytest
+
+from repro import Database, Relation, Schema
+from repro.relational.algebra import Project, RelScan, Select
+from repro.relational.expressions import FALSE, TRUE, col, eq, ge, gt, lit
+from repro.relational.schema import SchemaError
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+    is_no_op,
+    is_tuple_independent,
+    no_op,
+)
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation.from_rows(
+                Schema.of("k", "v"), [(1, 10), (2, 20), (3, 30)]
+            ),
+            "S": Relation.from_rows(Schema.of("x", "y"), [(2, 200)]),
+        }
+    )
+
+
+class TestUpdate:
+    def test_updates_matching_tuples_only(self, db):
+        stmt = UpdateStatement("R", {"v": col("v") + 1}, ge(col("v"), 20))
+        result = stmt.apply(db)
+        assert set(result["R"]) == {(1, 10), (2, 21), (3, 31)}
+
+    def test_set_evaluated_over_original_tuple(self, db):
+        # Eq (1): Set(t) uses the pre-update values, even with multiple
+        # clauses referencing each other.
+        stmt = UpdateStatement(
+            "R", {"k": col("v"), "v": col("k")}, TRUE
+        )
+        result = stmt.apply(db)
+        assert (10, 1) in result["R"]
+
+    def test_requires_set_clause(self):
+        with pytest.raises(ValueError):
+            UpdateStatement("R", {})
+
+    def test_unknown_attribute_rejected(self, db):
+        stmt = UpdateStatement("R", {"zzz": lit(0)}, TRUE)
+        with pytest.raises(SchemaError):
+            stmt.apply(db)
+
+    def test_set_expression_for_defaults_to_identity(self):
+        stmt = UpdateStatement("R", {"v": lit(0)}, TRUE)
+        assert stmt.set_expression_for("k") == col("k")
+        assert stmt.set_expression_for("v") == lit(0)
+
+    def test_merging_updates_shrink_set_semantics(self, db):
+        # two tuples mapped onto the same output merge under set semantics
+        stmt = UpdateStatement("R", {"k": lit(0), "v": lit(0)}, TRUE)
+        assert len(stmt.apply(db)["R"]) == 1
+
+    def test_other_relations_untouched(self, db):
+        stmt = UpdateStatement("R", {"v": lit(0)}, TRUE)
+        assert stmt.apply(db)["S"] is db["S"]
+
+
+class TestDelete:
+    def test_deletes_matching(self, db):
+        stmt = DeleteStatement("R", ge(col("v"), 20))
+        assert set(stmt.apply(db)["R"]) == {(1, 10)}
+
+    def test_delete_all(self, db):
+        assert len(DeleteStatement("R", TRUE).apply(db)["R"]) == 0
+
+    def test_no_op_delete(self, db):
+        assert set(no_op("R").apply(db)["R"]) == set(db["R"])
+
+
+class TestInserts:
+    def test_insert_tuple(self, db):
+        stmt = InsertTuple("R", (4, 40))
+        assert (4, 40) in stmt.apply(db)["R"]
+
+    def test_insert_existing_tuple_is_noop_under_sets(self, db):
+        stmt = InsertTuple("R", (1, 10))
+        assert len(stmt.apply(db)["R"]) == 3
+
+    def test_insert_query(self, db):
+        query = Project(
+            Select(RelScan("S"), gt(col("y"), 0)),
+            ((col("x"), "k"), (col("y"), "v")),
+        )
+        stmt = InsertQuery("R", query)
+        result = stmt.apply(db)
+        assert (2, 200) in result["R"]
+        assert len(result["R"]) == 4
+
+    def test_insert_query_arity_mismatch(self, db):
+        stmt = InsertQuery("R", Project(RelScan("S"), ((col("x"), "x"),)))
+        with pytest.raises(SchemaError):
+            stmt.apply(db)
+
+    def test_accessed_relations(self, db):
+        stmt = InsertQuery("R", RelScan("S"))
+        assert stmt.accessed_relations() == {"R", "S"}
+        assert InsertTuple("R", (1, 1)).accessed_relations() == {"R"}
+
+
+class TestClassification:
+    def test_no_op_detection(self):
+        assert is_no_op(no_op("R"))
+        assert is_no_op(DeleteStatement("R", FALSE))
+        assert is_no_op(UpdateStatement("R", {"v": lit(0)}, FALSE))
+        assert not is_no_op(DeleteStatement("R", TRUE))
+        assert not is_no_op(InsertTuple("R", (1, 2)))
+
+    def test_tuple_independence_classification(self):
+        assert is_tuple_independent(UpdateStatement("R", {"v": lit(0)}, TRUE))
+        assert is_tuple_independent(DeleteStatement("R", TRUE))
+        assert is_tuple_independent(InsertTuple("R", (1,)))
+        assert not is_tuple_independent(InsertQuery("R", RelScan("S")))
+
+
+class TestTupleIndependenceSemantics:
+    """Executable version of Lemma 1: u(D) == ∪_{t∈D} u({t})."""
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            UpdateStatement("R", {"v": col("v") + 5}, ge(col("v"), 20)),
+            UpdateStatement("R", {"k": col("k") * 2}, eq(col("k"), 2)),
+            DeleteStatement("R", ge(col("v"), 20)),
+            InsertTuple("R", (9, 90)),
+        ],
+        ids=["update", "key-update", "delete", "insert"],
+    )
+    def test_lemma1_union_decomposition(self, db, stmt):
+        whole = stmt.apply(db)["R"]
+        pieces = set()
+        for t in db["R"]:
+            single = db.with_relation(
+                "R", Relation(db["R"].schema, frozenset({t}))
+            )
+            pieces |= set(stmt.apply(single)["R"])
+        # inserts add their tuple in every singleton world; dedupe matches
+        assert set(whole) == pieces
+
+    def test_insert_query_counterexample(self):
+        """The paper's counterexample: I_Q is NOT tuple independent."""
+        db = Database(
+            {
+                "R": Relation.from_rows(Schema.of("a", "b"), [(1, 2)]),
+                "S": Relation.from_rows(Schema.of("c"), [(2,)]),
+            }
+        )
+        from repro.relational.algebra import Join
+
+        query = Project(
+            Join(RelScan("R"), RelScan("S"), eq(col("b"), col("c"))),
+            ((col("b"), "a"), (col("b"), "b")),
+        )
+        stmt = InsertQuery("R", query)
+        whole = set(stmt.apply(db)["R"])
+        assert whole == {(1, 2), (2, 2)}
+
+        pieces = set()
+        worlds = [
+            Database(
+                {
+                    "R": Relation.from_rows(Schema.of("a", "b"), [(1, 2)]),
+                    "S": Relation.from_rows(Schema.of("c"), []),
+                }
+            ),
+            Database(
+                {
+                    "R": Relation.from_rows(Schema.of("a", "b"), []),
+                    "S": Relation.from_rows(Schema.of("c"), [(2,)]),
+                }
+            ),
+        ]
+        for world in worlds:
+            pieces |= set(stmt.apply(world)["R"])
+        assert whole != pieces  # {(1,2),(2,2)} vs {(1,2)}

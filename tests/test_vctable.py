@@ -1,0 +1,104 @@
+"""Tests for VC-tables and possible-world semantics (Section 8.1)."""
+
+import pytest
+
+from repro import Schema
+from repro.relational.expressions import (
+    TRUE,
+    Var,
+    and_,
+    eq,
+    ge,
+    lit,
+)
+from repro.symbolic.vctable import SymbolicTuple, VCDatabase, VCTable
+
+
+class TestSymbolicTuple:
+    def test_fresh_creates_one_var_per_attribute(self):
+        t = SymbolicTuple.fresh(Schema.of("a", "b"), prefix="x")
+        assert t["a"] == Var("x_a")
+        assert t["b"] == Var("x_b")
+        assert t.variables() == {"x_a", "x_b"}
+
+    def test_instantiate(self):
+        t = SymbolicTuple({"a": Var("x"), "b": Var("x") + 1})
+        assert t.instantiate({"x": 5}) == {"a": 5, "b": 6}
+
+    def test_substitute(self):
+        t = SymbolicTuple({"a": Var("x")})
+        replaced = t.substitute({"x": lit(3)})
+        assert replaced["a"] == lit(3)
+
+
+class TestVCTable:
+    def test_single_tuple_instance(self):
+        table = VCTable.single_tuple(Schema.of("a", "b"))
+        assert len(table) == 1
+        assert table.local_condition(0) == TRUE
+
+    def test_instantiate_keeps_only_satisfying_rows(self):
+        schema = Schema.of("a")
+        table = VCTable(
+            schema,
+            (
+                (SymbolicTuple({"a": Var("x")}), ge(Var("x"), 10)),
+                (SymbolicTuple({"a": Var("x") + 1}), TRUE),
+            ),
+        )
+        world = table.instantiate({"x": 3})
+        assert set(world) == {(4,)}
+        world = table.instantiate({"x": 10})
+        assert set(world) == {(10,), (11,)}
+
+    def test_variables(self):
+        table = VCTable(
+            Schema.of("a"),
+            ((SymbolicTuple({"a": Var("x")}), ge(Var("y"), 0)),),
+        )
+        assert table.variables() == {"x", "y"}
+
+
+class TestVCDatabase:
+    def make(self):
+        return VCDatabase.single_tuple_database(
+            {"R": Schema.of("a", "b")}
+        )
+
+    def test_single_tuple_database(self):
+        db = self.make()
+        assert "R" in db
+        assert db.global_condition == TRUE
+
+    def test_with_conjunct_builds_global_condition(self):
+        db = self.make().with_conjunct(ge(Var("x_R_a"), 5))
+        assert db.global_condition == ge(Var("x_R_a"), 5)
+        two = db.with_conjunct(ge(Var("x_R_b"), 0))
+        assert len(two.global_conjuncts) == 2
+
+    def test_admits(self):
+        db = self.make().with_conjunct(ge(Var("x_R_a"), 5))
+        assert db.admits({"x_R_a": 7, "x_R_b": 0})
+        assert not db.admits({"x_R_a": 3, "x_R_b": 0})
+
+    def test_instantiate_respects_global_condition(self):
+        """Definition 5: only assignments satisfying Φ yield worlds."""
+        db = self.make().with_conjunct(ge(Var("x_R_a"), 5))
+        world = db.instantiate({"x_R_a": 7, "x_R_b": 1})
+        assert world is not None
+        assert set(world["R"]) == {(7, 1)}
+        assert db.instantiate({"x_R_a": 0, "x_R_b": 1}) is None
+
+    def test_paper_example5(self):
+        """Example 5: assignment (UK, 10, 0) yields world {(UK, 10, 0)}."""
+        schema = Schema.of("Country", "Price", "ShippingFee")
+        db = VCDatabase({"Order": VCTable.single_tuple(schema, prefix="x")})
+        world = db.instantiate(
+            {"x_Country": "UK", "x_Price": 10, "x_ShippingFee": 0}
+        )
+        assert set(world["Order"]) == {("UK", 10, 0)}
+
+    def test_variables(self):
+        db = self.make().with_conjunct(ge(Var("extra"), 1))
+        assert "extra" in db.variables()
+        assert "x_R_a" in db.variables()
