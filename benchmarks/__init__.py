@@ -1,0 +1,2 @@
+"""Figure benchmarks as a package so ``pytest benchmarks/bench_*.py`` resolves
+the relative ``from .common import ...`` imports from any rootdir."""

@@ -1,0 +1,192 @@
+"""Compiled vs. interpreted execution backend (see DESIGN.md).
+
+Two measurements, both recorded to ``results.jsonl`` (experiment
+``"backend"``) and dumped as ``BENCH_backend.json`` at the repo root:
+
+* the **R+PS+DS hot path** of the bench_scaling workload — the engine's
+  reenactment-query evaluation (``exe_seconds``), swept over relation
+  size and history length, once per backend.  The first compiled trial
+  warms the plan cache; reported numbers are the best of ``TRIALS`` runs
+  (the steady state the engine's repeated query pairs actually see),
+* a **join-bearing plan** — an equality join plus residual, where the
+  compiled backend's hash join replaces the interpreter's O(n·m) nested
+  loop.
+
+The asserted floor (≥ 3× on the largest hot-path size, and on the join)
+is the acceptance criterion for making the compiled backend the default.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.bench import print_series_table, run_method
+from repro.core import Method, MahifConfig
+from repro.core.data_slicing import slicing_selectivity
+from repro.relational import (
+    Database,
+    Relation,
+    Schema,
+    evaluate_query,
+)
+from repro.relational.algebra import Join, RelScan
+from repro.relational.expressions import and_, col, eq, gt
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+SIZES = tuple(int(SMALL_ROWS * factor) for factor in (1.0, 2.0, 4.0))
+UPDATES = 20
+TRIALS = 3
+JOIN_SIZES = (300, 1000, 2000)
+TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_backend.json"
+
+
+def _best_of(fn, trials=TRIALS):
+    best = None
+    result = None
+    for _ in range(trials):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _hot_path_rows():
+    out = []
+    for rows in SIZES:
+        spec = WorkloadSpec(
+            dataset="taxi", rows=rows, updates=UPDATES, seed=7
+        )
+        workload = build_workload(spec)
+        timings = {}
+        deltas = {}
+        for backend in ("interpreted", "compiled"):
+            config = MahifConfig(backend=backend)
+            best_exe = None
+            for _ in range(TRIALS):
+                timing = run_method(workload.query, Method.R_PS_DS, config)
+                exe = timing.exe_seconds
+                best_exe = exe if best_exe is None else min(best_exe, exe)
+                deltas[backend] = timing.result.delta
+            timings[backend] = best_exe
+        assert deltas["compiled"] == deltas["interpreted"], (
+            "backends disagree — correctness bug"
+        )
+        result = run_method(
+            workload.query, Method.R_PS_DS, MahifConfig(backend="compiled")
+        ).result
+        selectivity = (
+            {
+                rel: kept / total if total else 1.0
+                for rel, (kept, total) in slicing_selectivity(
+                    dict(result.data_slicing.for_original),
+                    result.base_database,
+                ).items()
+            }
+            if result.data_slicing and result.base_database
+            else {}
+        )
+        row = {
+            "rows": rows,
+            "updates": UPDATES,
+            "interpreted_exe": timings["interpreted"],
+            "compiled_exe": timings["compiled"],
+            "speedup": timings["interpreted"] / timings["compiled"],
+            "ds_selectivity": selectivity,
+        }
+        record("backend", {k: v for k, v in row.items() if k != "ds_selectivity"})
+        out.append(row)
+    return out
+
+
+def _join_rows():
+    out = []
+    for rows in JOIN_SIZES:
+        db = Database(
+            {
+                "L": Relation.from_rows(
+                    Schema.of("k", "v"),
+                    [(i % (rows // 2), i) for i in range(rows)],
+                ),
+                "R2": Relation.from_rows(
+                    Schema.of("k2", "w"),
+                    [(i % (rows // 2), i * 2) for i in range(rows)],
+                ),
+            }
+        )
+        plan = Join(
+            RelScan("L"),
+            RelScan("R2"),
+            and_(eq(col("k"), col("k2")), gt(col("w"), 10)),
+        )
+        results = {}
+        timings = {}
+        for backend in ("interpreted", "compiled"):
+            # One interpreted trial is enough: the nested loop is O(n*m)
+            # and dominates the benchmark's wall time.
+            timings[backend], results[backend] = _best_of(
+                lambda backend=backend: evaluate_query(
+                    plan, db, backend=backend
+                ),
+                trials=1 if backend == "interpreted" else TRIALS,
+            )
+        assert results["compiled"].tuples == results["interpreted"].tuples
+        row = {
+            "rows_per_side": rows,
+            "interpreted": timings["interpreted"],
+            "compiled": timings["compiled"],
+            "speedup": timings["interpreted"] / timings["compiled"],
+        }
+        record("backend_join", row)
+        out.append(row)
+    return out
+
+
+def test_backend_compiled_vs_interpreted(benchmark):
+    def run():
+        return {"hot_path": _hot_path_rows(), "join": _join_rows()}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    payload = {
+        "experiment": "backend",
+        "workload": {
+            "dataset": "taxi",
+            "updates": UPDATES,
+            "method": Method.R_PS_DS.value,
+            "sizes": list(SIZES),
+            "trials": TRIALS,
+            "metric": "exe_seconds (reenactment evaluation), best of trials",
+        },
+        "hot_path": data["hot_path"],
+        "join": data["join"],
+    }
+    TARGET.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series_table(
+        "Backend — R+PS+DS exe: compiled vs interpreted (taxi, U20)",
+        ["rows", "interpreted", "compiled", "speedup"],
+        [
+            [r["rows"], r["interpreted_exe"], r["compiled_exe"], r["speedup"]]
+            for r in data["hot_path"]
+        ],
+        note="compiled ≥ 3× on the scaling workload's hot path",
+    )
+    print_series_table(
+        "Backend — equi-join plan: hash join vs nested loop",
+        ["rows/side", "interpreted", "compiled", "speedup"],
+        [
+            [r["rows_per_side"], r["interpreted"], r["compiled"], r["speedup"]]
+            for r in data["join"]
+        ],
+        note="speedup grows with input size (O(n+m) vs O(n*m))",
+    )
+
+    # Acceptance criteria: ≥ 3× on the largest hot-path size and on every
+    # join size beyond the smallest.
+    assert data["hot_path"][-1]["speedup"] >= 3.0, data["hot_path"]
+    assert data["join"][-1]["speedup"] >= 3.0, data["join"]

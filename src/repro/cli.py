@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("dependency", "greedy"),
         help="program-slicing algorithm",
     )
+    whatif.add_argument(
+        "--backend", default="compiled",
+        choices=("compiled", "interpreted"),
+        help="execution backend (compiled closures vs. the tree-walking "
+        "reference interpreter)",
+    )
     whatif.add_argument("--explain", action="store_true",
                         help="print why-provenance for delta tuples")
     whatif.add_argument("--out", help="write the delta as CSV")
@@ -119,7 +125,9 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     history = _load_history(args.history)
     modifications = _build_modifications(args)
     query = HistoricalWhatIfQuery(history, database, modifications)
-    config = MahifConfig(slicing_algorithm=args.slicing)
+    config = MahifConfig(
+        slicing_algorithm=args.slicing, backend=args.backend
+    )
     result = Mahif(config).answer(query, _METHODS[args.method])
 
     if not args.quiet:

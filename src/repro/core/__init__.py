@@ -10,6 +10,7 @@ from .data_slicing import (
     DataSlicingConditions,
     compute_data_slicing,
     push_condition_through_query,
+    slicing_selectivity,
 )
 from .delta import DatabaseDelta, RelationDelta, delta_query
 from .dependency import dependency_slice
@@ -56,7 +57,7 @@ __all__ = [
     "DatabaseDelta", "RelationDelta", "delta_query",
     "naive_what_if", "NaiveResult",
     "reenact_statement", "reenactment_query", "reenactment_queries",
-    "DataSlicingConditions", "compute_data_slicing",
+    "DataSlicingConditions", "compute_data_slicing", "slicing_selectivity",
     "push_condition_through_query",
     "ProgramSlicingConfig", "SliceResult", "greedy_slice", "is_slice",
     "dependency_slice",

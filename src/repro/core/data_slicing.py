@@ -60,6 +60,7 @@ __all__ = [
     "DataSlicingConditions",
     "compute_data_slicing",
     "push_condition_through_query",
+    "slicing_selectivity",
 ]
 
 
@@ -298,6 +299,44 @@ def push_condition_through_query(
         # Precise pushdown through difference is not derivable; fall back.
         return TRUE if relation in base_relations(query) else None
     raise TypeError(f"unknown operator {query!r}")
+
+
+def slicing_selectivity(
+    conditions: Mapping[str, Expr],
+    db,
+    backend: str | None = None,
+) -> dict[str, tuple[int, int]]:
+    """Measure what a per-relation condition map actually filters.
+
+    Returns ``{relation: (kept_rows, total_rows)}`` over the base
+    relations of ``db`` — the observable effect of Theorem 2's
+    ``σ_{∨ theta(m_i)↓*}`` selections, reported by the backend benchmark
+    and useful when judging whether slicing pays off on a workload.
+    Conditions are evaluated through the selected execution backend
+    (compiled row closures by default).
+    """
+    from ..relational.exec import compile_predicate
+    from ..relational.exec.backend import BACKEND_COMPILED, resolve_backend
+    from ..relational.expressions import evaluate
+
+    compiled = resolve_backend(backend) == BACKEND_COMPILED
+    result: dict[str, tuple[int, int]] = {}
+    for relation_name, condition in conditions.items():
+        if relation_name not in db:
+            continue
+        relation = db[relation_name]
+        total = len(relation.tuples)
+        if compiled:
+            predicate = compile_predicate(condition, relation.schema)
+            kept = sum(1 for row in relation.tuples if predicate(row))
+        else:
+            kept = sum(
+                1
+                for row in relation.tuples
+                if bool(evaluate(condition, relation.schema.as_dict(row)))
+            )
+        result[relation_name] = (kept, total)
+    return result
 
 
 def compute_data_slicing(

@@ -42,6 +42,7 @@ from ..relational.algebra import (
     operator_count,
 )
 from ..relational.database import Database
+from ..relational.exec.backend import resolve_backend, use_backend
 from ..relational.optimizer import OptimizerConfig, optimize
 from ..relational.relation import Relation
 from ..relational.schema import Schema
@@ -88,6 +89,12 @@ class MahifConfig:
     analysis (``"dependency"``, the default — one solver call per
     statement) and the Section-8.3.3 greedy search (``"greedy"`` — one
     call per candidate, exact Theorem-4 checks).
+
+    ``backend`` selects the execution backend for every query and
+    statement evaluated while answering: ``"compiled"`` (the default)
+    runs closure-compiled streaming pipelines with hash joins,
+    ``"interpreted"`` the original tree-walking evaluator (kept as the
+    differential-testing oracle; see DESIGN.md, "Execution backends").
     """
 
     slicing_algorithm: str = "dependency"
@@ -96,12 +103,14 @@ class MahifConfig:
     )
     optimize_queries: bool = True
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    backend: str = "compiled"
 
     def __post_init__(self) -> None:
         if self.slicing_algorithm not in ("dependency", "greedy"):
             raise ValueError(
                 f"unknown slicing algorithm {self.slicing_algorithm!r}"
             )
+        resolve_backend(self.backend)  # raises ValueError when unknown
 
 
 @dataclass(frozen=True)
@@ -169,16 +178,22 @@ class Mahif:
         method: Method = Method.R_PS_DS,
         current_state: Database | None = None,
     ) -> MahifResult:
-        """Answer a HWQ with the selected method."""
-        if method is Method.NAIVE:
-            naive = naive_what_if(query, current_state=current_state)
-            return MahifResult(
-                delta=naive.delta,
-                method=method,
-                exe_seconds=naive.total_seconds,
-                naive_breakdown=naive,
-            )
-        return self._answer_reenactment(query, method)
+        """Answer a HWQ with the selected method.
+
+        The configured execution backend is scoped around the whole
+        pipeline, so statement replay (naive), reenactment queries and
+        the delta all run through it.
+        """
+        with use_backend(self.config.backend):
+            if method is Method.NAIVE:
+                naive = naive_what_if(query, current_state=current_state)
+                return MahifResult(
+                    delta=naive.delta,
+                    method=method,
+                    exe_seconds=naive.total_seconds,
+                    naive_breakdown=naive,
+                )
+            return self._answer_reenactment(query, method)
 
     # -- reenactment pipeline ----------------------------------------------
     def _answer_reenactment(

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 
 from ..relational.database import Database
+from ..relational.exec.backend import use_backend
 from ..relational.relation import Relation
 from .delta import DatabaseDelta
 from .hwq import HistoricalWhatIfQuery
@@ -58,13 +59,26 @@ def _copy_database(db: Database, relations: set[str]) -> Database:
 def naive_what_if(
     query: HistoricalWhatIfQuery,
     current_state: Database | None = None,
+    backend: str | None = None,
 ) -> NaiveResult:
     """Answer a HWQ with Algorithm 1.
 
     ``current_state`` is ``H(D)`` when the caller already has it (the DBMS
     always does — it *is* the database); otherwise it is computed here but
     not charged to any phase, mirroring the paper's accounting.
+
+    ``backend`` scopes the execution backend used for statement replay
+    (UPDATE/DELETE predicates and Set clauses run compiled by default);
+    ``None`` keeps the ambient default, e.g. the engine's configured one.
     """
+    with use_backend(backend):
+        return _naive_what_if(query, current_state)
+
+
+def _naive_what_if(
+    query: HistoricalWhatIfQuery,
+    current_state: Database | None,
+) -> NaiveResult:
     aligned = query.aligned()
     trimmed, k = aligned.trim_prefix()
 

@@ -27,11 +27,12 @@ from ..relational.algebra import (
     Select,
     Singleton,
     Union,
+    output_schema,
     substitute_scans,
 )
 from ..relational.expressions import Attr, Expr, If, Not, simplify
 from ..relational.history import History
-from ..relational.schema import Schema
+from ..relational.schema import Schema, SchemaError
 from ..relational.statements import (
     DeleteStatement,
     InsertQuery,
@@ -47,9 +48,19 @@ __all__ = [
 ]
 
 
-def reenact_statement(stmt: Statement, schema: Schema) -> Operator:
+def reenact_statement(
+    stmt: Statement,
+    schema: Schema,
+    db_schemas: Mapping[str, Schema] | None = None,
+) -> Operator:
     """The single-statement reenactment query ``R_u`` (over a base scan of
-    the target relation)."""
+    the target relation).
+
+    ``db_schemas`` (when available) lets ``INSERT ... SELECT`` relabel
+    its query output to the target schema: the statement is positional,
+    so a source query with different attribute names must not trip the
+    union's name-compatibility check.
+    """
     scan = RelScan(stmt.relation)
     if isinstance(stmt, UpdateStatement):
         outputs: list[tuple[Expr, str]] = []
@@ -69,7 +80,25 @@ def reenact_statement(stmt: Statement, schema: Schema) -> Operator:
     if isinstance(stmt, InsertTuple):
         return Union(scan, Singleton(schema, stmt.values))
     if isinstance(stmt, InsertQuery):
-        return Union(scan, stmt.query)
+        query = stmt.query
+        if db_schemas is not None:
+            source_schema = output_schema(query, dict(db_schemas))
+            if source_schema.arity != schema.arity:
+                # Same error the direct apply paths raise — zip below
+                # would otherwise silently truncate the wider side.
+                raise SchemaError(
+                    f"INSERT SELECT arity {source_schema.arity} does not "
+                    f"match {stmt.relation} arity {schema.arity}"
+                )
+            if source_schema.attributes != schema.attributes:
+                query = Project(
+                    query,
+                    tuple(
+                        (Attr(old), new)
+                        for old, new in zip(source_schema, schema)
+                    ),
+                )
+        return Union(scan, query)
     raise TypeError(f"cannot reenact {stmt!r}")
 
 
@@ -92,7 +121,7 @@ def reenactment_queries(
             raise KeyError(
                 f"statement targets unknown relation {stmt.relation!r}"
             )
-        template = reenact_statement(stmt, schema)
+        template = reenact_statement(stmt, schema, schemas)
         # Substitute every base scan with that relation's current query:
         # the target scan becomes R_{u_{i-1}}, and scans inside an
         # INSERT ... SELECT query see the other relations as of D_{i-1}.

@@ -16,6 +16,14 @@ from .algebra import (
     Singleton,
     Union,
     evaluate_query,
+    evaluate_query_interpreted,
+)
+from .exec import (
+    BACKEND_COMPILED,
+    BACKEND_INTERPRETED,
+    get_default_backend,
+    set_default_backend,
+    use_backend,
 )
 from .database import Database
 from .expressions import (
@@ -52,6 +60,7 @@ from .bag import (
     apply_statement_bag,
     bag_delta,
     evaluate_query_bag,
+    evaluate_query_bag_interpreted,
     execute_history_bag,
 )
 from .csvio import (
@@ -90,12 +99,16 @@ __all__ = [
     "InsertQuery", "History", "no_op", "is_no_op", "is_tuple_independent",
     # algebra
     "Operator", "RelScan", "Singleton", "Project", "Select", "Union",
-    "Difference", "Join", "evaluate_query",
+    "Difference", "Join", "evaluate_query", "evaluate_query_interpreted",
+    # execution backends
+    "BACKEND_COMPILED", "BACKEND_INTERPRETED", "get_default_backend",
+    "set_default_backend", "use_backend",
     # parsing / rendering
     "parse_expression", "parse_statement", "parse_history",
     "statement_to_sql", "query_to_sql", "history_to_sql",
     "OptimizerConfig", "optimize",
     "relation_from_csv", "relation_to_csv", "load_database_dir",
     "BagRelation", "BagDatabase", "apply_statement_bag",
-    "execute_history_bag", "evaluate_query_bag", "bag_delta",
+    "execute_history_bag", "evaluate_query_bag",
+    "evaluate_query_bag_interpreted", "bag_delta",
 ]

@@ -25,8 +25,9 @@ from .expressions import (
     evaluate,
     simplify,
 )
+from .exec.backend import BACKEND_COMPILED, resolve_backend
 from .relation import Relation
-from .schema import Schema, SchemaError
+from .schema import Schema, SchemaError, check_union_compatible
 
 __all__ = [
     "Operator",
@@ -38,6 +39,7 @@ __all__ = [
     "Difference",
     "Join",
     "evaluate_query",
+    "evaluate_query_interpreted",
     "output_schema",
     "base_relations",
     "substitute_scans",
@@ -139,10 +141,7 @@ def output_schema(op: Operator, db_schemas: dict[str, Schema]) -> Schema:
     if isinstance(op, (Union, Difference)):
         left = output_schema(op.left, db_schemas)
         right = output_schema(op.right, db_schemas)
-        if left.arity != right.arity:
-            raise SchemaError(
-                f"union/difference arity mismatch: {left.arity} vs {right.arity}"
-            )
+        check_union_compatible(left, right, "union/difference")
         return left
     if isinstance(op, Join):
         return output_schema(op.left, db_schemas).concat(
@@ -153,14 +152,37 @@ def output_schema(op: Operator, db_schemas: dict[str, Schema]) -> Schema:
 
 # -- evaluation -------------------------------------------------------------
 
-def evaluate_query(op: Operator, db: Database) -> Relation:
-    """Evaluate an operator tree over a database (set semantics)."""
+def evaluate_query(
+    op: Operator, db: Database, backend: str | None = None
+) -> Relation:
+    """Evaluate an operator tree over a database (set semantics).
+
+    ``backend`` selects the execution backend: ``"compiled"`` (the
+    default — see :mod:`repro.relational.exec`) streams the plan through
+    closure-compiled operators, ``"interpreted"`` walks the tree per
+    tuple, and ``None`` defers to the process default
+    (:func:`repro.relational.exec.get_default_backend`, usually set by
+    the engine's :class:`~repro.core.engine.MahifConfig`).  Both backends
+    are differentially tested to agree on every operator and expression
+    shape; the one caveat is error *raising* inside join conditions over
+    ill-typed data, where the hash join skips pairs the interpreter
+    would have evaluated (see DESIGN.md, "Execution backends").
+    """
+    if resolve_backend(backend) == BACKEND_COMPILED:
+        from .exec.plan_compile import execute_plan
+
+        return execute_plan(op, db)
+    return evaluate_query_interpreted(op, db)
+
+
+def evaluate_query_interpreted(op: Operator, db: Database) -> Relation:
+    """The tree-walking reference evaluator (the differential oracle)."""
     if isinstance(op, RelScan):
         return db[op.name]
     if isinstance(op, Singleton):
         return Relation(op.schema, frozenset({op.row}))
     if isinstance(op, Project):
-        child = evaluate_query(op.input, db)
+        child = evaluate_query_interpreted(op.input, db)
         out_schema = Schema(tuple(name for _, name in op.outputs))
         rows = frozenset(
             tuple(
@@ -171,23 +193,21 @@ def evaluate_query(op: Operator, db: Database) -> Relation:
         )
         return Relation(out_schema, rows)
     if isinstance(op, Select):
-        child = evaluate_query(op.input, db)
+        child = evaluate_query_interpreted(op.input, db)
         return child.filter(op.condition)
     if isinstance(op, Union):
-        left = evaluate_query(op.left, db)
-        right = evaluate_query(op.right, db)
-        if left.schema.arity != right.schema.arity:
-            raise SchemaError("union arity mismatch")
+        left = evaluate_query_interpreted(op.left, db)
+        right = evaluate_query_interpreted(op.right, db)
+        check_union_compatible(left.schema, right.schema, "union")
         return Relation(left.schema, left.tuples | right.tuples)
     if isinstance(op, Difference):
-        left = evaluate_query(op.left, db)
-        right = evaluate_query(op.right, db)
-        if left.schema.arity != right.schema.arity:
-            raise SchemaError("difference arity mismatch")
+        left = evaluate_query_interpreted(op.left, db)
+        right = evaluate_query_interpreted(op.right, db)
+        check_union_compatible(left.schema, right.schema, "difference")
         return Relation(left.schema, left.tuples - right.tuples)
     if isinstance(op, Join):
-        left = evaluate_query(op.left, db)
-        right = evaluate_query(op.right, db)
+        left = evaluate_query_interpreted(op.left, db)
+        right = evaluate_query_interpreted(op.right, db)
         schema = left.schema.concat(right.schema)
         rows = set()
         for lt in left:

@@ -32,16 +32,18 @@ from .algebra import (
     Union,
 )
 from .database import Database
+from .exec.backend import BACKEND_COMPILED, resolve_backend
 from .expressions import Expr, evaluate
 from .history import History
 from .relation import Relation
-from .schema import Schema, SchemaError
+from .schema import Schema, SchemaError, check_union_compatible
 from .statements import (
     DeleteStatement,
     InsertQuery,
     InsertTuple,
     Statement,
     UpdateStatement,
+    compiled_update_row,
 )
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "apply_statement_bag",
     "execute_history_bag",
     "evaluate_query_bag",
+    "evaluate_query_bag_interpreted",
     "bag_delta",
 ]
 
@@ -112,16 +115,14 @@ class BagRelation:
 
     # -- bag algebra ---------------------------------------------------------
     def union_all(self, other: "BagRelation") -> "BagRelation":
-        if self.schema.arity != other.schema.arity:
-            raise SchemaError("bag union arity mismatch")
+        check_union_compatible(self.schema, other.schema, "bag union")
         counts = Counter(self.multiplicities)
         counts.update(other.multiplicities)
         return BagRelation(self.schema, counts)
 
     def monus(self, other: "BagRelation") -> "BagRelation":
         """Bag difference: multiplicities subtract, floored at zero."""
-        if self.schema.arity != other.schema.arity:
-            raise SchemaError("bag difference arity mismatch")
+        check_union_compatible(self.schema, other.schema, "bag difference")
         counts = {
             row: count - other.multiplicities.get(row, 0)
             for row, count in self.multiplicities.items()
@@ -194,25 +195,46 @@ class BagDatabase:
 # -- statements over bags -----------------------------------------------------
 
 def apply_statement_bag(stmt: Statement, db: BagDatabase) -> BagDatabase:
-    """Apply a statement with bag semantics (multiplicities preserved)."""
+    """Apply a statement with bag semantics (multiplicities preserved).
+
+    Update/delete conditions and Set clauses run through the configured
+    execution backend: compiled row closures by default, per-row dict
+    bindings under the interpreter (see :mod:`repro.relational.exec`).
+    """
     relation = db[stmt.relation]
+    compiled = resolve_backend(None) == BACKEND_COMPILED
     if isinstance(stmt, UpdateStatement):
         counts: Counter = Counter()
-        for row, count in relation.multiplicities.items():
-            binding = relation.schema.as_dict(row)
-            updated = stmt.apply_to_row(binding)
-            counts[relation.schema.from_dict(updated)] += count
+        if compiled:
+            update_row = compiled_update_row(stmt, relation.schema)
+            for row, count in relation.multiplicities.items():
+                counts[update_row(row)] += count
+        else:
+            for row, count in relation.multiplicities.items():
+                binding = relation.schema.as_dict(row)
+                updated = stmt.apply_to_row(binding)
+                counts[relation.schema.from_dict(updated)] += count
         return db.with_relation(
             stmt.relation, BagRelation(relation.schema, counts)
         )
     if isinstance(stmt, DeleteStatement):
-        kept = {
-            row: count
-            for row, count in relation.multiplicities.items()
-            if not bool(
-                evaluate(stmt.condition, relation.schema.as_dict(row))
-            )
-        }
+        if compiled:
+            from .exec import compile_predicate
+
+            predicate = compile_predicate(stmt.condition, relation.schema)
+            kept = {
+                row: count
+                for row, count in relation.multiplicities.items()
+                if not predicate(row)
+            }
+        else:
+            kept = {
+                row: count
+                for row, count in relation.multiplicities.items()
+                if not bool(
+                    evaluate(stmt.condition, relation.schema.as_dict(row))
+                )
+            }
         return db.with_relation(
             stmt.relation, BagRelation(relation.schema, kept)
         )
@@ -222,6 +244,14 @@ def apply_statement_bag(stmt: Statement, db: BagDatabase) -> BagDatabase:
         )
     if isinstance(stmt, InsertQuery):
         result = evaluate_query_bag(stmt.query, db)
+        if result.schema.arity != relation.schema.arity:
+            raise SchemaError(
+                f"INSERT SELECT arity {result.schema.arity} does not "
+                f"match {stmt.relation} arity {relation.schema.arity}"
+            )
+        # INSERT ... SELECT is positional (like the set-semantics path):
+        # relabel the query result to the target schema before the union.
+        result = BagRelation(relation.schema, result.multiplicities)
         return db.with_relation(
             stmt.relation, relation.union_all(result)
         )
@@ -236,21 +266,34 @@ def execute_history_bag(history: History, db: BagDatabase) -> BagDatabase:
 
 # -- bag evaluator ------------------------------------------------------------
 
-def evaluate_query_bag(op: Operator, db: BagDatabase) -> BagRelation:
+def evaluate_query_bag(
+    op: Operator, db: BagDatabase, backend: str | None = None
+) -> BagRelation:
     """Evaluate an operator tree with bag semantics.
 
     Projection preserves multiplicities (no dedup), union is additive,
     difference is monus, join multiplies multiplicities — the standard
-    N[X]-semiring specialization.
+    N[X]-semiring specialization.  ``backend`` selects compiled streaming
+    pipelines (default) or the tree-walking interpreter, as in
+    :func:`repro.relational.algebra.evaluate_query`.
     """
+    if resolve_backend(backend) == BACKEND_COMPILED:
+        from .exec.bag_compile import execute_plan_bag
+
+        return execute_plan_bag(op, db)
+    return evaluate_query_bag_interpreted(op, db)
+
+
+def evaluate_query_bag_interpreted(op: Operator, db: BagDatabase) -> BagRelation:
+    """The tree-walking bag evaluator (the differential oracle)."""
     if isinstance(op, RelScan):
         return db[op.name]
     if isinstance(op, Singleton):
         return BagRelation(op.schema, {op.row: 1})
     if isinstance(op, Select):
-        return evaluate_query_bag(op.input, db).filter(op.condition)
+        return evaluate_query_bag_interpreted(op.input, db).filter(op.condition)
     if isinstance(op, Project):
-        child = evaluate_query_bag(op.input, db)
+        child = evaluate_query_bag_interpreted(op.input, db)
         out_schema = Schema(tuple(name for _, name in op.outputs))
         counts: Counter = Counter()
         for row, count in child.multiplicities.items():
@@ -259,16 +302,16 @@ def evaluate_query_bag(op: Operator, db: BagDatabase) -> BagRelation:
             counts[out_row] += count
         return BagRelation(out_schema, counts)
     if isinstance(op, Union):
-        return evaluate_query_bag(op.left, db).union_all(
-            evaluate_query_bag(op.right, db)
+        return evaluate_query_bag_interpreted(op.left, db).union_all(
+            evaluate_query_bag_interpreted(op.right, db)
         )
     if isinstance(op, Difference):
-        return evaluate_query_bag(op.left, db).monus(
-            evaluate_query_bag(op.right, db)
+        return evaluate_query_bag_interpreted(op.left, db).monus(
+            evaluate_query_bag_interpreted(op.right, db)
         )
     if isinstance(op, Join):
-        left = evaluate_query_bag(op.left, db)
-        right = evaluate_query_bag(op.right, db)
+        left = evaluate_query_bag_interpreted(op.left, db)
+        right = evaluate_query_bag_interpreted(op.right, db)
         schema = left.schema.concat(right.schema)
         counts = Counter()
         for lrow, lcount in left.multiplicities.items():

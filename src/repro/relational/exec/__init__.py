@@ -1,0 +1,116 @@
+"""Compiled execution backend (see DESIGN.md, "Execution backends").
+
+This subpackage lowers the interpreted algebra to compiled form:
+
+* :mod:`.expr_compile` — expression trees become generated Python
+  functions over positional row tuples (no per-row dict bindings),
+* :mod:`.plan_compile` / :mod:`.bag_compile` — operator trees become
+  streaming generator pipelines with a hash-join fast path and
+  deduplication only at pipeline breakers, under set and bag semantics,
+* :mod:`.backend` — the process-wide ``"compiled"`` / ``"interpreted"``
+  switch that :func:`repro.relational.algebra.evaluate_query` and friends
+  consult; compiled is the default, the interpreter stays available as
+  the differential-testing oracle.
+
+The compilers import the algebra module, which itself dispatches into
+this package at evaluation time — so everything except the import-light
+backend switch is exported lazily (PEP 562) to keep imports acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .backend import (
+    BACKEND_COMPILED,
+    BACKEND_INTERPRETED,
+    BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+
+__all__ = [
+    # backend switch
+    "BACKEND_COMPILED",
+    "BACKEND_INTERPRETED",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "use_backend",
+    # expression compilation
+    "compile_expr",
+    "compile_predicate",
+    "compile_row",
+    "const_fingerprint",
+    "clear_expr_cache",
+    "expr_cache_info",
+    # plan compilation (set semantics)
+    "CompiledPlan",
+    "compile_plan",
+    "execute_plan",
+    "plan_fingerprint",
+    "split_equijoin_condition",
+    "clear_plan_cache",
+    "plan_cache_info",
+    # plan compilation (bag semantics)
+    "CompiledBagPlan",
+    "compile_plan_bag",
+    "execute_plan_bag",
+    "clear_bag_plan_cache",
+    "bag_plan_cache_info",
+    # maintenance
+    "clear_caches",
+]
+
+_EXPR_EXPORTS = {
+    "compile_expr",
+    "compile_predicate",
+    "compile_row",
+    "const_fingerprint",
+    "clear_expr_cache",
+    "expr_cache_info",
+}
+_PLAN_EXPORTS = {
+    "CompiledPlan",
+    "compile_plan",
+    "execute_plan",
+    "plan_fingerprint",
+    "split_equijoin_condition",
+    "clear_plan_cache",
+    "plan_cache_info",
+}
+_BAG_EXPORTS = {
+    "CompiledBagPlan",
+    "compile_plan_bag",
+    "execute_plan_bag",
+    "clear_bag_plan_cache",
+    "bag_plan_cache_info",
+}
+
+
+def clear_caches() -> None:
+    """Drop every compilation cache (expressions and both plan kinds)."""
+    from . import bag_compile, expr_compile, plan_compile
+
+    expr_compile.clear_expr_cache()
+    plan_compile.clear_plan_cache()
+    bag_compile.clear_bag_plan_cache()
+
+
+def __getattr__(name: str) -> Any:
+    if name in _EXPR_EXPORTS:
+        from . import expr_compile
+
+        return getattr(expr_compile, name)
+    if name in _PLAN_EXPORTS:
+        from . import plan_compile
+
+        return getattr(plan_compile, name)
+    if name in _BAG_EXPORTS:
+        from . import bag_compile
+
+        return getattr(bag_compile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,83 @@
+"""Execution-backend selection.
+
+Two backends evaluate the same operator algebra:
+
+* ``"compiled"`` (the default) — :mod:`repro.relational.exec` lowers
+  expression trees to Python closures over positional row tuples and
+  operator trees to streaming generator pipelines with a hash-join fast
+  path (see DESIGN.md, "Execution backends"),
+* ``"interpreted"`` — the original tree-walking evaluator, kept as the
+  reference oracle for differential testing.
+
+The default is process-wide state so that code without a config in hand
+(statement application inside :meth:`History.execute`, ad-hoc
+``evaluate_query`` calls) picks the engine-selected backend.  The engine
+scopes its configured backend with :func:`use_backend`, restoring the
+previous default on exit, so nested engines with different configs
+compose correctly.
+
+This module is import-light on purpose: :mod:`repro.relational.algebra`
+imports it at module load, while the compilers (which import the algebra)
+are only pulled in lazily at evaluation time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "BACKEND_COMPILED",
+    "BACKEND_INTERPRETED",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "use_backend",
+]
+
+BACKEND_COMPILED = "compiled"
+BACKEND_INTERPRETED = "interpreted"
+BACKENDS = (BACKEND_COMPILED, BACKEND_INTERPRETED)
+
+_default_backend = BACKEND_COMPILED
+
+
+def _validate(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{BACKENDS}"
+        )
+    return backend
+
+
+def get_default_backend() -> str:
+    """The backend used when no explicit backend is passed."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = _validate(backend)
+    return previous
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve an optional explicit backend against the default."""
+    if backend is None:
+        return _default_backend
+    return _validate(backend)
+
+
+@contextmanager
+def use_backend(backend: str | None) -> Iterator[str]:
+    """Scope the default backend; ``None`` keeps the current default."""
+    resolved = resolve_backend(backend)
+    previous = set_default_backend(resolved)
+    try:
+        yield resolved
+    finally:
+        set_default_backend(previous)

@@ -1,0 +1,240 @@
+"""Streaming plan compilation for the bag (multiset) evaluator.
+
+Mirror of :mod:`.plan_compile` for the N[X]-semiring specialization of
+:mod:`repro.relational.bag`: pipelines stream ``(row, count)`` pairs,
+projection preserves multiplicities, union is additive (a plain chain —
+no breaker needed under bags), monus and the final materialization are
+the only pipeline breakers, and joins multiply multiplicities with the
+same hash-join fast path as the set compiler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..algebra import (
+    Difference,
+    Join,
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+    base_relations,
+    output_schema,
+)
+from ..expressions import TRUE
+from ..schema import Schema, SchemaError, check_union_compatible
+from .expr_compile import compile_predicate, compile_row
+from .plan_compile import (
+    _null_free,
+    _schemas_key,
+    plan_fingerprint,
+    split_equijoin_condition,
+)
+
+__all__ = [
+    "CompiledBagPlan",
+    "compile_plan_bag",
+    "execute_plan_bag",
+    "clear_bag_plan_cache",
+    "bag_plan_cache_info",
+]
+
+#: One streaming pass of ``(row, count)`` pairs over a bag (sub)plan.
+CountedSource = Callable[[Any], Iterable[tuple[tuple, int]]]
+
+
+class CompiledBagPlan:
+    """A compiled operator tree under bag semantics."""
+
+    __slots__ = ("schema", "operator", "_source", "uses_hash_join")
+
+    def __init__(
+        self,
+        schema: Schema,
+        operator: Operator,
+        source: CountedSource,
+        uses_hash_join: bool,
+    ) -> None:
+        self.schema = schema
+        self.operator = operator
+        self._source = source
+        self.uses_hash_join = uses_hash_join
+
+    def counted_rows(self, db: Any) -> Iterable[tuple[tuple, int]]:
+        """Stream ``(row, count)`` pairs; a row may appear repeatedly."""
+        return self._source(db)
+
+    def execute(self, db: Any):
+        from ..bag import BagRelation
+
+        counts: Counter = Counter()
+        for row, count in self._source(db):
+            counts[row] += count
+        return BagRelation(self.schema, counts)
+
+
+def _compile(
+    op: Operator, db_schemas: Mapping[str, Schema]
+) -> tuple[Schema, CountedSource, bool]:
+    if isinstance(op, RelScan):
+        schema = output_schema(op, dict(db_schemas))
+        name = op.name
+
+        def scan(db: Any) -> Iterable[tuple[tuple, int]]:
+            return iter(db[name].multiplicities.items())
+
+        return schema, scan, False
+
+    if isinstance(op, Singleton):
+        row = op.row
+
+        def singleton(db: Any) -> Iterable[tuple[tuple, int]]:
+            return iter(((row, 1),))
+
+        return op.schema, singleton, False
+
+    if isinstance(op, Select):
+        child_schema, child, child_hash = _compile(op.input, db_schemas)
+        predicate = compile_predicate(op.condition, child_schema)
+
+        def select(db: Any) -> Iterator[tuple[tuple, int]]:
+            for row, count in child(db):
+                if predicate(row):
+                    yield row, count
+
+        return child_schema, select, child_hash
+
+    if isinstance(op, Project):
+        child_schema, child, child_hash = _compile(op.input, db_schemas)
+        out_schema = Schema(tuple(name for _, name in op.outputs))
+        row_fn = compile_row(tuple(expr for expr, _ in op.outputs), child_schema)
+
+        def project(db: Any) -> Iterator[tuple[tuple, int]]:
+            for row, count in child(db):
+                yield row_fn(row), count
+
+        return out_schema, project, child_hash
+
+    if isinstance(op, Union):
+        left_schema, left, lh = _compile(op.left, db_schemas)
+        right_schema, right, rh = _compile(op.right, db_schemas)
+        check_union_compatible(left_schema, right_schema, "bag union")
+
+        def union_all(db: Any) -> Iterator[tuple[tuple, int]]:
+            yield from left(db)
+            yield from right(db)
+
+        return left_schema, union_all, lh or rh
+
+    if isinstance(op, Difference):
+        left_schema, left, lh = _compile(op.left, db_schemas)
+        right_schema, right, rh = _compile(op.right, db_schemas)
+        check_union_compatible(left_schema, right_schema, "bag difference")
+
+        def monus(db: Any) -> Iterator[tuple[tuple, int]]:
+            counts: Counter = Counter()
+            for row, count in left(db):
+                counts[row] += count
+            for row, count in right(db):
+                if row in counts:
+                    counts[row] -= count
+            for row, count in counts.items():
+                if count > 0:
+                    yield row, count
+
+        return left_schema, monus, lh or rh
+
+    if isinstance(op, Join):
+        left_schema, left, lh = _compile(op.left, db_schemas)
+        right_schema, right, rh = _compile(op.right, db_schemas)
+        schema = left_schema.concat(right_schema)
+        left_keys, right_keys, residual_expr = split_equijoin_condition(
+            op.condition, left_schema, right_schema
+        )
+        residual = (
+            compile_predicate(residual_expr, schema)
+            if residual_expr is not None and residual_expr != TRUE
+            else None
+        )
+
+        if left_keys:
+            left_key = compile_row(left_keys, left_schema)
+            right_key = compile_row(right_keys, right_schema)
+
+            def hash_join(db: Any) -> Iterator[tuple[tuple, int]]:
+                table: dict[tuple, list[tuple[tuple, int]]] = {}
+                setdefault = table.setdefault
+                for row, count in right(db):
+                    key = right_key(row)
+                    if _null_free(key):
+                        setdefault(key, []).append((row, count))
+                get = table.get
+                for lrow, lcount in left(db):
+                    matches = get(left_key(lrow))
+                    if matches is None:
+                        continue
+                    for rrow, rcount in matches:
+                        combined = lrow + rrow
+                        if residual is None or residual(combined):
+                            yield combined, lcount * rcount
+
+            return schema, hash_join, True
+
+        def nested_loop_join(db: Any) -> Iterator[tuple[tuple, int]]:
+            build = list(right(db))
+            for lrow, lcount in left(db):
+                for rrow, rcount in build:
+                    combined = lrow + rrow
+                    if residual is None or residual(combined):
+                        yield combined, lcount * rcount
+
+        return schema, nested_loop_join, lh or rh
+
+    raise TypeError(f"unknown operator {op!r}")
+
+
+@lru_cache(maxsize=1024)
+def _compile_bag_cached(
+    op: Operator,
+    schemas_key: tuple[tuple[str, Schema], ...],
+    fingerprint: tuple[str, ...],
+) -> CompiledBagPlan:
+    schemas = dict(schemas_key)
+    schema, source, uses_hash_join = _compile(op, schemas)
+    return CompiledBagPlan(schema, op, source, uses_hash_join)
+
+
+def compile_plan_bag(
+    op: Operator, db_schemas: Mapping[str, Schema]
+) -> CompiledBagPlan:
+    """Compile (with caching) an operator tree for bag evaluation."""
+    key = _schemas_key(op, db_schemas)
+    try:
+        return _compile_bag_cached(op, key, plan_fingerprint(op))
+    except TypeError:
+        schema, source, uses_hash_join = _compile(op, dict(db_schemas))
+        return CompiledBagPlan(schema, op, source, uses_hash_join)
+
+
+def execute_plan_bag(op: Operator, db: Any):
+    """Compile-and-run convenience used by ``evaluate_query_bag``."""
+    names = base_relations(op)
+    schemas: dict[str, Schema] = {}
+    for name in names:
+        if name not in db:
+            raise SchemaError(f"no relation named {name!r}")
+        schemas[name] = db.schema_of(name)
+    return compile_plan_bag(op, schemas).execute(db)
+
+
+def clear_bag_plan_cache() -> None:
+    _compile_bag_cached.cache_clear()
+
+
+def bag_plan_cache_info():
+    return _compile_bag_cached.cache_info()

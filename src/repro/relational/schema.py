@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
-__all__ = ["Schema", "SchemaError"]
+__all__ = ["Schema", "SchemaError", "check_union_compatible"]
 
 
 class SchemaError(Exception):
@@ -38,6 +38,12 @@ class Schema:
             object.__setattr__(self, "types", types)
         else:
             object.__setattr__(self, "types", ("any",) * len(attrs))
+        # Cached position map: attribute lookups and tuple<->dict
+        # conversions are per-row hot paths for the interpreter backend
+        # (22 call sites), so they must not rescan the attribute tuple.
+        object.__setattr__(
+            self, "_index", {a: i for i, a in enumerate(attrs)}
+        )
 
     @classmethod
     def of(cls, *attributes: str, types: Iterable[str] | None = None) -> "Schema":
@@ -60,8 +66,8 @@ class Schema:
     def index_of(self, name: str) -> int:
         """Position of attribute ``name``; raises :class:`SchemaError`."""
         try:
-            return self.attributes.index(name)
-        except ValueError:
+            return self._index[name]
+        except KeyError:
             raise SchemaError(
                 f"attribute {name!r} not in schema {self.attributes}"
             ) from None
@@ -93,3 +99,23 @@ class Schema:
     def concat(self, other: "Schema") -> "Schema":
         """Schema concatenation for joins; raises on name clashes."""
         return Schema(self.attributes + other.attributes, self.types + other.types)
+
+
+def check_union_compatible(left: Schema, right: Schema, what: str) -> None:
+    """Union/difference compatibility: same arity AND attribute names.
+
+    The evaluators used to check arity only and silently keep the left
+    schema, which let positionally-compatible but differently-named
+    inputs slip through; every construction site in the library renames
+    union sides to a common schema, so a name mismatch is a bug in the
+    caller and now fails loudly.
+    """
+    if left.arity != right.arity:
+        raise SchemaError(
+            f"{what} arity mismatch: {left.arity} vs {right.arity}"
+        )
+    if left.attributes != right.attributes:
+        raise SchemaError(
+            f"{what} attribute-name mismatch: {left.attributes} vs "
+            f"{right.attributes}"
+        )

@@ -23,6 +23,7 @@ from typing import Any, Mapping
 
 from .algebra import Operator, base_relations, evaluate_query
 from .database import Database
+from .exec.backend import BACKEND_COMPILED, resolve_backend
 from .expressions import (
     Expr,
     FALSE,
@@ -40,11 +41,33 @@ __all__ = [
     "DeleteStatement",
     "InsertTuple",
     "InsertQuery",
+    "compiled_update_row",
     "no_op",
     "is_no_op",
     "is_tuple_independent",
     "statements_equal",
 ]
+
+
+def compiled_update_row(stmt: "UpdateStatement", schema: Schema):
+    """One compiled ``row -> row`` closure for a whole UPDATE statement:
+    ``if theta then Set(t) else t`` evaluated positionally.
+
+    Shared by the set- and bag-semantics apply paths so the two cannot
+    drift apart.
+    """
+    from .exec import compile_predicate, compile_row
+
+    predicate = compile_predicate(stmt.condition, schema)
+    set_row = compile_row(
+        tuple(stmt.set_expression_for(attribute) for attribute in schema),
+        schema,
+    )
+
+    def update_row(row: tuple) -> tuple:
+        return set_row(row) if predicate(row) else row
+
+    return update_row
 
 
 class Statement:
@@ -101,12 +124,18 @@ class UpdateStatement(Statement):
                     f"UPDATE sets unknown attribute {attribute!r} "
                     f"on {self.relation}"
                 )
-        rows = frozenset(
-            relation.schema.from_dict(
-                self.apply_to_row(relation.schema.as_dict(t))
+        if resolve_backend(None) == BACKEND_COMPILED:
+            # Positional fast path: one compiled predicate plus one
+            # compiled whole-row Set closure, no per-row dict bindings.
+            update_row = compiled_update_row(self, relation.schema)
+            rows = frozenset(update_row(t) for t in relation.tuples)
+        else:
+            rows = frozenset(
+                relation.schema.from_dict(
+                    self.apply_to_row(relation.schema.as_dict(t))
+                )
+                for t in relation
             )
-            for t in relation
-        )
         return db.with_relation(self.relation, Relation(relation.schema, rows))
 
 
@@ -119,11 +148,21 @@ class DeleteStatement(Statement):
 
     def apply(self, db: Database) -> Database:
         relation = db[self.relation]
-        kept = frozenset(
-            t
-            for t in relation
-            if not bool(evaluate(self.condition, relation.schema.as_dict(t)))
-        )
+        if resolve_backend(None) == BACKEND_COMPILED:
+            from itertools import filterfalse
+
+            from .exec import compile_predicate
+
+            predicate = compile_predicate(self.condition, relation.schema)
+            kept = frozenset(filterfalse(predicate, relation.tuples))
+        else:
+            kept = frozenset(
+                t
+                for t in relation
+                if not bool(
+                    evaluate(self.condition, relation.schema.as_dict(t))
+                )
+            )
         return db.with_relation(self.relation, Relation(relation.schema, kept))
 
 
