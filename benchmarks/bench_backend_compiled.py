@@ -1,19 +1,27 @@
-"""Compiled vs. interpreted execution backend (see DESIGN.md).
+"""Three-way execution-backend benchmark (see DESIGN.md).
 
-Two measurements, both recorded to ``results.jsonl`` (experiment
+Compares all three backends — ``interpreted`` (the oracle),
+``compiled`` (the default), and ``sqlite`` (the middleware path: one
+translated SQL query per tree, executed on in-memory SQLite) — on two
+measurements, both recorded to ``results.jsonl`` (experiment
 ``"backend"``) and dumped as ``BENCH_backend.json`` at the repo root:
 
 * the **R+PS+DS hot path** of the bench_scaling workload — the engine's
   reenactment-query evaluation (``exe_seconds``), swept over relation
-  size and history length, once per backend.  The first compiled trial
-  warms the plan cache; reported numbers are the best of ``TRIALS`` runs
-  (the steady state the engine's repeated query pairs actually see),
+  size, once per backend.  The first compiled trial warms the plan
+  cache (and the first sqlite trial the connection cache); reported
+  numbers are the best of ``TRIALS`` runs,
 * a **join-bearing plan** — an equality join plus residual, where the
-  compiled backend's hash join replaces the interpreter's O(n·m) nested
-  loop.
+  compiled backend's hash join and SQLite's own join machinery both
+  replace the interpreter's O(n·m) nested loop.
 
-The asserted floor (≥ 3× on the largest hot-path size, and on the join)
-is the acceptance criterion for making the compiled backend the default.
+Every backend pair is asserted to produce the identical delta/result —
+the benchmark doubles as a coarse three-way differential.  The asserted
+speedup floor (≥ 3× compiled-vs-interpreted on the largest hot-path
+size, and on the join) remains the acceptance criterion for the
+compiled default; the sqlite numbers are reported, not floored — the
+middleware pays per-query translation plus data transfer, which is the
+paper's architecture, not this reproduction's fast path.
 """
 
 import json
@@ -37,6 +45,7 @@ from repro.workloads import WorkloadSpec, build_workload
 
 from .common import SMALL_ROWS, record
 
+BACKENDS = ("interpreted", "compiled", "sqlite")
 SIZES = tuple(int(SMALL_ROWS * factor) for factor in (1.0, 2.0, 4.0))
 UPDATES = 20
 TRIALS = 3
@@ -64,7 +73,7 @@ def _hot_path_rows():
         workload = build_workload(spec)
         timings = {}
         deltas = {}
-        for backend in ("interpreted", "compiled"):
+        for backend in BACKENDS:
             config = MahifConfig(backend=backend)
             best_exe = None
             for _ in range(TRIALS):
@@ -73,9 +82,10 @@ def _hot_path_rows():
                 best_exe = exe if best_exe is None else min(best_exe, exe)
                 deltas[backend] = timing.result.delta
             timings[backend] = best_exe
-        assert deltas["compiled"] == deltas["interpreted"], (
-            "backends disagree — correctness bug"
-        )
+        for backend in BACKENDS[1:]:
+            assert deltas[backend] == deltas["interpreted"], (
+                f"{backend} disagrees with the oracle — correctness bug"
+            )
         result = run_method(
             workload.query, Method.R_PS_DS, MahifConfig(backend="compiled")
         ).result
@@ -95,7 +105,9 @@ def _hot_path_rows():
             "updates": UPDATES,
             "interpreted_exe": timings["interpreted"],
             "compiled_exe": timings["compiled"],
+            "sqlite_exe": timings["sqlite"],
             "speedup": timings["interpreted"] / timings["compiled"],
+            "speedup_sqlite": timings["interpreted"] / timings["sqlite"],
             "ds_selectivity": selectivity,
         }
         record("backend", {k: v for k, v in row.items() if k != "ds_selectivity"})
@@ -125,21 +137,26 @@ def _join_rows():
         )
         results = {}
         timings = {}
-        for backend in ("interpreted", "compiled"):
+        for backend in BACKENDS:
             # One interpreted trial is enough: the nested loop is O(n*m)
-            # and dominates the benchmark's wall time.
+            # and dominates the benchmark's wall time.  The sqlite
+            # backend's extra trials let the connection cache absorb the
+            # one-time load, which is the steady state the engine sees.
             timings[backend], results[backend] = _best_of(
                 lambda backend=backend: evaluate_query(
                     plan, db, backend=backend
                 ),
                 trials=1 if backend == "interpreted" else TRIALS,
             )
-        assert results["compiled"].tuples == results["interpreted"].tuples
+        for backend in BACKENDS[1:]:
+            assert results[backend].tuples == results["interpreted"].tuples
         row = {
             "rows_per_side": rows,
             "interpreted": timings["interpreted"],
             "compiled": timings["compiled"],
+            "sqlite": timings["sqlite"],
             "speedup": timings["interpreted"] / timings["compiled"],
+            "speedup_sqlite": timings["interpreted"] / timings["sqlite"],
         }
         record("backend_join", row)
         out.append(row)
@@ -158,6 +175,7 @@ def test_backend_compiled_vs_interpreted(benchmark):
             "dataset": "taxi",
             "updates": UPDATES,
             "method": Method.R_PS_DS.value,
+            "backends": list(BACKENDS),
             "sizes": list(SIZES),
             "trials": TRIALS,
             "metric": "exe_seconds (reenactment evaluation), best of trials",
@@ -168,25 +186,35 @@ def test_backend_compiled_vs_interpreted(benchmark):
     TARGET.write_text(json.dumps(payload, indent=2) + "\n")
 
     print_series_table(
-        "Backend — R+PS+DS exe: compiled vs interpreted (taxi, U20)",
-        ["rows", "interpreted", "compiled", "speedup"],
+        "Backend — R+PS+DS exe: three-way (taxi, U20)",
+        ["rows", "interpreted", "compiled", "sqlite", "speedup", "spd_sqlite"],
         [
-            [r["rows"], r["interpreted_exe"], r["compiled_exe"], r["speedup"]]
+            [
+                r["rows"], r["interpreted_exe"], r["compiled_exe"],
+                r["sqlite_exe"], r["speedup"], r["speedup_sqlite"],
+            ]
             for r in data["hot_path"]
         ],
-        note="compiled ≥ 3× on the scaling workload's hot path",
+        note="compiled ≥ 3× on the scaling workload's hot path; sqlite "
+        "reported (middleware pays translation + transfer)",
     )
     print_series_table(
-        "Backend — equi-join plan: hash join vs nested loop",
-        ["rows/side", "interpreted", "compiled", "speedup"],
+        "Backend — equi-join plan: three-way",
+        ["rows/side", "interpreted", "compiled", "sqlite", "speedup",
+         "spd_sqlite"],
         [
-            [r["rows_per_side"], r["interpreted"], r["compiled"], r["speedup"]]
+            [
+                r["rows_per_side"], r["interpreted"], r["compiled"],
+                r["sqlite"], r["speedup"], r["speedup_sqlite"],
+            ]
             for r in data["join"]
         ],
         note="speedup grows with input size (O(n+m) vs O(n*m))",
     )
 
-    # Acceptance criteria: ≥ 3× on the largest hot-path size and on every
-    # join size beyond the smallest.
+    # Acceptance criteria: ≥ 3× on the largest hot-path size and on the
+    # largest join size (compiled vs interpreted; sqlite is reported).
     assert data["hot_path"][-1]["speedup"] >= 3.0, data["hot_path"]
     assert data["join"][-1]["speedup"] >= 3.0, data["join"]
+    # Even the middleware must beat the interpreter's nested-loop join.
+    assert data["join"][-1]["speedup_sqlite"] >= 1.0, data["join"]

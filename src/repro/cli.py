@@ -38,7 +38,7 @@ from .core import (
     Replace,
 )
 from .core.provenance import explain_delta
-from .relational import History, parse_history, parse_statement
+from .relational import BACKENDS, History, parse_history, parse_statement
 from .relational.csvio import format_value, load_database_dir, relation_to_csv
 
 __all__ = ["main", "build_parser"]
@@ -81,9 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whatif.add_argument(
         "--backend", default="compiled",
-        choices=("compiled", "interpreted"),
-        help="execution backend (compiled closures vs. the tree-walking "
-        "reference interpreter)",
+        choices=BACKENDS,
+        help="execution backend: compiled closures, the tree-walking "
+        "reference interpreter, or server-side SQL on in-memory sqlite",
     )
     whatif.add_argument("--explain", action="store_true",
                         help="print why-provenance for delta tuples")

@@ -94,7 +94,10 @@ class MahifConfig:
     statement evaluated while answering: ``"compiled"`` (the default)
     runs closure-compiled streaming pipelines with hash joins,
     ``"interpreted"`` the original tree-walking evaluator (kept as the
-    differential-testing oracle; see DESIGN.md, "Execution backends").
+    differential-testing oracle), and ``"sqlite"`` the middleware path
+    of the paper — reenactment queries and statements are translated to
+    SQL and executed server-side on an in-memory SQLite database (see
+    DESIGN.md, "Execution backends").
     """
 
     slicing_algorithm: str = "dependency"

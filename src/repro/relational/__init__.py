@@ -21,6 +21,8 @@ from .algebra import (
 from .exec import (
     BACKEND_COMPILED,
     BACKEND_INTERPRETED,
+    BACKEND_SQLITE,
+    BACKENDS,
     get_default_backend,
     set_default_backend,
     use_backend,
@@ -101,8 +103,9 @@ __all__ = [
     "Operator", "RelScan", "Singleton", "Project", "Select", "Union",
     "Difference", "Join", "evaluate_query", "evaluate_query_interpreted",
     # execution backends
-    "BACKEND_COMPILED", "BACKEND_INTERPRETED", "get_default_backend",
-    "set_default_backend", "use_backend",
+    "BACKEND_COMPILED", "BACKEND_INTERPRETED", "BACKEND_SQLITE",
+    "BACKENDS", "get_default_backend", "set_default_backend",
+    "use_backend",
     # parsing / rendering
     "parse_expression", "parse_statement", "parse_history",
     "statement_to_sql", "query_to_sql", "history_to_sql",

@@ -25,7 +25,7 @@ from .expressions import (
     evaluate,
     simplify,
 )
-from .exec.backend import BACKEND_COMPILED, resolve_backend
+from .exec.backend import BACKEND_COMPILED, BACKEND_SQLITE, resolve_backend
 from .relation import Relation
 from .schema import Schema, SchemaError, check_union_compatible
 
@@ -160,18 +160,26 @@ def evaluate_query(
     ``backend`` selects the execution backend: ``"compiled"`` (the
     default — see :mod:`repro.relational.exec`) streams the plan through
     closure-compiled operators, ``"interpreted"`` walks the tree per
-    tuple, and ``None`` defers to the process default
+    tuple, ``"sqlite"`` translates the tree to SQL and executes it
+    server-side on an in-memory SQLite database (the paper's middleware
+    architecture), and ``None`` defers to the process default
     (:func:`repro.relational.exec.get_default_backend`, usually set by
-    the engine's :class:`~repro.core.engine.MahifConfig`).  Both backends
+    the engine's :class:`~repro.core.engine.MahifConfig`).  All backends
     are differentially tested to agree on every operator and expression
-    shape; the one caveat is error *raising* inside join conditions over
+    shape; the caveats are error *raising* inside join conditions over
     ill-typed data, where the hash join skips pairs the interpreter
-    would have evaluated (see DESIGN.md, "Execution backends").
+    would have evaluated, and the sqlite backend's typed-domain caveats
+    (see DESIGN.md, "Execution backends").
     """
-    if resolve_backend(backend) == BACKEND_COMPILED:
+    resolved = resolve_backend(backend)
+    if resolved == BACKEND_COMPILED:
         from .exec.plan_compile import execute_plan
 
         return execute_plan(op, db)
+    if resolved == BACKEND_SQLITE:
+        from .exec.sql_backend import execute_query_sqlite
+
+        return execute_query_sqlite(op, db)
     return evaluate_query_interpreted(op, db)
 
 

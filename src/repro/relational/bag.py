@@ -32,7 +32,7 @@ from .algebra import (
     Union,
 )
 from .database import Database
-from .exec.backend import BACKEND_COMPILED, resolve_backend
+from .exec.backend import BACKEND_COMPILED, BACKEND_SQLITE, resolve_backend
 from .expressions import Expr, evaluate
 from .history import History
 from .relation import Relation
@@ -199,10 +199,17 @@ def apply_statement_bag(stmt: Statement, db: BagDatabase) -> BagDatabase:
 
     Update/delete conditions and Set clauses run through the configured
     execution backend: compiled row closures by default, per-row dict
-    bindings under the interpreter (see :mod:`repro.relational.exec`).
+    bindings under the interpreter, or one translated SQL statement
+    executed server-side under the sqlite middleware backend (see
+    :mod:`repro.relational.exec`).
     """
+    backend = resolve_backend(None)
+    if backend == BACKEND_SQLITE:
+        from .exec.sql_backend import apply_statement_sqlite_bag
+
+        return apply_statement_sqlite_bag(stmt, db)
     relation = db[stmt.relation]
-    compiled = resolve_backend(None) == BACKEND_COMPILED
+    compiled = backend == BACKEND_COMPILED
     if isinstance(stmt, UpdateStatement):
         counts: Counter = Counter()
         if compiled:
@@ -274,13 +281,19 @@ def evaluate_query_bag(
     Projection preserves multiplicities (no dedup), union is additive,
     difference is monus, join multiplies multiplicities — the standard
     N[X]-semiring specialization.  ``backend`` selects compiled streaming
-    pipelines (default) or the tree-walking interpreter, as in
+    pipelines (default), the tree-walking interpreter, or server-side
+    SQLite execution with a hidden multiplicity column, as in
     :func:`repro.relational.algebra.evaluate_query`.
     """
-    if resolve_backend(backend) == BACKEND_COMPILED:
+    resolved = resolve_backend(backend)
+    if resolved == BACKEND_COMPILED:
         from .exec.bag_compile import execute_plan_bag
 
         return execute_plan_bag(op, db)
+    if resolved == BACKEND_SQLITE:
+        from .exec.sql_backend import execute_query_sqlite_bag
+
+        return execute_query_sqlite_bag(op, db)
     return evaluate_query_bag_interpreted(op, db)
 
 

@@ -7,10 +7,14 @@ This subpackage lowers the interpreted algebra to compiled form:
 * :mod:`.plan_compile` / :mod:`.bag_compile` — operator trees become
   streaming generator pipelines with a hash-join fast path and
   deduplication only at pipeline breakers, under set and bag semantics,
+* :mod:`.sqlite_sql` / :mod:`.sql_backend` — the ``"sqlite"`` middleware
+  backend: trees and statements are translated to SQL and executed
+  server-side on an in-memory :mod:`sqlite3` database,
 * :mod:`.backend` — the process-wide ``"compiled"`` / ``"interpreted"``
-  switch that :func:`repro.relational.algebra.evaluate_query` and friends
-  consult; compiled is the default, the interpreter stays available as
-  the differential-testing oracle.
+  / ``"sqlite"`` switch that
+  :func:`repro.relational.algebra.evaluate_query` and friends consult;
+  compiled is the default, the interpreter stays available as the
+  differential-testing oracle.
 
 The compilers import the algebra module, which itself dispatches into
 this package at evaluation time — so everything except the import-light
@@ -24,6 +28,7 @@ from typing import Any
 from .backend import (
     BACKEND_COMPILED,
     BACKEND_INTERPRETED,
+    BACKEND_SQLITE,
     BACKENDS,
     get_default_backend,
     resolve_backend,
@@ -35,6 +40,7 @@ __all__ = [
     # backend switch
     "BACKEND_COMPILED",
     "BACKEND_INTERPRETED",
+    "BACKEND_SQLITE",
     "BACKENDS",
     "get_default_backend",
     "set_default_backend",
@@ -61,6 +67,14 @@ __all__ = [
     "execute_plan_bag",
     "clear_bag_plan_cache",
     "bag_plan_cache_info",
+    # sqlite middleware backend
+    "SqlBackendError",
+    "execute_query_sqlite",
+    "execute_query_sqlite_bag",
+    "apply_statement_sqlite",
+    "apply_statement_sqlite_bag",
+    "clear_sqlite_cache",
+    "sqlite_cache_info",
     # maintenance
     "clear_caches",
 ]
@@ -89,15 +103,25 @@ _BAG_EXPORTS = {
     "clear_bag_plan_cache",
     "bag_plan_cache_info",
 }
+_SQLITE_EXPORTS = {
+    "SqlBackendError",
+    "execute_query_sqlite",
+    "execute_query_sqlite_bag",
+    "apply_statement_sqlite",
+    "apply_statement_sqlite_bag",
+    "clear_sqlite_cache",
+    "sqlite_cache_info",
+}
 
 
 def clear_caches() -> None:
-    """Drop every compilation cache (expressions and both plan kinds)."""
-    from . import bag_compile, expr_compile, plan_compile
+    """Drop every compilation cache and the sqlite connection cache."""
+    from . import bag_compile, expr_compile, plan_compile, sql_backend
 
     expr_compile.clear_expr_cache()
     plan_compile.clear_plan_cache()
     bag_compile.clear_bag_plan_cache()
+    sql_backend.clear_sqlite_cache()
 
 
 def __getattr__(name: str) -> Any:
@@ -113,4 +137,8 @@ def __getattr__(name: str) -> Any:
         from . import bag_compile
 
         return getattr(bag_compile, name)
+    if name in _SQLITE_EXPORTS:
+        from . import sql_backend
+
+        return getattr(sql_backend, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

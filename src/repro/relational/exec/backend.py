@@ -1,13 +1,17 @@
 """Execution-backend selection.
 
-Two backends evaluate the same operator algebra:
+Three backends evaluate the same operator algebra:
 
 * ``"compiled"`` (the default) — :mod:`repro.relational.exec` lowers
   expression trees to Python closures over positional row tuples and
   operator trees to streaming generator pipelines with a hash-join fast
   path (see DESIGN.md, "Execution backends"),
 * ``"interpreted"`` — the original tree-walking evaluator, kept as the
-  reference oracle for differential testing.
+  reference oracle for differential testing,
+* ``"sqlite"`` — the middleware backend of the paper's architecture:
+  operator trees and statements are translated to SQL and executed
+  server-side on an in-memory :mod:`sqlite3` database (see
+  :mod:`repro.relational.exec.sql_backend`).
 
 The default is process-wide state so that code without a config in hand
 (statement application inside :meth:`History.execute`, ad-hoc
@@ -29,6 +33,7 @@ from typing import Iterator
 __all__ = [
     "BACKEND_COMPILED",
     "BACKEND_INTERPRETED",
+    "BACKEND_SQLITE",
     "BACKENDS",
     "get_default_backend",
     "set_default_backend",
@@ -38,7 +43,8 @@ __all__ = [
 
 BACKEND_COMPILED = "compiled"
 BACKEND_INTERPRETED = "interpreted"
-BACKENDS = (BACKEND_COMPILED, BACKEND_INTERPRETED)
+BACKEND_SQLITE = "sqlite"
+BACKENDS = (BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE)
 
 _default_backend = BACKEND_COMPILED
 

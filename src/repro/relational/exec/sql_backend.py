@@ -1,0 +1,304 @@
+"""The ``"sqlite"`` execution backend: Mahif as a real middleware.
+
+The paper's system rewrites a what-if history into one reenactment query
+and ships it to a DBMS.  This module completes that architecture for the
+reproduction: the database is loaded into an in-memory :mod:`sqlite3`
+connection, operator trees and update statements are translated to SQL by
+:mod:`.sqlite_sql`, executed server-side, and the results read back into
+:class:`~repro.relational.relation.Relation` /
+:class:`~repro.relational.bag.BagRelation` instances.
+
+Storage model
+-------------
+
+* Set-semantics relations become plain rowid tables, one untyped column
+  per attribute (BLOB affinity — values keep the storage class they were
+  bound with, so comparisons follow SQLite's cross-type rules, which the
+  translation layer reconciles with Python semantics).
+* Bag-semantics relations carry one extra hidden column
+  (:data:`~.sqlite_sql.MULT_COLUMN`) holding the row's multiplicity;
+  duplicate rows arriving from queries or inserts are consolidated at
+  read-back time by summing, which is exactly the bag evaluator's
+  ``Counter`` behaviour.
+
+Databases are immutable, so read-only query evaluation caches one loaded
+connection per :class:`Database`/:class:`BagDatabase` *instance* (keyed
+by identity, dropped via weakref when the database is collected) — the
+engine evaluates many reenactment queries against one time-travelled
+state, and reloading per query would swamp the measurement.  Statement
+application uses a throwaway connection loaded with just the relations
+the statement touches, since it must not mutate the cached image.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import weakref
+from collections import Counter
+from typing import Any, Iterable
+
+from ..algebra import Operator, base_relations, output_schema
+from ..database import Database
+from ..relation import Relation
+from ..schema import Schema, SchemaError
+from .sqlite_sql import (
+    MULT_COLUMN,
+    RESERVED_COLUMNS,
+    SqlBackendError,
+    bind_value,
+    query_to_sqlite,
+    query_to_sqlite_bag,
+    quote_identifier,
+    statement_to_sqlite,
+)
+
+__all__ = [
+    "SqlBackendError",
+    "execute_query_sqlite",
+    "execute_query_sqlite_bag",
+    "apply_statement_sqlite",
+    "apply_statement_sqlite_bag",
+    "clear_sqlite_cache",
+    "sqlite_cache_info",
+]
+
+
+# -- loading ----------------------------------------------------------------
+
+def _check_identifier_collisions(names: Iterable[str], what: str) -> None:
+    """SQLite identifiers are case-insensitive; Python names are not."""
+    seen: dict[str, str] = {}
+    for name in names:
+        folded = name.lower()
+        if folded in seen and seen[folded] != name:
+            raise SqlBackendError(
+                f"{what} {seen[folded]!r} and {name!r} collide under "
+                "SQLite's case-insensitive identifiers"
+            )
+        seen[folded] = name
+
+
+def _create_table(
+    conn: sqlite3.Connection, name: str, schema: Schema, bag: bool
+) -> None:
+    for attribute in schema.attributes:
+        if attribute in RESERVED_COLUMNS:
+            raise SqlBackendError(
+                f"attribute name {attribute!r} is reserved by the sqlite "
+                "backend"
+            )
+    _check_identifier_collisions(schema.attributes, "attributes")
+    columns = [quote_identifier(a) for a in schema.attributes]
+    if bag:
+        columns.append(f"{quote_identifier(MULT_COLUMN)} INTEGER")
+    if not columns:
+        raise SqlBackendError(f"relation {name!r} has zero columns")
+    conn.execute(
+        f"CREATE TABLE {quote_identifier(name)} ({', '.join(columns)})"
+    )
+
+
+def _load_set_relation(
+    conn: sqlite3.Connection, name: str, relation: Relation
+) -> None:
+    _create_table(conn, name, relation.schema, bag=False)
+    placeholders = ", ".join("?" for _ in relation.schema.attributes)
+    conn.executemany(
+        f"INSERT INTO {quote_identifier(name)} VALUES ({placeholders})",
+        (tuple(bind_value(v) for v in row) for row in relation.tuples),
+    )
+
+
+def _load_bag_relation(conn: sqlite3.Connection, name: str, relation) -> None:
+    _create_table(conn, name, relation.schema, bag=True)
+    placeholders = ", ".join("?" for _ in relation.schema.attributes)
+    conn.executemany(
+        f"INSERT INTO {quote_identifier(name)} "
+        f"VALUES ({placeholders}, ?)",
+        (
+            tuple(bind_value(v) for v in row) + (count,)
+            for row, count in relation.multiplicities.items()
+        ),
+    )
+
+
+def _load_database(conn: sqlite3.Connection, db, names, bag: bool) -> None:
+    _check_identifier_collisions(names, "relations")
+    for name in names:
+        if bag:
+            _load_bag_relation(conn, name, db[name])
+        else:
+            _load_set_relation(conn, name, db[name])
+
+
+def _connect() -> sqlite3.Connection:
+    return sqlite3.connect(":memory:")
+
+
+# -- read-only connection cache ---------------------------------------------
+
+#: ``id(db) -> (weakref to db, loaded connection, is_bag)``.
+_connections: dict[int, tuple[weakref.ref, sqlite3.Connection, bool]] = {}
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _cached_connection(db, bag: bool) -> sqlite3.Connection:
+    global _cache_hits, _cache_misses
+    key = id(db)
+    entry = _connections.get(key)
+    if entry is not None and entry[0]() is db and entry[2] == bag:
+        _cache_hits += 1
+        return entry[1]
+    if entry is not None:
+        entry[1].close()
+    _cache_misses += 1
+    conn = _connect()
+    _load_database(conn, db, db.relation_names(), bag)
+
+    def _drop(_ref, key=key) -> None:
+        stale = _connections.pop(key, None)
+        if stale is not None:
+            stale[1].close()
+
+    _connections[key] = (weakref.ref(db, _drop), conn, bag)
+    return conn
+
+
+def clear_sqlite_cache() -> None:
+    """Close and drop every cached read-only connection."""
+    global _cache_hits, _cache_misses
+    for _, conn, _bag in _connections.values():
+        conn.close()
+    _connections.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def sqlite_cache_info() -> dict[str, int]:
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "connections": len(_connections),
+    }
+
+
+# -- query evaluation -------------------------------------------------------
+
+def _schemas_of(db, names: Iterable[str]) -> dict[str, Schema]:
+    schemas = {}
+    for name in names:
+        if name not in db:
+            raise SchemaError(f"no relation named {name!r}")
+        schemas[name] = db.schema_of(name)
+    return schemas
+
+
+def execute_query_sqlite(op: Operator, db: Database) -> Relation:
+    """Evaluate a set-semantics operator tree server-side on SQLite."""
+    schemas = _schemas_of(db, base_relations(op))
+    # Schema checks first, for error parity with the in-process backends.
+    out_schema = output_schema(op, schemas)
+    sql, params, _ = query_to_sqlite(op, schemas)
+    conn = _cached_connection(db, bag=False)
+    rows = conn.execute(sql, params).fetchall()
+    return Relation(out_schema, frozenset(tuple(r) for r in rows))
+
+
+def execute_query_sqlite_bag(op: Operator, db) -> "BagRelation":
+    """Evaluate a bag-semantics operator tree server-side on SQLite."""
+    from ..bag import BagRelation
+
+    schemas = _schemas_of(db, base_relations(op))
+    out_schema = output_schema(op, schemas)
+    sql, params, _ = query_to_sqlite_bag(op, schemas)
+    conn = _cached_connection(db, bag=True)
+    counts: Counter = Counter()
+    for row in conn.execute(sql, params):
+        counts[tuple(row[:-1])] += row[-1]
+    return BagRelation(out_schema, counts)
+
+
+# -- statement application --------------------------------------------------
+
+def _validate_statement(stmt, relation_schema: Schema) -> None:
+    """Schema-level checks the in-process apply paths perform eagerly."""
+    from ..statements import InsertTuple, UpdateStatement
+
+    if isinstance(stmt, UpdateStatement):
+        for attribute in stmt.set_clauses:
+            if attribute not in relation_schema:
+                raise SchemaError(
+                    f"UPDATE sets unknown attribute {attribute!r} "
+                    f"on {stmt.relation}"
+                )
+    if isinstance(stmt, InsertTuple):
+        if len(stmt.values) != relation_schema.arity:
+            raise SchemaError(
+                f"insert arity {len(stmt.values)} != schema arity "
+                f"{relation_schema.arity}"
+            )
+
+
+def _statement_schemas(stmt, db) -> dict[str, Schema]:
+    from ..statements import InsertQuery
+
+    names = set(stmt.accessed_relations())
+    names.add(stmt.relation)
+    schemas = _schemas_of(db, names)
+    if isinstance(stmt, InsertQuery):
+        result_schema = output_schema(stmt.query, schemas)
+        target_arity = schemas[stmt.relation].arity
+        if result_schema.arity != target_arity:
+            raise SchemaError(
+                f"INSERT SELECT arity {result_schema.arity} does not "
+                f"match {stmt.relation} arity {target_arity}"
+            )
+    return schemas
+
+
+def apply_statement_sqlite(stmt, db: Database) -> Database:
+    """Apply one statement server-side (set semantics).
+
+    A throwaway connection is loaded with exactly the relations the
+    statement touches; the mutated target relation is read back and the
+    untouched relations of the immutable input database are shared.
+    """
+    target = db[stmt.relation]
+    _validate_statement(stmt, target.schema)
+    schemas = _statement_schemas(stmt, db)
+    conn = _connect()
+    try:
+        _load_database(conn, db, sorted(schemas), bag=False)
+        sql, params = statement_to_sqlite(stmt, schemas, bag=False)
+        conn.execute(sql, params)
+        cursor = conn.execute(
+            f"SELECT * FROM {quote_identifier(stmt.relation)}"
+        )
+        rows = frozenset(tuple(r) for r in cursor.fetchall())
+    finally:
+        conn.close()
+    return db.with_relation(stmt.relation, Relation(target.schema, rows))
+
+
+def apply_statement_sqlite_bag(stmt, db) -> "BagDatabase":
+    """Apply one statement server-side (bag semantics)."""
+    from ..bag import BagRelation
+
+    target = db[stmt.relation]
+    _validate_statement(stmt, target.schema)
+    schemas = _statement_schemas(stmt, db)
+    conn = _connect()
+    try:
+        _load_database(conn, db, sorted(schemas), bag=True)
+        sql, params = statement_to_sqlite(stmt, schemas, bag=True)
+        conn.execute(sql, params)
+        cursor = conn.execute(
+            f"SELECT * FROM {quote_identifier(stmt.relation)}"
+        )
+        counts: Counter = Counter()
+        for row in cursor:
+            counts[tuple(row[:-1])] += row[-1]
+    finally:
+        conn.close()
+    return db.with_relation(stmt.relation, BagRelation(target.schema, counts))

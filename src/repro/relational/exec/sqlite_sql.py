@@ -1,0 +1,494 @@
+"""Translate expressions, operator trees and statements to SQLite SQL.
+
+This is the query-rewriting half of the ``"sqlite"`` execution backend
+(see :mod:`.sql_backend` for connection handling): it turns the algebra
+the reenactment compiler produces into *one* SQL string per operator tree
+— exactly the query the paper's middleware ships to its DBMS — plus the
+parameter list that carries every literal (no string-interpolated values,
+so quote-laden strings can never break the generated SQL).
+
+The translation reconciles SQLite's semantics with the interpreter's
+Python semantics (DESIGN.md, "Execution backends"):
+
+* **Two-valued NULL logic.**  The interpreter evaluates a comparison with
+  a NULL operand to ``False``; SQLite's three-valued logic yields NULL,
+  which would flip ``NOT``/``OR`` results.  Every comparison is therefore
+  rendered as ``COALESCE((l op r), 0)`` in condition context, so boolean
+  connectives only ever see ``0``/``1``.
+* **True division.**  Python ``/`` is true division while SQLite divides
+  integers integrally, so the left operand is rendered as
+  ``CAST(l AS REAL)``.  Division by zero yields NULL on both sides.
+* **Bag semantics.**  Bag relations are stored with a hidden multiplicity
+  column (:data:`MULT_COLUMN`) threaded through every operator:
+  selections and projections carry it along, bag union is ``UNION ALL``,
+  joins multiply it, and monus is a grouped ``LEFT JOIN`` on ``IS``
+  (NULL-safe) equality with the difference of the summed counts.
+* **Booleans** travel as SQLite integers ``1``/``0``.  Python hashes and
+  compares ``True == 1``, so the round trip is invisible to relation
+  equality and deduplication.
+
+Arithmetic is numeric-domain only, like the paper's grammar: column
+value types are unknown at translation time, so string operands in
+arithmetic (Python concatenates, SQLite coerces text to 0) and computed
+integer overflow past 64 bits (Python is exact, SQLite switches to
+REAL) cannot be rejected statically — see the DESIGN.md caveat list.
+Literal values with these problems are rejected loudly by
+:func:`bind_value`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..algebra import (
+    Difference,
+    Join,
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from ..expressions import (
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    EvaluationError,
+    Expr,
+    If,
+    IsNull,
+    Logic,
+    Not,
+    Var,
+    attributes_of,
+    variables_of,
+)
+from ..schema import Schema, SchemaError, check_union_compatible
+from ..statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    Statement,
+    UpdateStatement,
+)
+
+__all__ = [
+    "SqlBackendError",
+    "MULT_COLUMN",
+    "quote_identifier",
+    "bind_value",
+    "expr_to_sqlite",
+    "condition_to_sqlite",
+    "query_to_sqlite",
+    "query_to_sqlite_bag",
+    "statement_to_sqlite",
+]
+
+
+class SqlBackendError(Exception):
+    """Raised when a plan/statement cannot be shipped to SQLite."""
+
+
+#: Hidden multiplicity column used by the bag-semantics translation.
+MULT_COLUMN = "_mahif_mult"
+
+#: Internal alias for the summed multiplicity inside the monus rendering.
+_SUM_ALIAS = "_mahif_sum"
+
+#: Attribute names the backend claims for itself, rejected uniformly on
+#: both the query-translation and statement-application paths.
+RESERVED_COLUMNS = frozenset({MULT_COLUMN, _SUM_ALIAS})
+
+_MAX_SQLITE_INT = 2**63 - 1
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier (embedded quotes doubled)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def bind_value(value: Any) -> Any:
+    """Coerce a Python value into a bindable SQLite parameter.
+
+    Booleans become integers (SQLite has no boolean storage class); NaN
+    would silently bind as NULL and infinities round-trip fine, so both
+    are allowed but NaN is rejected loudly — the interpreter's
+    ``nan != nan`` cannot be reproduced server-side.
+    """
+    if value is None or isinstance(value, (float, str)):
+        if isinstance(value, float) and value != value:
+            raise SqlBackendError(
+                "NaN cannot be shipped to SQLite (it binds as NULL, which "
+                "changes comparison semantics)"
+            )
+        return value
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        if abs(value) > _MAX_SQLITE_INT:
+            raise SqlBackendError(
+                f"integer {value} exceeds SQLite's 64-bit range"
+            )
+        return value
+    raise SqlBackendError(
+        f"cannot ship value of type {type(value).__name__} to SQLite"
+    )
+
+
+# -- expressions -----------------------------------------------------------
+
+def expr_to_sqlite(expr: Expr, params: list[Any]) -> str:
+    """Render ``expr`` in *value* context, appending literals to ``params``.
+
+    Conditions appearing in value position (the interpreter returns a
+    Python ``bool`` for them, never NULL) are rendered through the
+    condition translation, so they surface as ``0``/``1`` integers.
+    """
+    if isinstance(expr, Const):
+        params.append(bind_value(expr.value))
+        return "?"
+    if isinstance(expr, (Attr, Var)):
+        # The interpreter looks both node kinds up in the same binding,
+        # so a Var whose name is a column resolves like an Attr.  Scope
+        # is validated by the operator/statement translation; see
+        # :func:`_check_scope`.
+        return quote_identifier(expr.name)
+    if isinstance(expr, Arith):
+        left = expr_to_sqlite(expr.left, params)
+        right = expr_to_sqlite(expr.right, params)
+        if expr.op == "/":
+            # Python / is true division; SQLite divides integers
+            # integrally.  CAST(NULL AS REAL) stays NULL, x/0 yields NULL
+            # on both backends.
+            return f"(CAST({left} AS REAL) / {right})"
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, If):
+        cond = condition_to_sqlite(expr.cond, params)
+        then = expr_to_sqlite(expr.then, params)
+        orelse = expr_to_sqlite(expr.orelse, params)
+        return f"CASE WHEN {cond} THEN {then} ELSE {orelse} END"
+    if isinstance(expr, (Cmp, Logic, Not, IsNull)):
+        return condition_to_sqlite(expr, params)
+    raise SqlBackendError(f"cannot translate expression {expr!r}")
+
+
+def condition_to_sqlite(expr: Expr, params: list[Any]) -> str:
+    """Render ``expr`` in *condition* context: always ``0`` or ``1``.
+
+    Matches the interpreter's two-valued logic: a comparison whose
+    operand is NULL is false, so ``NOT``/``AND``/``OR`` never see NULL.
+    """
+    if isinstance(expr, Cmp):
+        op = "<>" if expr.op == "!=" else expr.op
+        left = expr_to_sqlite(expr.left, params)
+        right = expr_to_sqlite(expr.right, params)
+        return f"COALESCE(({left} {op} {right}), 0)"
+    if isinstance(expr, Logic):
+        left = condition_to_sqlite(expr.left, params)
+        right = condition_to_sqlite(expr.right, params)
+        return f"({left} {expr.op.upper()} {right})"
+    if isinstance(expr, Not):
+        return f"(NOT {condition_to_sqlite(expr.operand, params)})"
+    if isinstance(expr, IsNull):
+        return f"(({expr_to_sqlite(expr.operand, params)}) IS NULL)"
+    if isinstance(expr, Const):
+        # Known value: take Python's truthiness exactly.
+        return "1" if bool(expr.value) else "0"
+    if isinstance(expr, If):
+        cond = condition_to_sqlite(expr.cond, params)
+        then = condition_to_sqlite(expr.then, params)
+        orelse = condition_to_sqlite(expr.orelse, params)
+        return f"CASE WHEN {cond} THEN {then} ELSE {orelse} END"
+    # Generic value in condition position: numeric truthiness.  (String
+    # truthiness diverges from Python here — see the DESIGN.md caveats —
+    # but the paper's grammar only puts proper conditions in phi.)
+    return f"COALESCE((({expr_to_sqlite(expr, params)}) <> 0), 0)"
+
+
+# -- operator trees --------------------------------------------------------
+
+class _Aliases:
+    """Fresh derived-table alias generator for one translation."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def next(self) -> str:
+        self._count += 1
+        return f"_q{self._count}"
+
+
+def _check_scope(expr: Expr, schema: Schema) -> None:
+    """Reject attribute/variable references outside the input schema.
+
+    SQLite's double-quoted-string misfeature would otherwise turn an
+    unknown ``"column"`` into the string literal ``'column'`` and return
+    silently wrong rows.  The check is *eager* (translate time) where the
+    interpreter raises lazily per evaluated row, so the sqlite backend
+    rejects an unbound reference even when lazy evaluation would never
+    have reached it (empty inputs, dead branches) — this backend's
+    error-timing caveat, mirrored after the compiled backend's hash-join
+    caveat (see DESIGN.md).
+    """
+    missing = (
+        attributes_of(expr) | variables_of(expr)
+    ) - set(schema.attributes)
+    if missing:
+        raise EvaluationError(f"unbound reference {min(missing)!r}")
+
+
+def _check_schema(schema: Schema, what: str) -> Schema:
+    if schema.arity == 0:
+        raise SqlBackendError(f"{what} with zero columns cannot ship to SQLite")
+    for attribute in schema.attributes:
+        if attribute in RESERVED_COLUMNS:
+            raise SqlBackendError(
+                f"attribute name {attribute!r} is reserved by the sqlite "
+                "backend"
+            )
+    return schema
+
+
+def _column_list(schema: Schema, qualifier: str | None = None) -> str:
+    prefix = f"{qualifier}." if qualifier else ""
+    return ", ".join(prefix + quote_identifier(a) for a in schema.attributes)
+
+
+def _translate(
+    op: Operator,
+    db_schemas: Mapping[str, Schema],
+    params: list[Any],
+    aliases: _Aliases,
+    bag: bool,
+) -> tuple[str, Schema]:
+    """Recursive rendering; returns ``(sql, output schema)``.
+
+    In bag mode every produced SELECT carries a trailing
+    :data:`MULT_COLUMN` column.
+    """
+    mult = quote_identifier(MULT_COLUMN)
+
+    if isinstance(op, RelScan):
+        try:
+            schema = db_schemas[op.name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {op.name!r}") from None
+        _check_schema(schema, f"relation {op.name!r}")
+        cols = _column_list(schema)
+        if bag:
+            cols += f", {mult}"
+        return f"SELECT {cols} FROM {quote_identifier(op.name)}", schema
+
+    if isinstance(op, Singleton):
+        _check_schema(op.schema, "singleton")
+        parts = []
+        for value, attribute in zip(op.row, op.schema.attributes):
+            params.append(bind_value(value))
+            parts.append(f"? AS {quote_identifier(attribute)}")
+        if bag:
+            parts.append(f"1 AS {mult}")
+        return "SELECT " + ", ".join(parts), op.schema
+
+    if isinstance(op, Select):
+        inner, schema = _translate(op.input, db_schemas, params, aliases, bag)
+        alias = aliases.next()
+        cols = _column_list(schema)
+        if bag:
+            cols += f", {mult}"
+        _check_scope(op.condition, schema)
+        cond = condition_to_sqlite(op.condition, params)
+        return (
+            f"SELECT {cols} FROM ({inner}) AS {alias} WHERE {cond}",
+            schema,
+        )
+
+    if isinstance(op, Project):
+        # Parameters must be appended in the textual order of the final
+        # SQL: the projection expressions precede the derived table.
+        inner_params: list[Any] = []
+        inner, in_schema = _translate(
+            op.input, db_schemas, inner_params, aliases, bag
+        )
+        out_schema = _check_schema(
+            Schema(tuple(name for _, name in op.outputs)), "projection"
+        )
+        alias = aliases.next()
+        for expr, _name in op.outputs:
+            _check_scope(expr, in_schema)
+        parts = [
+            f"{expr_to_sqlite(expr, params)} AS {quote_identifier(name)}"
+            for expr, name in op.outputs
+        ]
+        if bag:
+            parts.append(mult)
+        params.extend(inner_params)
+        return (
+            f"SELECT {', '.join(parts)} FROM ({inner}) AS {alias}",
+            out_schema,
+        )
+
+    if isinstance(op, Union):
+        left, left_schema = _translate(op.left, db_schemas, params, aliases, bag)
+        right, right_schema = _translate(
+            op.right, db_schemas, params, aliases, bag
+        )
+        check_union_compatible(left_schema, right_schema, "union")
+        # Wrap each side as a simple SELECT over a derived table: SQLite
+        # rejects parenthesized compound members, and flat chaining would
+        # mis-associate nested unions/differences.
+        cols = _column_list(left_schema) + (f", {mult}" if bag else "")
+        keyword = "UNION ALL" if bag else "UNION"
+        return (
+            f"SELECT {cols} FROM ({left}) AS {aliases.next()} "
+            f"{keyword} "
+            f"SELECT {cols} FROM ({right}) AS {aliases.next()}",
+            left_schema,
+        )
+
+    if isinstance(op, Difference):
+        left, left_schema = _translate(op.left, db_schemas, params, aliases, bag)
+        right, right_schema = _translate(
+            op.right, db_schemas, params, aliases, bag
+        )
+        check_union_compatible(left_schema, right_schema, "difference")
+        cols = _column_list(left_schema)
+        if not bag:
+            return (
+                f"SELECT {cols} FROM ({left}) AS {aliases.next()} "
+                f"EXCEPT "
+                f"SELECT {cols} FROM ({right}) AS {aliases.next()}",
+                left_schema,
+            )
+        # Monus: group both sides, NULL-safe-join the groups, subtract
+        # counts floored at zero.  GROUP BY uses ordinals so attribute
+        # names can never collide with the sum alias.
+        ordinals = ", ".join(
+            str(i + 1) for i in range(left_schema.arity)
+        )
+        total = quote_identifier(_SUM_ALIAS)
+        grouped_left = (
+            f"SELECT {cols}, SUM({mult}) AS {total} "
+            f"FROM ({left}) AS {aliases.next()} GROUP BY {ordinals}"
+        )
+        grouped_right = (
+            f"SELECT {cols}, SUM({mult}) AS {total} "
+            f"FROM ({right}) AS {aliases.next()} GROUP BY {ordinals}"
+        )
+        on = " AND ".join(
+            f"_lg.{quote_identifier(a)} IS _rg.{quote_identifier(a)}"
+            for a in left_schema.attributes
+        )
+        remaining = f"_lg.{total} - COALESCE(_rg.{total}, 0)"
+        out_cols = _column_list(left_schema, "_lg")
+        return (
+            f"SELECT {out_cols}, {remaining} AS {mult} "
+            f"FROM ({grouped_left}) AS _lg "
+            f"LEFT JOIN ({grouped_right}) AS _rg ON {on} "
+            f"WHERE {remaining} > 0",
+            left_schema,
+        )
+
+    if isinstance(op, Join):
+        left, left_schema = _translate(op.left, db_schemas, params, aliases, bag)
+        right, right_schema = _translate(
+            op.right, db_schemas, params, aliases, bag
+        )
+        schema = left_schema.concat(right_schema)  # raises on name clashes
+        left_alias, right_alias = aliases.next(), aliases.next()
+        parts = [
+            _column_list(left_schema, left_alias),
+            _column_list(right_schema, right_alias),
+        ]
+        if bag:
+            parts.append(
+                f"{left_alias}.{mult} * {right_alias}.{mult} AS {mult}"
+            )
+        _check_scope(op.condition, schema)
+        cond = condition_to_sqlite(op.condition, params)
+        return (
+            f"SELECT {', '.join(parts)} "
+            f"FROM ({left}) AS {left_alias}, ({right}) AS {right_alias} "
+            f"WHERE {cond}",
+            schema,
+        )
+
+    raise SqlBackendError(f"cannot translate operator {op!r}")
+
+
+def query_to_sqlite(
+    op: Operator, db_schemas: Mapping[str, Schema]
+) -> tuple[str, list[Any], Schema]:
+    """Set-semantics translation: ``(sql, params, output schema)``."""
+    params: list[Any] = []
+    sql, schema = _translate(op, db_schemas, params, _Aliases(), bag=False)
+    return sql, params, schema
+
+
+def query_to_sqlite_bag(
+    op: Operator, db_schemas: Mapping[str, Schema]
+) -> tuple[str, list[Any], Schema]:
+    """Bag-semantics translation; the rendered SELECT carries a trailing
+    :data:`MULT_COLUMN` column with the row's multiplicity."""
+    params: list[Any] = []
+    sql, schema = _translate(op, db_schemas, params, _Aliases(), bag=True)
+    return sql, params, schema
+
+
+# -- statements ------------------------------------------------------------
+
+def statement_to_sqlite(
+    stmt: Statement,
+    db_schemas: Mapping[str, Schema],
+    bag: bool,
+) -> tuple[str, list[Any]]:
+    """Translate an update statement to one SQL statement + parameters.
+
+    ``db_schemas`` must cover the target relation and, for
+    ``INSERT ... SELECT``, every scanned source.  The caller is expected
+    to have validated schema-level errors (unknown Set attributes, insert
+    arity) for parity with the in-process backends.
+    """
+    target = quote_identifier(stmt.relation)
+    params: list[Any] = []
+
+    if isinstance(stmt, UpdateStatement):
+        schema = db_schemas[stmt.relation]
+        _check_scope(stmt.condition, schema)
+        for expr in stmt.set_clauses.values():
+            _check_scope(expr, schema)
+        sets = ", ".join(
+            f"{quote_identifier(attribute)} = {expr_to_sqlite(expr, params)}"
+            for attribute, expr in sorted(stmt.set_clauses.items())
+        )
+        cond = condition_to_sqlite(stmt.condition, params)
+        return f"UPDATE {target} SET {sets} WHERE {cond}", params
+
+    if isinstance(stmt, DeleteStatement):
+        _check_scope(stmt.condition, db_schemas[stmt.relation])
+        cond = condition_to_sqlite(stmt.condition, params)
+        return f"DELETE FROM {target} WHERE {cond}", params
+
+    if isinstance(stmt, InsertTuple):
+        placeholders = ["?"] * len(stmt.values)
+        params.extend(bind_value(v) for v in stmt.values)
+        if bag:
+            placeholders.append("1")
+        return (
+            f"INSERT INTO {target} VALUES ({', '.join(placeholders)})",
+            params,
+        )
+
+    if isinstance(stmt, InsertQuery):
+        translate = query_to_sqlite_bag if bag else query_to_sqlite
+        sql, query_params, _ = translate(stmt.query, db_schemas)
+        target_schema = db_schemas[stmt.relation]
+        # Positional relabelling (SQL semantics): name the target columns
+        # explicitly so the hidden multiplicity column lines up too.
+        cols = _column_list(target_schema)
+        if bag:
+            cols += f", {quote_identifier(MULT_COLUMN)}"
+        return f"INSERT INTO {target} ({cols}) {sql}", query_params
+
+    raise SqlBackendError(f"cannot translate statement {stmt!r}")

@@ -494,30 +494,31 @@ def _simplify_node(expr: Expr) -> Expr | None:
     if isinstance(expr, Arith):
         if _is_const(expr.left) and _is_const(expr.right):
             return Const(evaluate(expr))
-        # x + 0, x - 0, x * 1, x / 1 -> x ; x * 0 -> 0
+        # x + 0, x - 0, x * 1, x / 1 -> x.  (x * 0 -> 0 would be unsound:
+        # NULL * 0 is NULL, not 0 — caught by the differential fuzzer.)
         if isinstance(expr.right, Const):
             rv = expr.right.value
             if expr.op in ("+", "-") and rv == 0 and not isinstance(rv, bool):
                 return expr.left
             if expr.op in ("*", "/") and rv == 1:
                 return expr.left
-            if expr.op == "*" and rv == 0:
-                return Const(0)
         if isinstance(expr.left, Const):
             lv = expr.left.value
             if expr.op == "+" and lv == 0 and not isinstance(lv, bool):
                 return expr.right
             if expr.op == "*" and lv == 1:
                 return expr.right
-            if expr.op == "*" and lv == 0:
-                return Const(0)
         return None
     if isinstance(expr, Cmp):
         if _is_const(expr.left) and _is_const(expr.right):
             return Const(evaluate(expr))
-        if expr.left == expr.right and expr.op in ("=", "<=", ">="):
-            # reflexive comparison of identical sub-expressions
-            return TRUE
+        # Reflexive comparisons: x = x may NOT fold to TRUE — a NULL
+        # operand makes every comparison false under the two-valued
+        # logic (caught by the differential fuzzer: a reenacted
+        # DELETE WHERE c = c must keep NULL rows, like NAIVE does).
+        # The FALSE folds stay: x != x / x < x are false for NULL
+        # operands too.  (NaN operands would flip x != x, but NaN has
+        # no literal in the language and the sqlite backend rejects it.)
         if expr.left == expr.right and expr.op in ("!=", "<", ">"):
             return FALSE
         return None
@@ -547,13 +548,11 @@ def _simplify_node(expr: Expr) -> Expr | None:
             return Const(not bool(expr.operand.value))
         if isinstance(expr.operand, Not):
             return expr.operand.operand
-        if isinstance(expr.operand, Cmp):
-            negated = {
-                "=": "!=", "!=": "=",
-                "<": ">=", ">=": "<",
-                ">": "<=", "<=": ">",
-            }[expr.operand.op]
-            return Cmp(negated, expr.operand.left, expr.operand.right)
+        # NOT (a op b) must NOT rewrite to the flipped comparison: under
+        # the two-valued logic a NULL operand makes every comparison
+        # false, so NOT (a = b) is *true* for NULLs while a != b is
+        # *false* (fuzzer regression — the rewrite broke reenacted
+        # deletes over NULL rows).
         return None
     if isinstance(expr, IsNull):
         if _is_const(expr.operand):
@@ -617,6 +616,16 @@ def to_string(expr: Expr) -> str:
         if isinstance(expr.value, str):
             escaped = expr.value.replace("'", "''")
             return f"'{escaped}'"
+        if isinstance(expr.value, float):
+            # repr('inf')/'nan' would tokenize as attribute names; render
+            # parseable overflow literals instead (NaN stays semantic
+            # only: it can never compare equal to itself anyway).
+            if expr.value == float("inf"):
+                return "9e999"
+            if expr.value == float("-inf"):
+                return "-9e999"
+            if expr.value != expr.value:
+                return "(9e999 - 9e999)"
         return repr(expr.value)
     if isinstance(expr, Attr):
         return expr.name

@@ -61,7 +61,7 @@ _KEYWORDS = {
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
-  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<number>(?:\d+\.\d+|\.\d+|\d+)(?:[eE][+-]?\d+)?)
   | (?P<string>'(?:[^']|'')*')
   | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|\(|\)|,|;)
@@ -250,7 +250,8 @@ class _Parser:
         if token.kind == "number":
             self.advance()
             text = token.text
-            return Const(float(text) if "." in text else int(text))
+            is_float = "." in text or "e" in text or "E" in text
+            return Const(float(text) if is_float else int(text))
         if token.kind == "string":
             self.advance()
             return Const(token.text[1:-1].replace("''", "'"))

@@ -20,7 +20,7 @@ from .algebra import (
     Singleton,
     Union,
 )
-from .expressions import Expr, to_string
+from .expressions import Attr, Expr, to_string
 from .statements import (
     DeleteStatement,
     InsertQuery,
@@ -33,14 +33,33 @@ __all__ = ["statement_to_sql", "query_to_sql", "history_to_sql"]
 
 
 def _literal(value: Any) -> str:
+    """Render a constant as a SQL literal valid for SQLite and our parser.
+
+    Hardened against the fuzzer's adversarial values:
+
+    * embedded quotes in strings are escaped by doubling,
+    * booleans render as ``1``/``0`` — SQLite stores booleans as
+      integers, and Python's ``True == 1`` makes the round trip
+      invisible to statement equality,
+    * floats render via ``repr`` (full precision; ``0.30000000000000004``
+      instead of the lossy ``%g``), with ``9e999`` for infinities (SQLite
+      parses that as ``Inf``) and ``NULL`` for NaN — SQLite has no NaN
+      literal and stores computed NaNs as NULL anyway.
+    """
     if value is None:
         return "NULL"
     if isinstance(value, bool):
-        return "true" if value else "false"
+        return "1" if value else "0"
     if isinstance(value, str):
         return "'" + value.replace("'", "''") + "'"
     if isinstance(value, float):
-        return f"{value:g}"
+        if value != value:
+            return "NULL"
+        if value == float("inf"):
+            return "9e999"
+        if value == float("-inf"):
+            return "-9e999"
+        return repr(value)
     return str(value)
 
 
@@ -70,14 +89,58 @@ def history_to_sql(statements: list[Statement] | tuple[Statement, ...]) -> str:
     return "\n".join(statement_to_sql(s) for s in statements)
 
 
+def _flat_select(op: Operator) -> str | None:
+    """Render ``[Project] [Select] RelScan`` trees as one flat SELECT.
+
+    This is exactly the fragment our parser's ``INSERT ... SELECT`` can
+    produce, so rendering it flat (instead of as nested derived tables,
+    which the parser cannot read back) makes every parser-producible
+    query round-trip through :func:`statement_to_sql`.  The parser names
+    projection outputs automatically (an :class:`Attr`'s own name,
+    ``col_<i>`` otherwise) and has no ``AS`` clause, so the flat form
+    only applies when the output names follow that convention.
+    """
+    project = None
+    node = op
+    if isinstance(node, Project):
+        project, node = node, node.input
+    condition = None
+    if isinstance(node, Select):
+        condition, node = node.condition, node.input
+    if not isinstance(node, RelScan):
+        return None
+    if project is None:
+        columns = "*"
+    else:
+        for index, (expr, name) in enumerate(project.outputs):
+            implied = (
+                expr.name if isinstance(expr, Attr) else f"col_{index}"
+            )
+            if name != implied:
+                return None
+        columns = ", ".join(
+            to_string(expr) for expr, _ in project.outputs
+        )
+    sql = f"SELECT {columns} FROM {node.name}"
+    if condition is not None:
+        sql += f" WHERE {to_string(condition)}"
+    return sql
+
+
 def query_to_sql(op: Operator, indent: int = 0) -> str:
     """Render an algebra tree as (nested) SQL.
 
     Reenactment queries are deeply nested projections; the rendering mirrors
     that structure with derived-table subqueries, which is exactly the SQL
-    the middleware would send to a backend.
+    the middleware would send to a backend.  Trees our parser can express
+    (``[Project] [Select] RelScan``, with conventionally named outputs)
+    render flat so they round-trip; anything else uses derived-table
+    nesting and is documentation-only.
     """
     pad = "  " * indent
+    flat = _flat_select(op)
+    if flat is not None:
+        return flat
     if isinstance(op, RelScan):
         return f"SELECT * FROM {op.name}"
     if isinstance(op, Singleton):

@@ -23,7 +23,7 @@ from typing import Any, Mapping
 
 from .algebra import Operator, base_relations, evaluate_query
 from .database import Database
-from .exec.backend import BACKEND_COMPILED, resolve_backend
+from .exec.backend import BACKEND_COMPILED, BACKEND_SQLITE, resolve_backend
 from .expressions import (
     Expr,
     FALSE,
@@ -124,7 +124,12 @@ class UpdateStatement(Statement):
                     f"UPDATE sets unknown attribute {attribute!r} "
                     f"on {self.relation}"
                 )
-        if resolve_backend(None) == BACKEND_COMPILED:
+        backend = resolve_backend(None)
+        if backend == BACKEND_SQLITE:
+            from .exec.sql_backend import apply_statement_sqlite
+
+            return apply_statement_sqlite(self, db)
+        if backend == BACKEND_COMPILED:
             # Positional fast path: one compiled predicate plus one
             # compiled whole-row Set closure, no per-row dict bindings.
             update_row = compiled_update_row(self, relation.schema)
@@ -148,7 +153,12 @@ class DeleteStatement(Statement):
 
     def apply(self, db: Database) -> Database:
         relation = db[self.relation]
-        if resolve_backend(None) == BACKEND_COMPILED:
+        backend = resolve_backend(None)
+        if backend == BACKEND_SQLITE:
+            from .exec.sql_backend import apply_statement_sqlite
+
+            return apply_statement_sqlite(self, db)
+        if backend == BACKEND_COMPILED:
             from itertools import filterfalse
 
             from .exec import compile_predicate
@@ -178,6 +188,10 @@ class InsertTuple(Statement):
 
     def apply(self, db: Database) -> Database:
         relation = db[self.relation]
+        if resolve_backend(None) == BACKEND_SQLITE:
+            from .exec.sql_backend import apply_statement_sqlite
+
+            return apply_statement_sqlite(self, db)
         return db.with_relation(self.relation, relation.insert(self.values))
 
 
@@ -195,6 +209,10 @@ class InsertQuery(Statement):
 
     def apply(self, db: Database) -> Database:
         relation = db[self.relation]
+        if resolve_backend(None) == BACKEND_SQLITE:
+            from .exec.sql_backend import apply_statement_sqlite
+
+            return apply_statement_sqlite(self, db)
         result = evaluate_query(self.query, db)
         if result.schema.arity != relation.schema.arity:
             raise SchemaError(

@@ -1,0 +1,146 @@
+"""Backend-registry edge cases: unknown names, scoping, precedence.
+
+Covers ``repro.relational.exec.backend``: rejection of unknown backend
+names at every entry point, ``use_backend`` nesting and restore-on-
+exception, and the resolution precedence *call argument > engine config
+> process default*.
+"""
+
+import pytest
+
+from repro.core import Mahif, MahifConfig
+from repro.relational import (
+    BACKENDS,
+    BACKEND_COMPILED,
+    BACKEND_INTERPRETED,
+    BACKEND_SQLITE,
+    Database,
+    Relation,
+    Schema,
+    evaluate_query,
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.relational.algebra import RelScan, Select
+from repro.relational.exec import resolve_backend, sqlite_cache_info
+from repro.relational.exec.sql_backend import clear_sqlite_cache
+from repro.relational.expressions import col, gt
+
+
+@pytest.fixture(autouse=True)
+def _restore_default():
+    before = get_default_backend()
+    yield
+    set_default_backend(before)
+
+
+def make_db():
+    return Database(
+        {"R": Relation.from_rows(Schema.of("a"), [(1,), (-1,)])}
+    )
+
+
+class TestRegistry:
+    def test_backends_tuple(self):
+        assert BACKENDS == (
+            BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["postgres", "", "SQLITE", "compiled ", "vectorized"]
+    )
+    def test_unknown_backend_rejected_everywhere(self, name):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            set_default_backend(name)
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend(name)
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            with use_backend(name):
+                pass  # pragma: no cover - never entered
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            MahifConfig(backend=name)
+
+    def test_error_message_lists_backends(self):
+        with pytest.raises(ValueError) as err:
+            resolve_backend("postgres")
+        for known in BACKENDS:
+            assert known in str(err.value)
+
+    def test_set_default_returns_previous(self):
+        first = set_default_backend("interpreted")
+        assert first == get_default_backend() or first in BACKENDS
+        second = set_default_backend("sqlite")
+        assert second == "interpreted"
+
+
+class TestUseBackendScoping:
+    def test_nesting_restores_each_level(self):
+        base = get_default_backend()
+        with use_backend("interpreted"):
+            assert get_default_backend() == "interpreted"
+            with use_backend("sqlite"):
+                assert get_default_backend() == "sqlite"
+                with use_backend(None):  # None keeps the current scope
+                    assert get_default_backend() == "sqlite"
+            assert get_default_backend() == "interpreted"
+        assert get_default_backend() == base
+
+    def test_restores_on_exception(self):
+        base = get_default_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("sqlite"):
+                assert get_default_backend() == "sqlite"
+                raise RuntimeError("boom")
+        assert get_default_backend() == base
+
+    def test_yields_resolved_backend(self):
+        with use_backend("sqlite") as resolved:
+            assert resolved == "sqlite"
+        with use_backend(None) as resolved:
+            assert resolved == get_default_backend()
+
+
+class TestResolutionPrecedence:
+    def test_call_argument_beats_scoped_default(self):
+        clear_sqlite_cache()
+        db = make_db()
+        plan = Select(RelScan("R"), gt(col("a"), 0))
+        with use_backend("interpreted"):
+            assert resolve_backend(None) == "interpreted"
+            # the explicit call argument wins over the scoped default —
+            # observable through the sqlite connection cache filling up
+            before = sqlite_cache_info()["misses"]
+            result = evaluate_query(plan, db, backend="sqlite")
+            assert sqlite_cache_info()["misses"] == before + 1
+            assert result.tuples == frozenset({(1,)})
+
+    def test_config_beats_process_default(self):
+        # MahifConfig scopes its backend around the whole answer call
+        # via use_backend; the process default is untouched afterwards.
+        from repro.core import HistoricalWhatIfQuery, Replace
+        from repro.relational import History
+        from repro.relational.statements import UpdateStatement
+
+        clear_sqlite_cache()
+        db = Database(
+            {"R": Relation.from_rows(Schema.of("a", "k"), [(1, 0), (5, 1)])}
+        )
+        history = History.of(
+            UpdateStatement("R", {"a": col("a") + 1}, gt(col("a"), 0))
+        )
+        query = HistoricalWhatIfQuery(
+            history,
+            db,
+            (Replace(1, UpdateStatement("R", {"a": col("a") + 2}, gt(col("a"), 0))),),
+        )
+        assert get_default_backend() == BACKEND_COMPILED
+        before = sqlite_cache_info()["misses"]
+        Mahif(MahifConfig(backend="sqlite")).answer(query)
+        assert sqlite_cache_info()["misses"] > before
+        assert get_default_backend() == BACKEND_COMPILED
+
+    def test_none_resolves_to_process_default(self):
+        set_default_backend("sqlite")
+        assert resolve_backend(None) == "sqlite"
+        assert resolve_backend("compiled") == "compiled"

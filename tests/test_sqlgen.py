@@ -53,8 +53,24 @@ class TestStatementRendering:
         assert rendered.startswith("INSERT INTO t SELECT")
 
     def test_float_and_bool_literals(self):
+        # Booleans render as 1/0 (SQLite has no boolean storage class;
+        # Python's True == 1 keeps statement equality intact).
         rendered = statement_to_sql(InsertTuple("t", (1.5, True)))
-        assert "1.5" in rendered and "true" in rendered
+        assert rendered == "INSERT INTO t VALUES (1.5, 1);"
+        assert parse_statement(rendered) == InsertTuple("t", (1.5, True))
+
+    def test_nonfinite_and_tiny_float_literals(self):
+        rendered = statement_to_sql(
+            InsertTuple("t", (float("inf"), float("-inf"), 1e-07))
+        )
+        assert rendered == "INSERT INTO t VALUES (9e999, -9e999, 1e-07);"
+        parsed = parse_statement(rendered)
+        assert parsed == InsertTuple("t", (float("inf"), float("-inf"), 1e-07))
+
+    def test_nan_renders_as_null(self):
+        # SQLite has no NaN literal and stores computed NaNs as NULL.
+        rendered = statement_to_sql(InsertTuple("t", (float("nan"),)))
+        assert rendered == "INSERT INTO t VALUES (NULL);"
 
     def test_string_escaping(self):
         rendered = statement_to_sql(InsertTuple("t", ("O'Hare",)))
@@ -71,9 +87,19 @@ class TestQueryRendering:
     def test_scan(self):
         assert query_to_sql(RelScan("R")) == "SELECT * FROM R"
 
-    def test_select_and_project_nest(self):
+    def test_parser_expressible_tree_renders_flat(self):
+        # [Project] [Select] RelScan with conventional output names is the
+        # fragment the parser can produce, so it renders flat (and thereby
+        # round-trips, see test_sqlgen_roundtrip.py).
         query = Project(
             Select(RelScan("R"), ge(col("a"), 1)), ((col("a"), "a"),)
+        )
+        sql = query_to_sql(query)
+        assert sql == "SELECT a FROM R WHERE (a >= 1)"
+
+    def test_unconventional_names_nest(self):
+        query = Project(
+            Select(RelScan("R"), ge(col("a"), 1)), ((col("a"), "renamed"),)
         )
         sql = query_to_sql(query)
         assert "WHERE" in sql and "AS sub" in sql
