@@ -1,0 +1,177 @@
+"""Batched what-if answering: one ``answer_batch`` call vs a sequential
+``answer`` loop (see DESIGN.md, "Batched answering").
+
+The workload is the scaling workload's shape (taxi, U20) with the
+modification moved deep into the history — the interactive-service
+pattern: one shared real history, many users probing different
+hypothetical constants for the same late statement.  A batch of
+``BATCH_SIZE`` distinct queries then shares (a) the time travel to the
+prefix version before the modified position, computed once instead of
+once per query, and (b) reenactment planning for queries that slice to
+the same statement set; with ``MAHIF_BENCH_BATCH_WORKERS`` > 1 the
+per-(query, relation) delta evaluations additionally fan out over a
+worker pool (processes for the in-process backends, threads for
+sqlite).
+
+Every backend's batch deltas are asserted identical to its sequential
+loop's, and the three backends are cross-checked against the
+interpreter.  The asserted floor — ≥ 2× for a 16-query batch on the
+compiled backend, R+PS+DS — applies at default scale and above
+(``ROWS >= 2400``); the CI smoke job runs below it (and with a worker
+pool, whose pickling overhead the two-core runner cannot always hide),
+so there the numbers are recorded but not floored.
+
+Results land in ``results.jsonl`` (experiment ``"batch"``) and
+``BENCH_batch.json`` at the repo root.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.bench import print_series_table, run_batch
+from repro.core import (
+    HistoricalWhatIfQuery,
+    Mahif,
+    MahifConfig,
+    Method,
+    Replace,
+)
+from repro.relational.expressions import Attr
+from repro.relational.statements import UpdateStatement
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+BACKENDS = ("interpreted", "compiled", "sqlite")
+BATCH_SIZE = int(os.environ.get("MAHIF_BENCH_BATCH", "16"))
+WORKERS = int(os.environ.get("MAHIF_BENCH_BATCH_WORKERS", "0"))
+ROWS = 2 * SMALL_ROWS
+UPDATES = 20
+#: The replaced statement's 1-based position: deep in the history, so the
+#: shared prefix is long (the what-if probes a *recent* decision).
+MOD_POSITION = 16
+SPEEDUP_FLOOR = 2.0
+TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_batch.json"
+
+
+def _batch_queries(workload) -> list[HistoricalWhatIfQuery]:
+    """``BATCH_SIZE`` distinct what-ifs over one shared history: each
+    replaces the same late statement with a different value shift."""
+    base = workload.history[MOD_POSITION]
+    value = workload.value_attribute
+    queries = []
+    for i in range(BATCH_SIZE):
+        replacement = UpdateStatement(
+            base.relation,
+            {value: Attr(value) + (3 + i)},
+            base.condition,
+        )
+        queries.append(
+            HistoricalWhatIfQuery(
+                workload.history,
+                workload.database,
+                (Replace(MOD_POSITION, replacement),),
+            )
+        )
+    return queries
+
+
+def _sequential_loop(queries, config) -> tuple[float, list]:
+    engine = Mahif(config)
+    start = time.perf_counter()
+    results = [engine.answer(query, Method.R_PS_DS) for query in queries]
+    return time.perf_counter() - start, [r.delta for r in results]
+
+
+def _cold_caches():
+    """Both legs start cold: the sequential loop runs first and would
+    otherwise pre-warm the compile/connection caches for the batch,
+    inflating the measured speedup with a cache-warming artifact."""
+    from repro.relational.exec import clear_caches
+
+    clear_caches()
+
+
+def _backend_rows():
+    workload = build_workload(
+        WorkloadSpec(dataset="taxi", rows=ROWS, updates=UPDATES, seed=7)
+    )
+    queries = _batch_queries(workload)
+    out = []
+    reference_deltas = None
+    for backend in BACKENDS:
+        config = MahifConfig(backend=backend, batch_workers=WORKERS)
+        _cold_caches()
+        sequential_seconds, sequential_deltas = _sequential_loop(
+            queries, config
+        )
+        _cold_caches()
+        timing = run_batch(queries, Method.R_PS_DS, config)
+        assert list(timing.deltas) == sequential_deltas, (
+            f"{backend}: batch deltas differ from the sequential loop — "
+            "correctness bug"
+        )
+        if reference_deltas is None:
+            reference_deltas = sequential_deltas
+        else:
+            assert sequential_deltas == reference_deltas, (
+                f"{backend} disagrees with the oracle — correctness bug"
+            )
+        row = {
+            "backend": backend,
+            "rows": ROWS,
+            "updates": UPDATES,
+            "batch_size": BATCH_SIZE,
+            "workers": WORKERS,
+            "sequential_seconds": sequential_seconds,
+            "batch_seconds": timing.total_seconds,
+            "speedup": sequential_seconds / timing.total_seconds,
+        }
+        record("batch", row)
+        out.append(row)
+    return out
+
+
+def test_batch_vs_sequential(benchmark):
+    rows = benchmark.pedantic(_backend_rows, rounds=1, iterations=1)
+
+    payload = {
+        "experiment": "batch",
+        "workload": {
+            "dataset": "taxi",
+            "rows": ROWS,
+            "updates": UPDATES,
+            "modified_position": MOD_POSITION,
+            "batch_size": BATCH_SIZE,
+            "workers": WORKERS,
+            "method": Method.R_PS_DS.value,
+            "backends": list(BACKENDS),
+            "metric": "wall seconds: sequential answer loop vs one "
+            "answer_batch call",
+        },
+        "backends": rows,
+    }
+    TARGET.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_series_table(
+        f"Batch — {BATCH_SIZE} queries, one shared history (taxi, U"
+        f"{UPDATES}, R+PS+DS)",
+        ["backend", "sequential", "batch", "speedup"],
+        [
+            [r["backend"], r["sequential_seconds"], r["batch_seconds"],
+             r["speedup"]]
+            for r in rows
+        ],
+        note="shared time travel + shared plans; ≥ 2× on compiled at "
+        "default scale",
+    )
+
+    if ROWS >= 2400 and WORKERS == 0:
+        by_backend = {r["backend"]: r for r in rows}
+        assert by_backend["compiled"]["speedup"] >= SPEEDUP_FLOOR, (
+            "batched answering no longer pays for itself on the compiled "
+            f"backend: {by_backend['compiled']['speedup']:.2f}x < "
+            f"{SPEEDUP_FLOOR}x"
+        )

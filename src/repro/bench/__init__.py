@@ -2,15 +2,17 @@
 
 from .harness import (
     RESULTS,
+    BatchTiming,
     MethodTiming,
     format_table,
     print_series_table,
     record_result,
+    run_batch,
     run_method,
     run_methods,
 )
 
 __all__ = [
-    "MethodTiming", "run_method", "run_methods",
+    "MethodTiming", "BatchTiming", "run_method", "run_methods", "run_batch",
     "format_table", "print_series_table", "RESULTS", "record_result",
 ]

@@ -17,6 +17,28 @@ Answer a historical what-if query from the shell::
 * ``--explain`` — also print why-provenance for each delta tuple,
 * ``--out delta.csv`` — write the delta as CSV (with a sign column).
 
+Batched service mode: answer many what-if queries over the shared
+history in one call (shared time travel, shared reenactment plans,
+optional worker pool — see DESIGN.md, "Batched answering")::
+
+    python -m repro.cli whatif \
+        --data ./tables/ --history history.sql \
+        --batch queries.json --batch-workers 4 --out deltas.jsonl
+
+``queries.json`` holds a JSON array of modification specs, each with any
+of ``"replace"``/``"insert_stmt"`` (lists of ``[position, sql]`` pairs)
+and ``"delete_stmt"`` (list of positions)::
+
+    [
+        {"replace": [[1, "UPDATE Orders SET Fee = 0 WHERE Price >= 60"]]},
+        {"replace": [[1, "UPDATE Orders SET Fee = 0 WHERE Price >= 70"]]},
+        {"delete_stmt": [2]}
+    ]
+
+The answers are emitted as JSON lines — one object per query, in input
+order, with the per-relation ``+``/``-`` tuples and timing — to stdout
+or to ``--out``.
+
 There is also ``python -m repro.cli replay`` to simply execute a history
 and print/export the final state.
 """
@@ -25,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from typing import Sequence
 
@@ -89,6 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print why-provenance for delta tuples")
     whatif.add_argument("--out", help="write the delta as CSV")
     whatif.add_argument("--quiet", action="store_true")
+    whatif.add_argument(
+        "--batch", metavar="SPEC.JSON",
+        help="answer a JSON array of modification specs over the shared "
+        "history in one batched call, emitting JSON-lines deltas "
+        "(--replace/--delete-stmt/--insert-stmt are then ignored, "
+        "--explain is rejected; --out redirects the JSON lines)",
+    )
+    whatif.add_argument(
+        "--batch-workers", type=int, default=0, metavar="N",
+        help="worker pool size for --batch: processes for the in-process "
+        "backends, threads for sqlite (default 0: no pool)",
+    )
 
     replay = sub.add_parser("replay", help="execute a history")
     replay.add_argument("--data", required=True)
@@ -103,24 +138,126 @@ def _load_history(path: str) -> History:
         return History(tuple(parse_history(fh.read())))
 
 
-def _build_modifications(args: argparse.Namespace):
+def _modifications_from(replace_pairs, delete_positions, insert_pairs):
+    """Build modification objects from (position, sql) containers —
+    shared by the flag path and the ``--batch`` spec path."""
     modifications = []
-    for pos, sql in args.replace:
+    for pos, sql in replace_pairs:
         modifications.append(Replace(int(pos), parse_statement(sql)))
-    for pos in args.delete_stmt:
+    for pos in delete_positions:
         modifications.append(DeleteStatementMod(int(pos)))
-    for pos, sql in args.insert_stmt:
+    for pos, sql in insert_pairs:
         modifications.append(
             InsertStatementMod(int(pos), parse_statement(sql))
-        )
-    if not modifications:
-        raise SystemExit(
-            "at least one --replace/--delete-stmt/--insert-stmt is required"
         )
     return tuple(modifications)
 
 
+def _build_modifications(args: argparse.Namespace):
+    modifications = _modifications_from(
+        args.replace, args.delete_stmt, args.insert_stmt
+    )
+    if not modifications:
+        raise SystemExit(
+            "at least one --replace/--delete-stmt/--insert-stmt is required"
+        )
+    return modifications
+
+
+def _parse_batch_spec(path: str):
+    """Parse a ``--batch`` spec file into per-query modification tuples."""
+    with open(path) as fh:
+        spec = json.load(fh)
+    if not isinstance(spec, list) or not spec:
+        raise SystemExit(
+            "--batch expects a non-empty JSON array of modification specs"
+        )
+    batches = []
+    for index, entry in enumerate(spec):
+        if not isinstance(entry, dict):
+            raise SystemExit(f"--batch entry {index} is not an object")
+        unknown = set(entry) - {"replace", "delete_stmt", "insert_stmt"}
+        if unknown:
+            raise SystemExit(
+                f"--batch entry {index} has unknown keys {sorted(unknown)}"
+            )
+        try:
+            modifications = _modifications_from(
+                entry.get("replace") or [],
+                entry.get("delete_stmt") or [],
+                entry.get("insert_stmt") or [],
+            )
+        except (TypeError, ValueError) as exc:
+            # Malformed shapes ([[1]] missing the SQL, a dict instead of
+            # pair lists, a non-numeric position, ...) get the entry
+            # index instead of a raw traceback.
+            raise SystemExit(
+                f"--batch entry {index} is malformed: {exc} — expected "
+                '{"replace"/"insert_stmt": [[position, sql], ...], '
+                '"delete_stmt": [position, ...]}'
+            ) from None
+        if not modifications:
+            raise SystemExit(f"--batch entry {index} has no modifications")
+        batches.append(modifications)
+    return batches
+
+
+def _delta_json(result) -> dict:
+    """One JSON-lines record for a batched answer."""
+    return {
+        "delta": {
+            relation: {
+                "attributes": list(delta.schema.attributes),
+                "added": [
+                    list(row) for row in sorted(delta.added, key=repr)
+                ],
+                "removed": [
+                    list(row) for row in sorted(delta.removed, key=repr)
+                ],
+            }
+            for relation, delta in sorted(result.delta.relations.items())
+        },
+        "ps_seconds": result.ps_seconds,
+        "exe_seconds": result.exe_seconds,
+    }
+
+
+def _cmd_whatif_batch(args: argparse.Namespace) -> int:
+    if args.explain:
+        raise SystemExit(
+            "--explain is not supported with --batch (provenance is "
+            "per-query; run the query of interest without --batch)"
+        )
+    database = load_database_dir(args.data)
+    history = _load_history(args.history)
+    queries = [
+        HistoricalWhatIfQuery(history, database, modifications)
+        for modifications in _parse_batch_spec(args.batch)
+    ]
+    config = MahifConfig(
+        slicing_algorithm=args.slicing,
+        backend=args.backend,
+        batch_workers=args.batch_workers,
+    )
+    results = Mahif(config).answer_batch(queries, _METHODS[args.method])
+    lines = [
+        json.dumps({"query": index, **_delta_json(result)})
+        for index, result in enumerate(results)
+    ]
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        if not args.quiet:
+            print(f"{len(lines)} deltas written to {args.out}")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
+    if args.batch:
+        return _cmd_whatif_batch(args)
     database = load_database_dir(args.data)
     history = _load_history(args.history)
     modifications = _build_modifications(args)

@@ -14,7 +14,14 @@ from .data_slicing import (
 )
 from .delta import DatabaseDelta, RelationDelta, delta_query
 from .dependency import dependency_slice
-from .engine import Mahif, MahifConfig, MahifResult, Method, answer
+from .engine import (
+    Mahif,
+    MahifConfig,
+    MahifResult,
+    Method,
+    answer,
+    answer_batch,
+)
 from .hwq import (
     AlignedHistories,
     DeleteStatementMod,
@@ -63,6 +70,7 @@ __all__ = [
     "dependency_slice",
     "InsertSplit", "split_inserts", "can_split",
     "Mahif", "MahifConfig", "MahifResult", "Method", "answer",
+    "answer_batch",
     "SourceTuple", "evaluate_with_provenance", "explain_delta",
     "DependencyAnalysis", "build_dependency_graph",
     "EquivalenceVerdict", "EquivalenceResult", "check_history_equivalence",

@@ -1,0 +1,339 @@
+"""Batched what-if answering: N queries over a shared history, one call.
+
+The paper's headline is that reenactment + slicing make historical
+what-if queries cheap enough to answer interactively *and in volume*;
+this module supplies the volume half (see DESIGN.md, "Batched
+answering").  :func:`answer_batch_with` amortizes three things a
+sequential ``answer`` loop repeats per query:
+
+1. **Time travel** — every distinct ``(database, history-prefix)``
+   version is materialized once; versions are built shallowest-first so
+   a deeper prefix replays only the statements past the deepest shared
+   prefix already computed.
+2. **Reenactment planning** — queries whose (sliced) statement pairs are
+   structurally identical share finished operator trees, data-slicing
+   conditions and optimized plans through a keyed cache one level above
+   the compiled-plan cache (``engine._plan_reenactment``).
+3. **Delta evaluation** — per-(query, relation) evaluations fan out over
+   a ``concurrent.futures`` pool: a *process* pool for the in-process
+   backends (pure-Python evaluation does not parallelize under the GIL;
+   operator trees, databases and deltas all pickle, and workers compile
+   trees into their own per-process plan caches), a *thread* pool for
+   sqlite (the C engine releases the GIL and the connection cache is
+   per-thread).
+
+Worker tasks are module-level functions so they pickle by reference for
+the process pool.  Process-pool IPC is bounded per *query*, not per
+(query, relation): plan results are returned with ``start_db`` stripped
+and a query's relation evaluations are grouped into one submission.
+The remaining known cost is that a batch-shared database still pickles
+once per query per phase (inside the query for planning, as ``start_db``
+for evaluation); shipping it once per worker via an executor
+initializer is the next step if profiles ever show it dominating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Callable, Sequence
+
+from ..relational.database import Database
+from ..relational.exec.backend import BACKEND_SQLITE, resolve_backend
+from ..relational.statements import Statement
+from .delta import DatabaseDelta, RelationDelta
+from .engine import (
+    Mahif,
+    MahifResult,
+    Method,
+    _relation_delta_task,
+    _statement_share_key,
+)
+from .hwq import HistoricalWhatIfQuery
+from .naive import NaiveResult, naive_what_if
+
+__all__ = ["answer_batch_with", "shared_start_databases"]
+
+
+def _trimmed_prefix(query: HistoricalWhatIfQuery) -> tuple[Statement, ...]:
+    """The statements before the query's first modified position."""
+    _, prefix_length = query.aligned().trim_prefix()
+    return tuple(query.history.statements[:prefix_length])
+
+
+def shared_start_databases(
+    queries: Sequence[HistoricalWhatIfQuery],
+) -> list[Database]:
+    """The time-travelled start database for every query, shared.
+
+    Queries over the same database instance share prefix replay work:
+    distinct prefixes are materialized shallowest-first, each starting
+    from the deepest already-materialized prefix of itself, so a batch
+    whose modifications all sit at one position replays the common
+    prefix exactly once.  Statements run through the ambient execution
+    backend, like the sequential path.
+    """
+    prefixes = [_trimmed_prefix(query) for query in queries]
+    keys: list[tuple | None] = []
+    for query, prefix in zip(queries, prefixes):
+        # Statements hash via their structural share key (UpdateStatement
+        # carries a dict); unhashable constants fall back to no sharing.
+        # Building the tuple never hashes, so probe with hash() here —
+        # otherwise the TypeError would escape from versions.get() below.
+        try:
+            key = (
+                id(query.database),
+                tuple(_statement_share_key(s) for s in prefix),
+            )
+            hash(key)
+            keys.append(key)
+        except TypeError:
+            keys.append(None)
+    versions: dict[tuple, Database] = {}
+    results: list[Database | None] = [None] * len(queries)
+    for index in sorted(range(len(queries)), key=lambda i: len(prefixes[i])):
+        query, prefix, key = queries[index], prefixes[index], keys[index]
+        state = versions.get(key) if key is not None else None
+        if state is None:
+            base, done = query.database, 0
+            if key is not None:
+                db_id, prefix_key = key
+                for (other_id, other), other_state in versions.items():
+                    if (
+                        other_id == db_id
+                        and done < len(other) <= len(prefix)
+                        and other == prefix_key[: len(other)]
+                    ):
+                        base, done = other_state, len(other)
+            state = base
+            for stmt in prefix[done:]:
+                state = stmt.apply(state)
+            if key is not None:
+                versions[key] = state
+        results[index] = state
+    return results  # type: ignore[return-value]
+
+
+def _make_executor(backend: str, workers: int) -> Executor | None:
+    if workers <= 1:
+        return None
+    if backend == BACKEND_SQLITE:
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="mahif-batch"
+        )
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: spawn/forkserver default
+        context = None
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def _run_tasks(
+    executor: Executor | None,
+    task: Callable,
+    calls: Sequence[tuple],
+) -> list:
+    if executor is None:
+        return [task(*args) for args in calls]
+    futures = [executor.submit(task, *args) for args in calls]
+    return [future.result() for future in futures]
+
+
+def _naive_task(
+    backend: str, query: HistoricalWhatIfQuery
+) -> NaiveResult:
+    """Whole-query task for the NAIVE method (no per-relation split)."""
+    return naive_what_if(query, backend=backend)
+
+
+def _plan_task(config, query, method, start_db, shared=None):
+    """Per-query planning (insert split + program slicing + reenactment
+    trees) as a pool task: slicing is solver-bound pure Python, so it
+    must cross to worker processes to parallelize.  ``shared`` is only
+    passed on thread pools, where the keyed plan cache can be mutated in
+    place; process workers rely on their per-process compiled-plan
+    caches instead.
+
+    The returned plan has ``start_db`` stripped — the caller already
+    holds it, and shipping the database back through the process pool's
+    result pickle would double the IPC cost."""
+    from ..relational.exec.backend import use_backend
+
+    with use_backend(config.backend):
+        plan = Mahif(config)._plan_reenactment(
+            query, method, start_db=start_db, shared=shared
+        )
+    return dataclasses.replace(plan, start_db=None)
+
+
+def _query_deltas_task(backend, start_db, items):
+    """All of one query's per-relation delta evaluations in one task.
+
+    Process-pool submissions are grouped per query so the (potentially
+    large, batch-shared) start database crosses the IPC boundary once
+    per query instead of once per (query, relation).  Each relation is
+    still evaluated and timed individually."""
+    return [
+        (
+            relation,
+            *_relation_delta_task(
+                backend, query_h, query_m, start_db, extra_h, extra_m
+            ),
+        )
+        for relation, query_h, query_m, extra_h, extra_m in items
+    ]
+
+
+def answer_batch_with(
+    engine: Mahif,
+    queries: Sequence[HistoricalWhatIfQuery],
+    method: Method,
+    workers: int | None = None,
+) -> list[MahifResult]:
+    """Answer ``queries`` with ``method``; the worker behind
+    :meth:`Mahif.answer_batch` (which scopes the configured backend)."""
+    if not queries:
+        return []
+    config = engine.config
+    backend = resolve_backend(config.backend)
+    if workers is None:
+        workers = config.batch_workers
+    executor = _make_executor(backend, workers)
+    try:
+        if method is Method.NAIVE:
+            naives = _run_tasks(
+                executor, _naive_task, [(backend, q) for q in queries]
+            )
+            return [
+                MahifResult(
+                    delta=naive.delta,
+                    method=method,
+                    exe_seconds=naive.total_seconds,
+                    naive_breakdown=naive,
+                )
+                for naive in naives
+            ]
+        return _answer_reenactment_batch(
+            engine, backend, queries, method, executor
+        )
+    finally:
+        if executor is not None:
+            # cancel_futures: a failing task propagates immediately
+            # instead of letting the rest of the batch run to completion.
+            executor.shutdown(cancel_futures=True)
+
+
+def _answer_reenactment_batch(
+    engine: Mahif,
+    backend: str,
+    queries: Sequence[HistoricalWhatIfQuery],
+    method: Method,
+    executor: Executor | None,
+) -> list[MahifResult]:
+    start_dbs = shared_start_databases(queries)
+    shared: dict | None = {} if engine.config.batch_share_plans else None
+    if executor is None:
+        plans = [
+            engine._plan_reenactment(
+                query, method, start_db=start_db, shared=shared
+            )
+            for query, start_db in zip(queries, start_dbs)
+        ]
+    else:
+        # Only thread pools can mutate the shared cache in place.
+        shared_arg = shared if isinstance(executor, ThreadPoolExecutor) else None
+        plans = [
+            dataclasses.replace(plan, start_db=start_db)
+            for plan, start_db in zip(
+                _run_tasks(
+                    executor,
+                    _plan_task,
+                    [
+                        (engine.config, query, method, start_db, shared_arg)
+                        for query, start_db in zip(queries, start_dbs)
+                    ],
+                ),
+                start_dbs,
+            )
+        ]
+
+    def _extras(plan, relation):
+        return (
+            plan.inserted_original[relation]
+            if plan.inserted_original is not None
+            else None,
+            plan.inserted_modified[relation]
+            if plan.inserted_modified is not None
+            else None,
+        )
+
+    deltas: list[dict[str, RelationDelta]] = [{} for _ in queries]
+    eval_seconds = [0.0] * len(queries)
+    if isinstance(executor, ProcessPoolExecutor):
+        # Grouped per query: the start database pickles once per query.
+        grouped = _run_tasks(
+            executor,
+            _query_deltas_task,
+            [
+                (
+                    backend,
+                    plan.start_db,
+                    [
+                        (
+                            relation,
+                            plan.queries_h[relation],
+                            plan.queries_m[relation],
+                            *_extras(plan, relation),
+                        )
+                        for relation in sorted(plan.affected)
+                    ],
+                )
+                for plan in plans
+            ],
+        )
+        for index, query_outcomes in enumerate(grouped):
+            for relation, delta, seconds in query_outcomes:
+                deltas[index][relation] = delta
+                eval_seconds[index] += seconds
+    else:
+        # In-process (serial) or thread pool: no pickling, so fan out at
+        # per-(query, relation) granularity for maximum overlap.
+        calls: list[tuple] = []
+        owners: list[tuple[int, str]] = []
+        for index, plan in enumerate(plans):
+            for relation in sorted(plan.affected):
+                calls.append(
+                    (
+                        backend,
+                        plan.queries_h[relation],
+                        plan.queries_m[relation],
+                        plan.start_db,
+                        *_extras(plan, relation),
+                    )
+                )
+                owners.append((index, relation))
+        outcomes = _run_tasks(executor, _relation_delta_task, calls)
+        for (index, relation), (delta, seconds) in zip(owners, outcomes):
+            deltas[index][relation] = delta
+            eval_seconds[index] += seconds
+
+    return [
+        MahifResult(
+            delta=DatabaseDelta(deltas[index]),
+            method=method,
+            ps_seconds=plan.ps_seconds,
+            exe_seconds=plan.build_seconds + eval_seconds[index],
+            slice_result=plan.slice_result,
+            data_slicing=plan.data_slicing,
+            queries_original=plan.queries_h,
+            queries_modified=plan.queries_m,
+            base_database=plan.start_db,
+        )
+        for index, plan in enumerate(plans)
+    ]

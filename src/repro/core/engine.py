@@ -32,7 +32,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..relational.algebra import (
     Operator,
@@ -46,7 +46,12 @@ from ..relational.exec.backend import resolve_backend, use_backend
 from ..relational.optimizer import OptimizerConfig, optimize
 from ..relational.relation import Relation
 from ..relational.schema import Schema
-from ..relational.statements import InsertQuery, InsertTuple
+from ..relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+)
 from .data_slicing import DataSlicingConditions, compute_data_slicing
 from .delta import DatabaseDelta, RelationDelta
 from .dependency import dependency_slice
@@ -60,7 +65,14 @@ from .program_slicing import (
 )
 from .reenactment import reenactment_queries
 
-__all__ = ["Method", "MahifConfig", "MahifResult", "Mahif", "answer"]
+__all__ = [
+    "Method",
+    "MahifConfig",
+    "MahifResult",
+    "Mahif",
+    "answer",
+    "answer_batch",
+]
 
 
 class Method(enum.Enum):
@@ -98,6 +110,15 @@ class MahifConfig:
     of the paper — reenactment queries and statements are translated to
     SQL and executed server-side on an in-memory SQLite database (see
     DESIGN.md, "Execution backends").
+
+    ``batch_workers`` and ``batch_share_plans`` configure
+    :meth:`Mahif.answer_batch` (see DESIGN.md, "Batched answering"):
+    ``batch_workers`` > 1 fans per-(query, relation) delta evaluations
+    out over a worker pool — processes for the in-process backends,
+    threads for sqlite (whose connection cache is per-thread and whose
+    queries release the GIL) — while ``batch_share_plans`` reuses
+    reenactment operator trees across batch queries that slice to the
+    same statement set.
     """
 
     slicing_algorithm: str = "dependency"
@@ -107,12 +128,16 @@ class MahifConfig:
     optimize_queries: bool = True
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     backend: str = "compiled"
+    batch_workers: int = 0
+    batch_share_plans: bool = True
 
     def __post_init__(self) -> None:
         if self.slicing_algorithm not in ("dependency", "greedy"):
             raise ValueError(
                 f"unknown slicing algorithm {self.slicing_algorithm!r}"
             )
+        if self.batch_workers < 0:
+            raise ValueError("batch_workers must be >= 0")
         resolve_backend(self.backend)  # raises ValueError when unknown
 
 
@@ -142,6 +167,86 @@ class MahifResult:
     @property
     def total_seconds(self) -> float:
         return self.ps_seconds + self.exe_seconds
+
+
+def _statement_share_key(stmt) -> tuple:
+    """A hashable structural key for one statement, type-faithful.
+
+    Dataclass equality compares ``Const(1) == Const(True)``, yet the two
+    produce differently-typed rows — so, exactly like the plan cache's
+    :func:`~repro.relational.exec.plan_compile.plan_fingerprint`, the
+    key carries the types of every embedded constant alongside the
+    statement structure.  Used by the batch path to detect queries whose
+    sliced histories are interchangeable (see ``_plan_reenactment``).
+    """
+    from ..relational.exec.expr_compile import const_fingerprint
+    from ..relational.exec.plan_compile import plan_fingerprint
+
+    if isinstance(stmt, UpdateStatement):
+        sets = tuple(sorted(stmt.set_clauses.items()))
+        fingerprint = const_fingerprint(stmt.condition) + tuple(
+            part for _, expr in sets for part in const_fingerprint(expr)
+        )
+        return ("U", stmt.relation, sets, stmt.condition, fingerprint)
+    if isinstance(stmt, DeleteStatement):
+        return (
+            "D", stmt.relation, stmt.condition,
+            const_fingerprint(stmt.condition),
+        )
+    if isinstance(stmt, InsertTuple):
+        return (
+            "I", stmt.relation, stmt.values,
+            tuple(type(v).__name__ for v in stmt.values),
+        )
+    if isinstance(stmt, InsertQuery):
+        return ("IQ", stmt.relation, stmt.query, plan_fingerprint(stmt.query))
+    return ("?", stmt)
+
+
+@dataclass(frozen=True)
+class _ReenactmentPlan:
+    """Everything ``_plan_reenactment`` produces ahead of evaluation.
+
+    ``build_seconds`` is the reenactment-query construction cost (tree
+    building + data slicing + optimization) — near zero on a shared-plan
+    cache hit; evaluation adds its own time on top to form the reported
+    ``exe_seconds``.
+    """
+
+    query: HistoricalWhatIfQuery
+    method: Method
+    start_db: Database
+    affected: frozenset[str]
+    queries_h: Mapping[str, Operator]
+    queries_m: Mapping[str, Operator]
+    inserted_original: Database | None
+    inserted_modified: Database | None
+    slice_result: SliceResult | None
+    data_slicing: DataSlicingConditions | None
+    ps_seconds: float
+    build_seconds: float
+
+
+def _relation_delta_task(
+    backend: str | None,
+    query_h: Operator,
+    query_m: Operator,
+    start_db: Database,
+    extra_original: Relation | None,
+    extra_modified: Relation | None,
+) -> tuple[RelationDelta, float]:
+    """Evaluate one (query, relation) delta; module-level so the batch
+    path can ship it to process-pool workers (the operator trees and
+    databases it receives all pickle; workers compile into their own
+    plan caches)."""
+    t0 = time.perf_counter()
+    result_h = evaluate_query(query_h, start_db, backend=backend)
+    result_m = evaluate_query(query_m, start_db, backend=backend)
+    if extra_original is not None:
+        result_h = result_h.union(extra_original)
+    if extra_modified is not None:
+        result_m = result_m.union(extra_modified)
+    return RelationDelta.between(result_h, result_m), time.perf_counter() - t0
 
 
 def _affected_relations(aligned: AlignedHistories) -> set[str]:
@@ -198,14 +303,94 @@ class Mahif:
                 )
             return self._answer_reenactment(query, method)
 
+    def answer_batch(
+        self,
+        queries: Sequence[HistoricalWhatIfQuery],
+        method: Method = Method.R_PS_DS,
+        *,
+        workers: int | None = None,
+    ) -> list[MahifResult]:
+        """Answer several HWQs over a shared history in one call.
+
+        Produces exactly the deltas of ``[self.answer(q, method) for q in
+        queries]`` (in input order) while amortizing the common
+        structure across the batch (see DESIGN.md, "Batched answering"):
+
+        * each distinct ``(database, history-prefix)`` version is
+          time-travelled to once, reusing the deepest shared prefix
+          already materialized,
+        * queries that slice to the same statement set share their
+          reenactment operator trees, data-slicing conditions and
+          optimized plans (``config.batch_share_plans``),
+        * per-(query, relation) delta evaluations fan out over a worker
+          pool when ``workers``/``config.batch_workers`` > 1 — a process
+          pool for the in-process backends, a thread pool for sqlite.
+
+        With a pool, each result's ``exe_seconds`` is the summed worker
+        time of its relation evaluations (CPU cost, not wall clock).
+        """
+        from .batch import answer_batch_with
+
+        with use_backend(self.config.backend):
+            return answer_batch_with(self, list(queries), method, workers)
+
     # -- reenactment pipeline ----------------------------------------------
     def _answer_reenactment(
         self, query: HistoricalWhatIfQuery, method: Method
     ) -> MahifResult:
+        plan = self._plan_reenactment(query, method)
+        t0 = time.perf_counter()
+        deltas: dict[str, RelationDelta] = {}
+        for relation in sorted(plan.affected):
+            deltas[relation], _ = _relation_delta_task(
+                None,  # ambient backend: `answer` scoped the configured one
+                plan.queries_h[relation],
+                plan.queries_m[relation],
+                plan.start_db,
+                plan.inserted_original[relation]
+                if plan.inserted_original is not None
+                else None,
+                plan.inserted_modified[relation]
+                if plan.inserted_modified is not None
+                else None,
+            )
+        exe_seconds = plan.build_seconds + (time.perf_counter() - t0)
+        return MahifResult(
+            delta=DatabaseDelta(deltas),
+            method=method,
+            ps_seconds=plan.ps_seconds,
+            exe_seconds=exe_seconds,
+            slice_result=plan.slice_result,
+            data_slicing=plan.data_slicing,
+            queries_original=plan.queries_h,
+            queries_modified=plan.queries_m,
+            base_database=plan.start_db,
+        )
+
+    def _plan_reenactment(
+        self,
+        query: HistoricalWhatIfQuery,
+        method: Method,
+        *,
+        start_db: Database | None = None,
+        shared: dict | None = None,
+    ) -> _ReenactmentPlan:
+        """Run the pipeline up to (but not including) delta evaluation.
+
+        ``start_db`` lets the batch path inject a pre-computed
+        time-travel version; ``shared`` is the batch's keyed plan cache
+        — one level above the per-process compiled-plan cache in
+        :mod:`repro.relational.exec.plan_compile` — mapping the sliced
+        statement pair (plus schemas, method and insert-split context)
+        to finished ``(queries_h, queries_m, data_slicing)`` triples.
+        """
         aligned = query.aligned()
         trimmed, prefix_length = aligned.trim_prefix()
-        # Time travel: the state before the first modified statement.
-        start_db = query.history.prefix(prefix_length).execute(query.database)
+        if start_db is None:
+            # Time travel: the state before the first modified statement.
+            start_db = query.history.prefix(prefix_length).execute(
+                query.database
+            )
         schemas = {
             name: start_db.schema_of(name) for name in start_db.relations
         }
@@ -246,95 +431,127 @@ class Mahif:
             # proceed with plain reenactment, optionally data-sliced.
 
         t1 = time.perf_counter()
-        queries_h = reenactment_queries(pair.original, schemas)
-        queries_m = reenactment_queries(pair.modified, schemas)
-
-        data_slicing: DataSlicingConditions | None = None
+        insert_mod_relations: set[str] = set()
         if method.uses_data_slicing:
-            data_slicing = compute_data_slicing(pair, schemas)
-            # Modified inserts: after the Section-10 split the pair no
-            # longer carries the insert, so the collision disjunct that
-            # compute_data_slicing derives for insert modifications (see
-            # data_slicing._affected_condition_map) is lost.  Filtering
-            # such a relation could then drop a base tuple that one
-            # side's replayed insert re-adds; disable filtering for those
-            # relations instead (their insert-side delta is tiny anyway).
-            from ..relational.expressions import TRUE
-
             insert_mod_relations = {
                 trimmed.original[p].relation
                 for p in trimmed.modified_positions
                 if isinstance(trimmed.original[p], InsertTuple)
                 or isinstance(trimmed.modified[p], InsertTuple)
             }
-            if insert_mod_relations and (
-                inserted_original is not None
-                or inserted_modified is not None
-            ):
-                data_slicing = DataSlicingConditions(
-                    {
-                        rel: (TRUE if rel in insert_mod_relations else cond)
-                        for rel, cond in data_slicing.for_original.items()
-                    }
-                    | {
-                        rel: TRUE
-                        for rel in insert_mod_relations
-                        if rel not in data_slicing.for_original
-                    },
-                    {
-                        rel: (TRUE if rel in insert_mod_relations else cond)
-                        for rel, cond in data_slicing.for_modified.items()
-                    }
-                    | {
-                        rel: TRUE
-                        for rel in insert_mod_relations
-                        if rel not in data_slicing.for_modified
-                    },
-                )
-            queries_h = {
-                name: inject_selection(
-                    op, dict(data_slicing.for_original)
-                )
-                for name, op in queries_h.items()
-            }
-            queries_m = {
-                name: inject_selection(
-                    op, dict(data_slicing.for_modified)
-                )
-                for name, op in queries_m.items()
-            }
 
-        if self.config.optimize_queries:
-            queries_h = {
-                name: optimize(op, self.config.optimizer)
-                for name, op in queries_h.items()
-            }
-            queries_m = {
-                name: optimize(op, self.config.optimizer)
-                for name, op in queries_m.items()
-            }
+        share_key = None
+        cached = None
+        if shared is not None:
+            try:
+                share_key = (
+                    method,
+                    tuple(
+                        _statement_share_key(s)
+                        for s in pair.original.statements
+                    ),
+                    tuple(
+                        _statement_share_key(s)
+                        for s in pair.modified.statements
+                    ),
+                    tuple(sorted(schemas.items())),
+                    frozenset(insert_mod_relations),
+                    inserted_original is not None,
+                    inserted_modified is not None,
+                )
+                cached = shared.get(share_key)
+            except TypeError:  # unhashable constant inside a statement
+                share_key = None
 
-        deltas: dict[str, RelationDelta] = {}
-        for relation in sorted(affected):
-            result_h = evaluate_query(queries_h[relation], start_db)
-            result_m = evaluate_query(queries_m[relation], start_db)
-            if inserted_original is not None:
-                result_h = result_h.union(inserted_original[relation])
-            if inserted_modified is not None:
-                result_m = result_m.union(inserted_modified[relation])
-            deltas[relation] = RelationDelta.between(result_h, result_m)
-        exe_seconds = time.perf_counter() - t1
+        if cached is not None:
+            queries_h, queries_m, data_slicing = cached
+        else:
+            queries_h = reenactment_queries(pair.original, schemas)
+            queries_m = reenactment_queries(pair.modified, schemas)
 
-        return MahifResult(
-            delta=DatabaseDelta(deltas),
+            data_slicing = None
+            if method.uses_data_slicing:
+                data_slicing = compute_data_slicing(pair, schemas)
+                # Modified inserts: after the Section-10 split the pair no
+                # longer carries the insert, so the collision disjunct that
+                # compute_data_slicing derives for insert modifications (see
+                # data_slicing._affected_condition_map) is lost.  Filtering
+                # such a relation could then drop a base tuple that one
+                # side's replayed insert re-adds; disable filtering for those
+                # relations instead (their insert-side delta is tiny anyway).
+                from ..relational.expressions import TRUE
+
+                if insert_mod_relations and (
+                    inserted_original is not None
+                    or inserted_modified is not None
+                ):
+                    data_slicing = DataSlicingConditions(
+                        {
+                            rel: (
+                                TRUE
+                                if rel in insert_mod_relations
+                                else cond
+                            )
+                            for rel, cond in data_slicing.for_original.items()
+                        }
+                        | {
+                            rel: TRUE
+                            for rel in insert_mod_relations
+                            if rel not in data_slicing.for_original
+                        },
+                        {
+                            rel: (
+                                TRUE
+                                if rel in insert_mod_relations
+                                else cond
+                            )
+                            for rel, cond in data_slicing.for_modified.items()
+                        }
+                        | {
+                            rel: TRUE
+                            for rel in insert_mod_relations
+                            if rel not in data_slicing.for_modified
+                        },
+                    )
+                queries_h = {
+                    name: inject_selection(
+                        op, dict(data_slicing.for_original)
+                    )
+                    for name, op in queries_h.items()
+                }
+                queries_m = {
+                    name: inject_selection(
+                        op, dict(data_slicing.for_modified)
+                    )
+                    for name, op in queries_m.items()
+                }
+
+            if self.config.optimize_queries:
+                queries_h = {
+                    name: optimize(op, self.config.optimizer)
+                    for name, op in queries_h.items()
+                }
+                queries_m = {
+                    name: optimize(op, self.config.optimizer)
+                    for name, op in queries_m.items()
+                }
+
+            if share_key is not None:
+                shared[share_key] = (queries_h, queries_m, data_slicing)
+
+        return _ReenactmentPlan(
+            query=query,
             method=method,
-            ps_seconds=ps_seconds,
-            exe_seconds=exe_seconds,
+            start_db=start_db,
+            affected=frozenset(affected),
+            queries_h=queries_h,
+            queries_m=queries_m,
+            inserted_original=inserted_original,
+            inserted_modified=inserted_modified,
             slice_result=slice_result,
             data_slicing=data_slicing,
-            queries_original=queries_h,
-            queries_modified=queries_m,
-            base_database=start_db,
+            ps_seconds=ps_seconds,
+            build_seconds=time.perf_counter() - t1,
         )
 
 
@@ -345,3 +562,12 @@ def answer(
 ) -> MahifResult:
     """Module-level convenience wrapper around :class:`Mahif`."""
     return Mahif(config).answer(query, method)
+
+
+def answer_batch(
+    queries: Sequence[HistoricalWhatIfQuery],
+    method: Method = Method.R_PS_DS,
+    config: MahifConfig | None = None,
+) -> list[MahifResult]:
+    """Module-level convenience wrapper around :meth:`Mahif.answer_batch`."""
+    return Mahif(config).answer_batch(queries, method)

@@ -75,6 +75,7 @@ __all__ = [
     "apply_statement_sqlite_bag",
     "clear_sqlite_cache",
     "sqlite_cache_info",
+    "set_sqlite_cache_limit",
     # maintenance
     "clear_caches",
 ]
@@ -111,6 +112,7 @@ _SQLITE_EXPORTS = {
     "apply_statement_sqlite_bag",
     "clear_sqlite_cache",
     "sqlite_cache_info",
+    "set_sqlite_cache_limit",
 }
 
 

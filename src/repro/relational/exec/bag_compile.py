@@ -49,21 +49,32 @@ CountedSource = Callable[[Any], Iterable[tuple[tuple, int]]]
 
 
 class CompiledBagPlan:
-    """A compiled operator tree under bag semantics."""
+    """A compiled operator tree under bag semantics.
 
-    __slots__ = ("schema", "operator", "_source", "uses_hash_join")
+    Pickles by recompiling from the operator tree and base schemas, like
+    :class:`.plan_compile.CompiledPlan`.
+    """
+
+    __slots__ = (
+        "schema", "operator", "base_schemas", "_source", "uses_hash_join"
+    )
 
     def __init__(
         self,
         schema: Schema,
         operator: Operator,
+        base_schemas: tuple[tuple[str, Schema], ...],
         source: CountedSource,
         uses_hash_join: bool,
     ) -> None:
         self.schema = schema
         self.operator = operator
+        self.base_schemas = base_schemas
         self._source = source
         self.uses_hash_join = uses_hash_join
+
+    def __reduce__(self):
+        return (compile_plan_bag, (self.operator, dict(self.base_schemas)))
 
     def counted_rows(self, db: Any) -> Iterable[tuple[tuple, int]]:
         """Stream ``(row, count)`` pairs; a row may appear repeatedly."""
@@ -206,7 +217,7 @@ def _compile_bag_cached(
 ) -> CompiledBagPlan:
     schemas = dict(schemas_key)
     schema, source, uses_hash_join = _compile(op, schemas)
-    return CompiledBagPlan(schema, op, source, uses_hash_join)
+    return CompiledBagPlan(schema, op, schemas_key, source, uses_hash_join)
 
 
 def compile_plan_bag(
@@ -218,7 +229,7 @@ def compile_plan_bag(
         return _compile_bag_cached(op, key, plan_fingerprint(op))
     except TypeError:
         schema, source, uses_hash_join = _compile(op, dict(db_schemas))
-        return CompiledBagPlan(schema, op, source, uses_hash_join)
+        return CompiledBagPlan(schema, op, key, source, uses_hash_join)
 
 
 def execute_plan_bag(op: Operator, db: Any):

@@ -92,21 +92,38 @@ RowSource = Callable[[Any], Iterable[tuple]]
 
 
 class CompiledPlan:
-    """A compiled operator tree: output schema plus a streaming runner."""
+    """A compiled operator tree: output schema plus a streaming runner.
 
-    __slots__ = ("schema", "operator", "_source", "uses_hash_join")
+    Plans pickle by *recompiling*: the closure pipeline itself cannot
+    cross a process boundary, but the operator tree and the base schemas
+    it was compiled against can, and compilation is deterministic (and
+    cached per process).  The engine's batched process-pool path ships
+    raw operator trees (workers compile into their own caches), but any
+    structure that happens to hold a compiled plan — results, caches,
+    future pool payloads — stays picklable rather than poisoning its
+    container.
+    """
+
+    __slots__ = (
+        "schema", "operator", "base_schemas", "_source", "uses_hash_join"
+    )
 
     def __init__(
         self,
         schema: Schema,
         operator: Operator,
+        base_schemas: tuple[tuple[str, Schema], ...],
         source: RowSource,
         uses_hash_join: bool,
     ) -> None:
         self.schema = schema
         self.operator = operator
+        self.base_schemas = base_schemas
         self._source = source
         self.uses_hash_join = uses_hash_join
+
+    def __reduce__(self):
+        return (compile_plan, (self.operator, dict(self.base_schemas)))
 
     def rows(self, db: Any) -> Iterable[tuple]:
         """Stream the (possibly duplicate-bearing) output rows."""
@@ -326,7 +343,7 @@ def _compile_plan_cached(
 ) -> CompiledPlan:
     schemas = dict(schemas_key)
     schema, source, uses_hash_join = _compile(op, schemas)
-    return CompiledPlan(schema, op, source, uses_hash_join)
+    return CompiledPlan(schema, op, schemas_key, source, uses_hash_join)
 
 
 def compile_plan(
@@ -343,7 +360,7 @@ def compile_plan(
         return _compile_plan_cached(op, key, plan_fingerprint(op))
     except TypeError:  # unhashable constant inside the tree
         schema, source, uses_hash_join = _compile(op, dict(db_schemas))
-        return CompiledPlan(schema, op, source, uses_hash_join)
+        return CompiledPlan(schema, op, key, source, uses_hash_join)
 
 
 def execute_plan(op: Operator, db: Any) -> Relation:

@@ -28,13 +28,39 @@ engine evaluates many reenactment queries against one time-travelled
 state, and reloading per query would swamp the measurement.  Statement
 application uses a throwaway connection loaded with just the relations
 the statement touches, since it must not mutate the cached image.
+
+Cache lifetime and thread-safety contract (see DESIGN.md, "The sqlite
+middleware backend"):
+
+* entries are keyed per *thread* — a :mod:`sqlite3` connection must not
+  be used from two threads at once, and the engine's batched path
+  (:meth:`repro.core.engine.Mahif.answer_batch`) evaluates sqlite
+  queries from a thread pool, so each worker thread gets its own loaded
+  connection per database instance,
+* all module state is guarded by one re-entrant lock (weakref ``_drop``
+  callbacks can fire on any thread, including re-entrantly under the
+  lock during an allocation inside a cache operation),
+* every registered ``_drop`` callback carries the *generation* of the
+  entry it was created for and is a no-op when the cached entry has
+  since been replaced — otherwise a late callback (``id()`` reuse after
+  GC, or a set/bag reload of the same database) would pop and close the
+  live replacement connection mid-use,
+* the cache is bounded: beyond ``sqlite_cache_info()["max_connections"]``
+  entries the least-recently-used connection is evicted and closed, so a
+  long-running batch server over many distinct databases cannot leak
+  connections.  Closing is deferred while a query is in flight on the
+  entry (``clear_sqlite_cache()`` is safe to call concurrently): the
+  entry is marked defunct, dropped from the cache, and closed by the
+  last release.
 """
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
 import weakref
-from collections import Counter
+from collections import Counter, OrderedDict
 from typing import Any, Iterable
 
 from ..algebra import Operator, base_relations, output_schema
@@ -60,6 +86,7 @@ __all__ = [
     "apply_statement_sqlite_bag",
     "clear_sqlite_cache",
     "sqlite_cache_info",
+    "set_sqlite_cache_limit",
 ]
 
 
@@ -132,55 +159,151 @@ def _load_database(conn: sqlite3.Connection, db, names, bag: bool) -> None:
 
 
 def _connect() -> sqlite3.Connection:
-    return sqlite3.connect(":memory:")
+    # Connections are single-thread-confined *by construction* (cache
+    # entries are keyed per thread; throwaway statement connections never
+    # escape their frame), but eviction/clear may close an entry from a
+    # different thread — which sqlite3 forbids unless the check is off.
+    return sqlite3.connect(":memory:", check_same_thread=False)
 
 
 # -- read-only connection cache ---------------------------------------------
 
-#: ``id(db) -> (weakref to db, loaded connection, is_bag)``.
-_connections: dict[int, tuple[weakref.ref, sqlite3.Connection, bool]] = {}
+class _CacheEntry:
+    """One cached ``(thread, database)`` connection with its lifetime bits.
+
+    ``generation`` identifies the entry its weakref ``_drop`` callback was
+    registered for; ``in_use`` counts in-flight queries so eviction/clear
+    can defer the close; ``defunct`` marks an entry removed from the cache
+    whose connection the last release must close.
+    """
+
+    __slots__ = ("ref", "conn", "bag", "generation", "in_use", "defunct")
+
+    def __init__(self, ref, conn, bag, generation):
+        self.ref = ref
+        self.conn = conn
+        self.bag = bag
+        self.generation = generation
+        self.in_use = 0
+        self.defunct = False
+
+
+_lock = threading.RLock()
+#: ``(thread ident, id(db)) -> _CacheEntry``, most recently used last.
+_connections: "OrderedDict[tuple[int, int], _CacheEntry]" = OrderedDict()
+_generations = itertools.count()
 _cache_hits = 0
 _cache_misses = 0
+_max_connections = 32
 
 
-def _cached_connection(db, bag: bool) -> sqlite3.Connection:
+def _retire(entry: _CacheEntry) -> None:
+    """Close an entry's connection, deferred while queries are in flight.
+
+    Caller holds ``_lock`` and has already removed the entry from
+    ``_connections``.
+    """
+    entry.defunct = True
+    if entry.in_use == 0:
+        entry.conn.close()
+
+
+def _acquire(db, bag: bool) -> _CacheEntry:
+    """Look up or load the calling thread's connection for ``db``.
+
+    The returned entry has its in-use count raised; callers must pair
+    with :func:`_release` (closing is deferred past in-flight queries).
+    """
     global _cache_hits, _cache_misses
-    key = id(db)
-    entry = _connections.get(key)
-    if entry is not None and entry[0]() is db and entry[2] == bag:
-        _cache_hits += 1
-        return entry[1]
-    if entry is not None:
-        entry[1].close()
-    _cache_misses += 1
+    key = (threading.get_ident(), id(db))
+    with _lock:
+        entry = _connections.get(key)
+        if entry is not None and entry.ref() is db and entry.bag == bag:
+            _cache_hits += 1
+            entry.in_use += 1
+            _connections.move_to_end(key)
+            return entry
+        if entry is not None:  # id reuse, or a set/bag reload of one db
+            del _connections[key]
+            _retire(entry)
+        _cache_misses += 1
+    # Load outside the lock — it is the expensive part, and the key is
+    # private to this thread, so nobody can race the insertion below.
     conn = _connect()
     _load_database(conn, db, db.relation_names(), bag)
+    with _lock:
+        generation = next(_generations)
 
-    def _drop(_ref, key=key) -> None:
-        stale = _connections.pop(key, None)
-        if stale is not None:
-            stale[1].close()
+        def _drop(_ref, key=key, generation=generation) -> None:
+            with _lock:
+                stale = _connections.get(key)
+                if stale is not None and stale.generation == generation:
+                    del _connections[key]
+                    _retire(stale)
 
-    _connections[key] = (weakref.ref(db, _drop), conn, bag)
-    return conn
+        entry = _CacheEntry(weakref.ref(db, _drop), conn, bag, generation)
+        entry.in_use = 1
+        _connections[key] = entry
+        while len(_connections) > _max_connections:
+            evicted_key, evicted = next(iter(_connections.items()))
+            if evicted is entry:  # bound of 1: keep the entry in use
+                break
+            del _connections[evicted_key]
+            _retire(evicted)
+        return entry
+
+
+def _release(entry: _CacheEntry) -> None:
+    with _lock:
+        entry.in_use -= 1
+        if entry.defunct and entry.in_use == 0:
+            entry.conn.close()
 
 
 def clear_sqlite_cache() -> None:
-    """Close and drop every cached read-only connection."""
+    """Close and drop every cached read-only connection.
+
+    Safe to call while queries are in flight on other threads: their
+    entries are marked defunct and closed by the last release instead of
+    being yanked mid-query.
+    """
     global _cache_hits, _cache_misses
-    for _, conn, _bag in _connections.values():
-        conn.close()
-    _connections.clear()
-    _cache_hits = 0
-    _cache_misses = 0
+    with _lock:
+        entries = list(_connections.values())
+        _connections.clear()
+        for entry in entries:
+            _retire(entry)
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def set_sqlite_cache_limit(limit: int) -> int:
+    """Set the connection-cache bound; returns the previous bound.
+
+    Shrinking evicts (LRU-first) immediately; in-flight queries on
+    evicted entries finish normally before their connection closes.
+    """
+    global _max_connections
+    if limit < 1:
+        raise ValueError("sqlite cache limit must be at least 1")
+    with _lock:
+        previous = _max_connections
+        _max_connections = limit
+        while len(_connections) > _max_connections:
+            evicted_key, evicted = next(iter(_connections.items()))
+            del _connections[evicted_key]
+            _retire(evicted)
+        return previous
 
 
 def sqlite_cache_info() -> dict[str, int]:
-    return {
-        "hits": _cache_hits,
-        "misses": _cache_misses,
-        "connections": len(_connections),
-    }
+    with _lock:
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "connections": len(_connections),
+            "max_connections": _max_connections,
+        }
 
 
 # -- query evaluation -------------------------------------------------------
@@ -200,8 +323,11 @@ def execute_query_sqlite(op: Operator, db: Database) -> Relation:
     # Schema checks first, for error parity with the in-process backends.
     out_schema = output_schema(op, schemas)
     sql, params, _ = query_to_sqlite(op, schemas)
-    conn = _cached_connection(db, bag=False)
-    rows = conn.execute(sql, params).fetchall()
+    entry = _acquire(db, bag=False)
+    try:
+        rows = entry.conn.execute(sql, params).fetchall()
+    finally:
+        _release(entry)
     return Relation(out_schema, frozenset(tuple(r) for r in rows))
 
 
@@ -212,10 +338,13 @@ def execute_query_sqlite_bag(op: Operator, db) -> "BagRelation":
     schemas = _schemas_of(db, base_relations(op))
     out_schema = output_schema(op, schemas)
     sql, params, _ = query_to_sqlite_bag(op, schemas)
-    conn = _cached_connection(db, bag=True)
-    counts: Counter = Counter()
-    for row in conn.execute(sql, params):
-        counts[tuple(row[:-1])] += row[-1]
+    entry = _acquire(db, bag=True)
+    try:
+        counts: Counter = Counter()
+        for row in entry.conn.execute(sql, params):
+            counts[tuple(row[:-1])] += row[-1]
+    finally:
+        _release(entry)
     return BagRelation(out_schema, counts)
 
 

@@ -312,5 +312,30 @@ def random_hwq(rng, *, rows=10, allow_insert_query=False):
     return HistoricalWhatIfQuery(history, db, (modification,))
 
 
+def random_hwq_batch(rng, *, size=4, rows=10):
+    """A batched replay: one shared database and history, ``size``
+    random modifications — the shape :meth:`Mahif.answer_batch`
+    amortizes (shared time travel, shared reenactment plans).
+
+    The last query duplicates the first one's modification, so every
+    generated batch exercises the shared-plan cache hit path, not just
+    the miss path.
+    """
+    db, types_by_name = random_typed_database(rng, rows=rows)
+    history = random_history(rng, db, types_by_name)
+    queries = [
+        HistoricalWhatIfQuery(
+            history,
+            db,
+            (random_modification(rng, db, types_by_name, history),),
+        )
+        for _ in range(max(1, size - 1))
+    ]
+    queries.append(
+        HistoricalWhatIfQuery(history, db, queries[0].modifications)
+    )
+    return queries
+
+
 def fresh_rng(offset=0):
     return random.Random(FUZZ_SEED + offset)

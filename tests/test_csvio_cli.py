@@ -165,6 +165,152 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Δ Orders" in out
 
+    def test_whatif_batch_emits_json_lines(self, workspace, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps([
+            {"replace": [
+                [1, "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60"]
+            ]},
+            {"replace": [
+                [1, "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 70"]
+            ]},
+            {"delete_stmt": [2]},
+        ]))
+        code = main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--batch", str(spec),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [json.loads(line) for line in out.strip().splitlines()]
+        assert [line["query"] for line in lines] == [0, 1, 2]
+        assert all("delta" in line and "exe_seconds" in line for line in lines)
+        # Each emitted delta matches the equivalent single-query answer.
+        for index, mods in enumerate(
+            (
+                ["--replace", "1",
+                 "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60"],
+                ["--replace", "1",
+                 "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 70"],
+                ["--delete-stmt", "2"],
+            )
+        ):
+            out_file = tmp_path / f"single_{index}.csv"
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    *mods,
+                    "--quiet",
+                    "--out", str(out_file),
+                ]
+            )
+            capsys.readouterr()
+            csv_rows = out_file.read_text().strip().splitlines()[1:]
+            batch_delta = lines[index]["delta"].get("Orders")
+            csv_count = len([r for r in csv_rows if r.startswith("Orders")])
+            batch_count = (
+                len(batch_delta["added"]) + len(batch_delta["removed"])
+                if batch_delta
+                else 0
+            )
+            assert csv_count == batch_count, index
+
+    def test_whatif_batch_out_and_workers(self, workspace, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps([
+            {"replace": [
+                [1, "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60"]
+            ]},
+            {"insert_stmt": [
+                [2, "DELETE FROM Orders WHERE Country = 'US'"]
+            ]},
+        ]))
+        out_file = tmp_path / "deltas.jsonl"
+        code = main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--batch", str(spec),
+                "--batch-workers", "2",
+                "--backend", "sqlite",
+                "--out", str(out_file),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in out_file.read_text().strip().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[1]["delta"]  # the inserted DELETE produces a delta
+
+    def test_whatif_batch_rejects_explain(self, workspace, tmp_path):
+        import json
+
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps([{"delete_stmt": [2]}]))
+        with pytest.raises(SystemExit, match="--explain"):
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--batch", str(spec),
+                    "--explain",
+                ]
+            )
+
+    def test_whatif_batch_rejects_bad_spec(self, workspace, tmp_path):
+        spec = tmp_path / "batch.json"
+        spec.write_text("[]")
+        with pytest.raises(SystemExit, match="non-empty"):
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--batch", str(spec),
+                ]
+            )
+        spec.write_text('[{"bogus": []}]')
+        with pytest.raises(SystemExit, match="unknown keys"):
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--batch", str(spec),
+                ]
+            )
+        # Malformed shapes fail with the entry index, not a traceback.
+        for bad in (
+            '[{"replace": [[1]]}]',          # pair missing the SQL
+            '[{"replace": null}]',            # not a list
+            '[{"delete_stmt": ["one"]}]',     # non-numeric position
+        ):
+            spec.write_text(bad)
+            with pytest.raises(SystemExit, match="entry 0"):
+                main(
+                    [
+                        "whatif",
+                        "--data", str(workspace / "data"),
+                        "--history", str(workspace / "history.sql"),
+                        "--batch", str(spec),
+                    ]
+                )
+
     def test_whatif_requires_modifications(self, workspace):
         with pytest.raises(SystemExit):
             main(

@@ -872,3 +872,58 @@ class TestSlicingSelectivity:
             conditions, db, backend="interpreted"
         )
         assert compiled == interpreted == {"R": (4, 10)}
+
+
+# ---------------------------------------------------------------------------
+# plan picklability (the batched process-pool path ships plans to workers)
+# ---------------------------------------------------------------------------
+
+class TestPlanPickling:
+    def test_compiled_plan_roundtrips_by_recompiling(self):
+        import pickle
+
+        from repro.relational.exec.plan_compile import compile_plan
+        from repro.relational.algebra import Join
+
+        db = Database(
+            {
+                "R": Relation.from_rows(
+                    Schema.of("a", "b"), [(1, 10), (2, 20), (None, 30)]
+                ),
+                "S": Relation.from_rows(
+                    Schema.of("c", "d"), [(1, 5), (2, 6)]
+                ),
+            }
+        )
+        schemas = {name: db.schema_of(name) for name in db.relations}
+        plan = compile_plan(
+            Join(RelScan("R"), RelScan("S"), eq(col("a"), col("c"))),
+            schemas,
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.schema == plan.schema
+        assert clone.uses_hash_join == plan.uses_hash_join
+        assert clone.execute(db).tuples == plan.execute(db).tuples
+
+    def test_compiled_bag_plan_roundtrips(self):
+        import pickle
+
+        from repro.relational import BagDatabase
+        from repro.relational.exec.bag_compile import compile_plan_bag
+
+        db = Database(
+            {
+                "R": Relation.from_rows(
+                    Schema.of("a", "b"), [(1, 10), (2, 20)]
+                )
+            }
+        )
+        bag_db = BagDatabase.from_set_database(db)
+        plan = compile_plan_bag(
+            Select(RelScan("R"), ge(col("a"), 1)),
+            {"R": db.schema_of("R")},
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert dict(clone.execute(bag_db).multiplicities) == dict(
+            plan.execute(bag_db).multiplicities
+        )

@@ -397,6 +397,160 @@ class TestConnectionCache:
         gc.collect()
         assert sqlite_cache_info()["connections"] == 0
 
+    def test_stale_drop_callback_does_not_evict_replacement(self):
+        """Regression: a ``_drop`` registered for a *replaced* entry must
+        not close the live replacement on the same key.
+
+        Entries can be replaced while their weakref callback is still
+        deliverable — ``id()`` reuse after a gc-deferred collection, or a
+        set/bag reload of one database.  Pre-fix, the stale callback
+        popped whatever the key currently held and closed its connection
+        mid-use; the generation check makes it a no-op.  The deferred
+        delivery window is simulated by holding the first entry's weakref
+        and firing its callback after the replacement, exactly as the gc
+        would.
+        """
+        import gc
+
+        from repro.relational.exec import sql_backend as sb
+
+        clear_sqlite_cache()
+        db = make_db()
+        plan = Select(RelScan("R"), gt(col("a"), 0))
+        expected = evaluate_query(plan, db, backend="sqlite").tuples
+        ((key, first_entry),) = sb._connections.items()
+        stale_ref = first_entry.ref  # keep the callback deliverable
+        # Force the replacement path for the same key: pretend the entry
+        # was loaded for the other semantics, as a set/bag alternation
+        # on one database would.
+        first_entry.bag = not first_entry.bag
+        evaluate_query(plan, db, backend="sqlite")  # mismatch -> reload
+        replacement = sb._connections[key]
+        assert replacement is not first_entry
+        # Deliver the stale callback, as a deferred gc pass would.
+        stale_ref.__callback__(stale_ref)
+        gc.collect()
+        # The live replacement survives: still cached, connection open.
+        assert sqlite_cache_info()["connections"] == 1
+        assert sb._connections[key] is replacement
+        before = sqlite_cache_info()["misses"]
+        assert evaluate_query(plan, db, backend="sqlite").tuples == expected
+        assert sqlite_cache_info()["misses"] == before  # served from cache
+
+    def test_set_bag_alternation_with_gc_keeps_queries_working(self):
+        """The ISSUE's reproduction shape: alternate set/bag queries over
+        one database's images, force collection, query again."""
+        import gc
+
+        from repro.relational import evaluate_query_bag
+
+        clear_sqlite_cache()
+        db = make_db()
+        bag_db = BagDatabase.from_set_database(db)
+        plan = Select(RelScan("R"), gt(col("a"), 0))
+        expected_set = evaluate_query(plan, db, backend="sqlite").tuples
+        expected_bag = dict(
+            evaluate_query_bag(plan, bag_db, backend="sqlite").multiplicities
+        )
+        for _ in range(3):
+            assert (
+                evaluate_query(plan, db, backend="sqlite").tuples
+                == expected_set
+            )
+            assert (
+                dict(
+                    evaluate_query_bag(
+                        plan, bag_db, backend="sqlite"
+                    ).multiplicities
+                )
+                == expected_bag
+            )
+            gc.collect()
+        del bag_db
+        gc.collect()
+        assert evaluate_query(plan, db, backend="sqlite").tuples == expected_set
+
+    def test_lru_bound_evicts_oldest_connection(self):
+        from repro.relational.exec.sql_backend import set_sqlite_cache_limit
+
+        clear_sqlite_cache()
+        previous = set_sqlite_cache_limit(2)
+        try:
+            databases = [make_db() for _ in range(4)]
+            for db in databases:
+                evaluate_query(RelScan("R"), db, backend="sqlite")
+            info = sqlite_cache_info()
+            assert info["max_connections"] == 2
+            assert info["connections"] == 2
+            # The two most recent stay cached; the first was evicted.
+            before = sqlite_cache_info()["hits"]
+            evaluate_query(RelScan("R"), databases[-1], backend="sqlite")
+            assert sqlite_cache_info()["hits"] == before + 1
+            misses = sqlite_cache_info()["misses"]
+            evaluate_query(RelScan("R"), databases[0], backend="sqlite")
+            assert sqlite_cache_info()["misses"] == misses + 1
+        finally:
+            set_sqlite_cache_limit(previous)
+            clear_sqlite_cache()
+
+    def test_cache_limit_validates(self):
+        from repro.relational.exec.sql_backend import set_sqlite_cache_limit
+
+        with pytest.raises(ValueError):
+            set_sqlite_cache_limit(0)
+
+    def test_clear_concurrent_with_inflight_queries(self):
+        """clear_sqlite_cache() may race in-flight queries: the entries
+        are retired, not yanked — queries finish on the old connection."""
+        import threading
+
+        clear_sqlite_cache()
+        db = make_db()
+        plan = Select(RelScan("R"), gt(col("a"), 0))
+        expected = evaluate_query(plan, db, backend="sqlite").tuples
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    assert (
+                        evaluate_query(plan, db, backend="sqlite").tuples
+                        == expected
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        try:
+            for _ in range(50):
+                clear_sqlite_cache()
+        finally:
+            stop.set()
+            worker.join()
+        assert not errors
+
+    def test_thread_pool_gets_one_connection_per_thread(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        clear_sqlite_cache()
+        db = make_db()
+        plan = Select(RelScan("R"), gt(col("a"), 0))
+        expected = evaluate_query(plan, db, backend="sqlite").tuples
+
+        def query(_):
+            return evaluate_query(plan, db, backend="sqlite").tuples
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            results = list(pool.map(query, range(30)))
+        assert all(result == expected for result in results)
+        info = sqlite_cache_info()
+        # One entry per participating thread (including this one), each
+        # loaded exactly once.
+        assert 1 <= info["connections"] <= 4
+        assert info["misses"] == info["connections"]
+
 
 class TestErrorParity:
     def test_unknown_relation(self):

@@ -11,6 +11,8 @@ Case budget (unscaled defaults, checked by ``test_case_budget``):
 * ``N_PLANS`` reused-generator plans x {set, bag}           = 2*N_PLANS
 * ``N_REPLAYS`` typed histories x {set, bag} final states   = 2*N_REPLAYS
 * ``N_HWQS`` what-if queries x 5 methods                    = 5*N_HWQS
+* ``N_BATCHES`` batched replays x 5 methods (batch ≡ loop,
+  shared-plan path) plus their modified histories x {set, bag}
 
 comfortably over the 200-case acceptance floor.  Set
 ``MAHIF_FUZZ_SEED``/``MAHIF_FUZZ_SCALE`` to randomize or shrink runs
@@ -23,6 +25,7 @@ from fuzz_differential import (
     fresh_rng,
     random_history,
     random_hwq,
+    random_hwq_batch,
     random_typed_database,
     scaled,
 )
@@ -63,11 +66,19 @@ BACKENDS = ("interpreted", "compiled", "sqlite")
 N_PLANS = 150
 N_REPLAYS = 120
 N_HWQS = 24
+N_BATCHES = 6
+BATCH_SIZE = 4
 
 
 def test_case_budget():
     """The acceptance floor: ≥ 200 seeded differential cases by default."""
-    assert 2 * N_PLANS + 2 * N_REPLAYS + len(Method) * N_HWQS >= 200
+    assert (
+        2 * N_PLANS
+        + 2 * N_REPLAYS
+        + len(Method) * N_HWQS
+        + len(Method) * N_BATCHES * BATCH_SIZE
+        >= 200
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -266,6 +277,84 @@ class TestEngineDifferential:
                     reference = delta
                 else:
                     assert delta == reference, (backend, method.value)
+
+
+# ---------------------------------------------------------------------------
+# batched replay differential: answer_batch ≡ sequential loop, shared plans
+# ---------------------------------------------------------------------------
+
+class TestBatchDifferential:
+    def test_batched_answering_matches_sequential_three_way(self):
+        """``answer_batch`` over a shared database+history (including a
+        duplicated modification, so the shared-plan cache takes hits)
+        must equal the sequential loop for every method and backend —
+        and every backend must agree with the interpreter."""
+        rng = fresh_rng(offset=7)
+        for trial in range(scaled(N_BATCHES)):
+            batch = random_hwq_batch(rng, size=BATCH_SIZE)
+            for method in Method:
+                reference = None
+                for backend in BACKENDS:
+                    engine = Mahif(MahifConfig(backend=backend))
+                    sequential = [
+                        engine.answer(query, method).delta
+                        for query in batch
+                    ]
+                    batched = [
+                        result.delta
+                        for result in engine.answer_batch(batch, method)
+                    ]
+                    assert batched == sequential, (
+                        trial, backend, method.value,
+                    )
+                    if reference is None:
+                        reference = batched
+                    else:
+                        assert batched == reference, (
+                            trial, backend, method.value,
+                        )
+
+    def test_batched_answering_with_worker_pools(self):
+        """The pooled paths — processes for compiled, threads for sqlite
+        — replay one batch identically to the serial batch."""
+        rng = fresh_rng(offset=8)
+        batch = random_hwq_batch(rng, size=BATCH_SIZE)
+        for backend in ("compiled", "sqlite"):
+            serial = Mahif(MahifConfig(backend=backend)).answer_batch(batch)
+            pooled = Mahif(
+                MahifConfig(backend=backend, batch_workers=2)
+            ).answer_batch(batch)
+            assert [r.delta for r in pooled] == [r.delta for r in serial], (
+                backend
+            )
+
+    def test_batched_modified_histories_replay_set_and_bag(self):
+        """Each batch query's ``H[M]`` replays to the same final state on
+        every backend, under set and bag semantics — the batched replay
+        sweep of the differential matrix."""
+        rng = fresh_rng(offset=9)
+        for trial in range(scaled(N_BATCHES)):
+            batch = random_hwq_batch(rng, size=BATCH_SIZE)
+            bag_db = BagDatabase.from_set_database(batch[0].database)
+            for index, query in enumerate(batch):
+                modified = query.modified_history()
+                set_states = {}
+                bag_states = {}
+                for backend in BACKENDS:
+                    with use_backend(backend):
+                        set_states[backend] = modified.execute(
+                            query.database
+                        )
+                        bag_states[backend] = execute_history_bag(
+                            modified, bag_db
+                        )
+                for backend in ("compiled", "sqlite"):
+                    assert set_states[backend].same_contents(
+                        set_states["interpreted"]
+                    ), (trial, index, backend, "set")
+                    assert bag_states[backend].same_contents(
+                        bag_states["interpreted"]
+                    ), (trial, index, backend, "bag")
 
 
 # ---------------------------------------------------------------------------
