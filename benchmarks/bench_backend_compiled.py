@@ -24,13 +24,12 @@ middleware pays per-query translation plus data transfer, which is the
 paper's architecture, not this reproduction's fast path.
 """
 
-import json
 import pathlib
 import time
 
 import pytest
 
-from repro.bench import print_series_table, run_method
+from repro.bench import print_series_table, run_method, write_bench_report
 from repro.core import Method, MahifConfig
 from repro.core.data_slicing import slicing_selectivity
 from repro.relational import (
@@ -169,9 +168,10 @@ def test_backend_compiled_vs_interpreted(benchmark):
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    payload = {
-        "experiment": "backend",
-        "workload": {
+    write_bench_report(
+        TARGET,
+        "backend",
+        {
             "dataset": "taxi",
             "updates": UPDATES,
             "method": Method.R_PS_DS.value,
@@ -180,10 +180,9 @@ def test_backend_compiled_vs_interpreted(benchmark):
             "trials": TRIALS,
             "metric": "exe_seconds (reenactment evaluation), best of trials",
         },
-        "hot_path": data["hot_path"],
-        "join": data["join"],
-    }
-    TARGET.write_text(json.dumps(payload, indent=2) + "\n")
+        hot_path=data["hot_path"],
+        join=data["join"],
+    )
 
     print_series_table(
         "Backend — R+PS+DS exe: three-way (taxi, U20)",

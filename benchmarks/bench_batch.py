@@ -25,12 +25,11 @@ Results land in ``results.jsonl`` (experiment ``"batch"``) and
 ``BENCH_batch.json`` at the repo root.
 """
 
-import json
 import os
 import pathlib
 import time
 
-from repro.bench import print_series_table, run_batch
+from repro.bench import print_series_table, run_batch, write_bench_report
 from repro.core import (
     HistoricalWhatIfQuery,
     Mahif,
@@ -137,9 +136,10 @@ def _backend_rows():
 def test_batch_vs_sequential(benchmark):
     rows = benchmark.pedantic(_backend_rows, rounds=1, iterations=1)
 
-    payload = {
-        "experiment": "batch",
-        "workload": {
+    write_bench_report(
+        TARGET,
+        "batch",
+        {
             "dataset": "taxi",
             "rows": ROWS,
             "updates": UPDATES,
@@ -151,9 +151,8 @@ def test_batch_vs_sequential(benchmark):
             "metric": "wall seconds: sequential answer loop vs one "
             "answer_batch call",
         },
-        "backends": rows,
-    }
-    TARGET.write_text(json.dumps(payload, indent=2) + "\n")
+        backends=rows,
+    )
 
     print_series_table(
         f"Batch — {BATCH_SIZE} queries, one shared history (taxi, U"

@@ -1,0 +1,172 @@
+"""What-if service throughput: N concurrent HTTP clients, cold vs warm
+result cache (see DESIGN.md, "Service architecture").
+
+The workload mirrors the batched-answering benchmark's interactive
+pattern — one shared stored history (taxi, U20), many users probing
+different hypothetical constants for the same late statement — but
+through the full service stack: persistent history store, HTTP, the
+per-history result cache.  Two passes over ``QUERY_COUNT`` distinct
+single what-if requests issued by ``CLIENTS`` concurrent clients:
+
+* **cold** — every request misses the cache and pays planning + slicing
+  + evaluation (time travel is already checkpoint-backed),
+* **warm** — the same requests again; every one is a cache hit and pays
+  only HTTP + a dict lookup.
+
+The asserted floor — warm ≥ 2× cold qps on the compiled backend — is
+the acceptance criterion for the cache actually buying something; a hit
+skips all engine work, so the margin is large at every scale.  A sample
+of answers is cross-checked against the in-process ``Mahif.answer``
+oracle.  Results land in ``results.jsonl`` (experiment ``"service"``)
+and ``BENCH_service.json`` at the repo root.
+"""
+
+import os
+import pathlib
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import print_series_table, write_bench_report
+from repro.core import HistoricalWhatIfQuery, Mahif, MahifConfig, Method
+from repro.relational.expressions import Attr
+from repro.relational.sqlgen import statement_to_sql
+from repro.relational.statements import UpdateStatement
+from repro.service import (
+    METHODS,
+    ServiceClient,
+    WhatIfServer,
+    WhatIfService,
+    modifications_from_spec,
+    result_payload,
+)
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+BACKEND = "compiled"
+CLIENTS = int(os.environ.get("MAHIF_BENCH_SERVICE_CLIENTS", "8"))
+QUERY_COUNT = int(os.environ.get("MAHIF_BENCH_SERVICE_QUERIES", "24"))
+ROWS = SMALL_ROWS
+UPDATES = 20
+#: 1-based position of the replaced statement — deep in the history, so
+#: the checkpoint-backed time travel has a long prefix to skip.
+MOD_POSITION = 16
+WARM_SPEEDUP_FLOOR = 2.0
+TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+
+def _specs(workload) -> list[dict]:
+    """``QUERY_COUNT`` distinct single-query specs over one history."""
+    base = workload.history[MOD_POSITION]
+    value = workload.value_attribute
+    specs = []
+    for i in range(QUERY_COUNT):
+        replacement = UpdateStatement(
+            base.relation,
+            {value: Attr(value) + (3 + i)},
+            base.condition,
+        )
+        specs.append(
+            {"replace": [[MOD_POSITION, statement_to_sql(replacement)]]}
+        )
+    return specs
+
+
+def _qps_pass(url: str, specs: list[dict]) -> tuple[float, list[dict]]:
+    """Issue every spec once from a pool of CLIENTS concurrent clients."""
+    clients = [ServiceClient(url) for _ in range(CLIENTS)]
+
+    def probe(index_spec):
+        index, spec = index_spec
+        return clients[index % CLIENTS].whatif(
+            "bench", spec, backend=BACKEND
+        )
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        answers = list(pool.map(probe, enumerate(specs)))
+    elapsed = time.perf_counter() - start
+    return len(specs) / elapsed, answers
+
+
+def _run_service_bench() -> dict:
+    workload = build_workload(
+        WorkloadSpec(dataset="taxi", rows=ROWS, updates=UPDATES, seed=7)
+    )
+    specs = _specs(workload)
+    with tempfile.TemporaryDirectory(prefix="mahif-bench-service-") as root:
+        service = WhatIfService(root, default_backend=BACKEND)
+        service.register("bench", workload.database, workload.history)
+        server = WhatIfServer(service, port=0).start_background()
+        try:
+            cold_qps, cold = _qps_pass(server.url, specs)
+            warm_qps, warm = _qps_pass(server.url, specs)
+        finally:
+            server.shutdown()
+
+    assert all(not a["cached"] for a in cold), "cold pass hit the cache"
+    assert all(a["cached"] for a in warm), "warm pass missed the cache"
+    assert [a["delta"] for a in warm] == [a["delta"] for a in cold]
+
+    # Sample correctness: first/last answers equal the in-process oracle.
+    engine = Mahif(MahifConfig(backend=BACKEND))
+    for index in (0, len(specs) - 1):
+        query = HistoricalWhatIfQuery(
+            workload.history,
+            workload.database,
+            modifications_from_spec(specs[index]),
+        )
+        oracle = engine.answer(query, METHODS["R+PS+DS"])
+        assert cold[index]["delta"] == result_payload(oracle)["delta"], (
+            "service answer differs from the in-process engine"
+        )
+
+    row = {
+        "backend": BACKEND,
+        "rows": ROWS,
+        "updates": UPDATES,
+        "clients": CLIENTS,
+        "queries": QUERY_COUNT,
+        "cold_qps": cold_qps,
+        "warm_qps": warm_qps,
+        "warm_speedup": warm_qps / cold_qps,
+    }
+    record("service", row)
+    return row
+
+
+def test_service_concurrent_throughput(benchmark):
+    row = benchmark.pedantic(_run_service_bench, rounds=1, iterations=1)
+
+    write_bench_report(
+        TARGET,
+        "service",
+        {
+            "dataset": "taxi",
+            "rows": ROWS,
+            "updates": UPDATES,
+            "modified_position": MOD_POSITION,
+            "clients": CLIENTS,
+            "queries": QUERY_COUNT,
+            "method": Method.R_PS_DS.value,
+            "backend": BACKEND,
+            "metric": "single-query HTTP qps under concurrent clients, "
+            "cold vs warm result cache",
+        },
+        throughput=[row],
+    )
+
+    print_series_table(
+        f"Service — {CLIENTS} concurrent clients, {QUERY_COUNT} queries "
+        f"(taxi, U{UPDATES}, R+PS+DS over HTTP)",
+        ["backend", "cold qps", "warm qps", "speedup"],
+        [[row["backend"], row["cold_qps"], row["warm_qps"],
+          row["warm_speedup"]]],
+        note="warm pass = pure cache hits; floor ≥ 2× cold",
+    )
+
+    assert row["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        "the result cache no longer pays for itself: "
+        f"{row['warm_speedup']:.2f}x < {WARM_SPEEDUP_FLOOR}x"
+    )

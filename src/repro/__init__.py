@@ -63,6 +63,7 @@ from .relational import (
     parse_history,
     parse_statement,
 )
+from .store import HistoryStore
 
 __version__ = "1.0.0"
 
@@ -78,4 +79,6 @@ __all__ = [
     "align", "DatabaseDelta", "RelationDelta",
     "Mahif", "MahifConfig", "MahifResult", "Method", "answer",
     "naive_what_if",
+    # persistence (the service package is imported on demand: `repro.service`)
+    "HistoryStore",
 ]

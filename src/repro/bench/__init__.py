@@ -11,8 +11,10 @@ from .harness import (
     run_method,
     run_methods,
 )
+from .reporting import write_bench_report
 
 __all__ = [
     "MethodTiming", "BatchTiming", "run_method", "run_methods", "run_batch",
     "format_table", "print_series_table", "RESULTS", "record_result",
+    "write_bench_report",
 ]

@@ -1,8 +1,42 @@
-"""Convenience re-export: EXPERIMENTS.md generation lives in
-``benchmarks/report.py`` (it is part of the benchmark harness, not the
-library API); this stub points users there.
+"""Shared benchmark-report writing.
 
-    python benchmarks/report.py
+Every headline benchmark (``benchmarks/bench_backend_compiled.py``,
+``bench_batch.py``, ``bench_service.py``) dumps a ``BENCH_*.json`` at
+the repo root with the same shape — ``experiment`` tag, a ``workload``
+description, then one key per result section.  :func:`write_bench_report`
+is that shape in one place, so the payloads cannot drift apart and new
+benchmarks get it for free.
+
+(EXPERIMENTS.md generation is separate and lives in
+``benchmarks/report.py`` — it is part of the benchmark harness, not the
+library API.)
 """
 
-__all__: list[str] = []
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+__all__ = ["write_bench_report"]
+
+
+def write_bench_report(
+    target: str | pathlib.Path,
+    experiment: str,
+    workload: Mapping[str, Any],
+    **sections: Any,
+) -> dict:
+    """Write one ``BENCH_*.json`` payload; returns the payload dict.
+
+    ``workload`` describes the fixed parameters of the run (dataset,
+    sizes, metric); each keyword argument becomes one result section.
+    The file always ends with a newline and is indented for diffing.
+    """
+    payload: dict[str, Any] = {
+        "experiment": experiment,
+        "workload": dict(workload),
+        **sections,
+    }
+    pathlib.Path(target).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

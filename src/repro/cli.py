@@ -39,6 +39,20 @@ The answers are emitted as JSON lines — one object per query, in input
 order, with the per-relation ``+``/``-`` tuples and timing — to stdout
 or to ``--out``.
 
+Service mode: ``python -m repro.cli serve`` runs the concurrent what-if
+server over a root directory of persistent history stores (see
+DESIGN.md, "Service architecture")::
+
+    python -m repro.cli serve --root ./stores --port 8734 \
+        --name orders --data ./tables/ --history history.sql
+
+and ``--url`` on ``whatif`` remote-executes the same ``--replace``/
+``--batch`` flags against a stored history instead of computing
+in-process::
+
+    python -m repro.cli whatif --url http://127.0.0.1:8734 \
+        --name orders --batch queries.json
+
 There is also ``python -m repro.cli replay`` to simply execute a history
 and print/export the final state.
 """
@@ -51,22 +65,20 @@ import json
 import sys
 from typing import Sequence
 
-from .core import (
-    DeleteStatementMod,
-    HistoricalWhatIfQuery,
-    InsertStatementMod,
-    Mahif,
-    MahifConfig,
-    Method,
-    Replace,
-)
+from .core import HistoricalWhatIfQuery, Mahif, MahifConfig, Method
 from .core.provenance import explain_delta
-from .relational import BACKENDS, History, parse_history, parse_statement
+from .relational import BACKENDS, History, parse_history
 from .relational.csvio import format_value, load_database_dir, relation_to_csv
+from .relational.parser import ParseError
 
 __all__ = ["main", "build_parser"]
 
 _METHODS = {m.value: m for m in Method}
+
+
+def _fail(message: str) -> "SystemExit":
+    """One-line error to stderr, nonzero exit — never a traceback."""
+    return SystemExit(f"repro.cli: error: {message}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,10 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     whatif = sub.add_parser("whatif", help="answer a what-if query")
-    whatif.add_argument("--data", required=True,
-                        help="directory of <relation>.csv files")
-    whatif.add_argument("--history", required=True,
-                        help="SQL script file with the history")
+    whatif.add_argument("--data",
+                        help="directory of <relation>.csv files "
+                        "(required unless --url targets a stored history)")
+    whatif.add_argument("--history",
+                        help="SQL script file with the history "
+                        "(required unless --url targets a stored history)")
     whatif.add_argument(
         "--replace", nargs=2, action="append", default=[],
         metavar=("POS", "SQL"), help="replace statement at POS",
@@ -124,102 +138,250 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool size for --batch: processes for the in-process "
         "backends, threads for sqlite (default 0: no pool)",
     )
+    whatif.add_argument(
+        "--url", metavar="URL",
+        help="remote-execute against a running what-if service instead of "
+        "computing in-process (see the serve command); answers come back "
+        "as JSON",
+    )
+    whatif.add_argument(
+        "--name", metavar="NAME",
+        help="with --url: the stored history to query; when --data/"
+        "--history are also given, the history is registered under this "
+        "name first",
+    )
 
     replay = sub.add_parser("replay", help="execute a history")
     replay.add_argument("--data", required=True)
     replay.add_argument("--history", required=True)
     replay.add_argument("--relation", help="print only this relation")
     replay.add_argument("--out", help="write the final state CSV here")
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent what-if service"
+    )
+    serve.add_argument(
+        "--root", required=True,
+        help="directory holding the persistent history stores (created "
+        "if missing; existing stores are reopened)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8734,
+        help="listen port (0 binds an ephemeral port, printed on start)",
+    )
+    serve.add_argument(
+        "--backend", default="compiled", choices=BACKENDS,
+        help="default execution backend for answers",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=32, metavar="K",
+        help="snapshot checkpoint every K statements in new stores",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="default worker pool for batched answers",
+    )
+    serve.add_argument(
+        "--name", help="preload: register this history name on startup"
+    )
+    serve.add_argument(
+        "--data", help="preload: directory of <relation>.csv files"
+    )
+    serve.add_argument(
+        "--history", help="preload: SQL script file with the history"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
     return parser
 
 
 def _load_history(path: str) -> History:
-    with open(path) as fh:
-        return History(tuple(parse_history(fh.read())))
+    try:
+        with open(path) as fh:
+            return History(tuple(parse_history(fh.read())))
+    except OSError as exc:
+        raise _fail(f"cannot read history script {path!r}: {exc}") from None
+    except ParseError as exc:
+        raise _fail(f"history script {path!r}: {exc}") from None
 
 
-def _modifications_from(replace_pairs, delete_positions, insert_pairs):
-    """Build modification objects from (position, sql) containers —
-    shared by the flag path and the ``--batch`` spec path."""
-    modifications = []
-    for pos, sql in replace_pairs:
-        modifications.append(Replace(int(pos), parse_statement(sql)))
-    for pos in delete_positions:
-        modifications.append(DeleteStatementMod(int(pos)))
-    for pos, sql in insert_pairs:
-        modifications.append(
-            InsertStatementMod(int(pos), parse_statement(sql))
-        )
-    return tuple(modifications)
+def _load_database(path: str):
+    try:
+        return load_database_dir(path)
+    except OSError as exc:
+        raise _fail(f"cannot read CSV data from {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise _fail(f"CSV data in {path!r}: {exc}") from None
 
 
 def _build_modifications(args: argparse.Namespace):
-    modifications = _modifications_from(
-        args.replace, args.delete_stmt, args.insert_stmt
-    )
-    if not modifications:
+    """Modification objects from the flags — the flags become a wire
+    spec, parsed by the same :func:`modifications_from_spec` the server
+    and the ``--batch`` path use (one parser, one error style)."""
+    from .service.wire import SpecError, modifications_from_spec
+
+    try:
+        return modifications_from_spec(_modification_spec(args))
+    except SpecError as exc:
+        raise _fail(f"unparseable modification flags: {exc}") from None
+
+
+def _modification_spec(args: argparse.Namespace) -> dict:
+    """The wire-format spec equivalent of the modification flags."""
+    spec: dict = {}
+    try:
+        if args.replace:
+            spec["replace"] = [[int(p), sql] for p, sql in args.replace]
+        if args.delete_stmt:
+            spec["delete_stmt"] = [int(p) for p in args.delete_stmt]
+        if args.insert_stmt:
+            spec["insert_stmt"] = [
+                [int(p), sql] for p, sql in args.insert_stmt
+            ]
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"bad modification position: {exc}") from None
+    if not spec:
         raise SystemExit(
             "at least one --replace/--delete-stmt/--insert-stmt is required"
         )
-    return modifications
+    return spec
+
+
+def _load_batch_specs(path: str) -> list:
+    """Read a ``--batch`` spec file: a non-empty JSON array of objects.
+
+    Unreadable files and non-JSON content get a one-line error instead
+    of a traceback; per-entry shape validation happens in
+    :func:`repro.service.wire.modifications_from_spec`.
+    """
+    try:
+        with open(path) as fh:
+            spec = json.load(fh)
+    except OSError as exc:
+        raise _fail(f"cannot read --batch spec {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise _fail(f"--batch spec {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(spec, list) or not spec:
+        raise _fail(
+            f"--batch spec {path!r} must be a non-empty JSON array of "
+            "modification specs"
+        )
+    return spec
 
 
 def _parse_batch_spec(path: str):
     """Parse a ``--batch`` spec file into per-query modification tuples."""
-    with open(path) as fh:
-        spec = json.load(fh)
-    if not isinstance(spec, list) or not spec:
-        raise SystemExit(
-            "--batch expects a non-empty JSON array of modification specs"
-        )
+    from .service.wire import SpecError, modifications_from_spec
+
     batches = []
-    for index, entry in enumerate(spec):
-        if not isinstance(entry, dict):
-            raise SystemExit(f"--batch entry {index} is not an object")
-        unknown = set(entry) - {"replace", "delete_stmt", "insert_stmt"}
-        if unknown:
-            raise SystemExit(
-                f"--batch entry {index} has unknown keys {sorted(unknown)}"
-            )
+    for index, entry in enumerate(_load_batch_specs(path)):
         try:
-            modifications = _modifications_from(
-                entry.get("replace") or [],
-                entry.get("delete_stmt") or [],
-                entry.get("insert_stmt") or [],
-            )
-        except (TypeError, ValueError) as exc:
+            batches.append(modifications_from_spec(entry))
+        except SpecError as exc:
             # Malformed shapes ([[1]] missing the SQL, a dict instead of
             # pair lists, a non-numeric position, ...) get the entry
             # index instead of a raw traceback.
-            raise SystemExit(
-                f"--batch entry {index} is malformed: {exc} — expected "
-                '{"replace"/"insert_stmt": [[position, sql], ...], '
-                '"delete_stmt": [position, ...]}'
-            ) from None
-        if not modifications:
-            raise SystemExit(f"--batch entry {index} has no modifications")
-        batches.append(modifications)
+            raise _fail(f"--batch entry {index}: {exc}") from None
     return batches
 
 
 def _delta_json(result) -> dict:
-    """One JSON-lines record for a batched answer."""
-    return {
-        "delta": {
-            relation: {
-                "attributes": list(delta.schema.attributes),
-                "added": [
-                    list(row) for row in sorted(delta.added, key=repr)
-                ],
-                "removed": [
-                    list(row) for row in sorted(delta.removed, key=repr)
-                ],
-            }
-            for relation, delta in sorted(result.delta.relations.items())
-        },
-        "ps_seconds": result.ps_seconds,
-        "exe_seconds": result.exe_seconds,
-    }
+    """One JSON-lines record for a batched answer — the shared wire
+    rendering, keeping every empty relation delta for backward
+    compatibility (the service omits them)."""
+    from .service.wire import result_payload
+
+    return result_payload(result, include_empty=True)
+
+
+def _emit_json_lines(lines: list[str], args: argparse.Namespace) -> None:
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        if not args.quiet:
+            print(f"{len(lines)} deltas written to {args.out}")
+    else:
+        for line in lines:
+            print(line)
+
+
+def _cmd_whatif_remote(args: argparse.Namespace) -> int:
+    """Remote-execute --replace/--batch against a running service."""
+    from .service import ServiceClient, ServiceClientError
+
+    if args.explain:
+        raise SystemExit(
+            "--explain is not supported with --url (provenance needs the "
+            "in-process result; run without --url)"
+        )
+    if not args.name:
+        raise _fail("--url requires --name (the stored history to query)")
+    # Validate all local inputs *before* any server-side effect, so a
+    # malformed flag cannot leave a half-registered history behind.
+    if args.batch:
+        specs = _load_batch_specs(args.batch)
+    else:
+        specs = None
+        single_spec = _modification_spec(args)
+    client = ServiceClient(args.url)
+    try:
+        if args.data or args.history:
+            if not (args.data and args.history):
+                raise _fail(
+                    "registering a history over --url needs both --data "
+                    "and --history"
+                )
+            database = _load_database(args.data)
+            history = _load_history(args.history)
+            try:
+                client.register(args.name, database, history)
+            except ServiceClientError as exc:
+                # Swallow only the duplicate-name conflict (a verbatim
+                # re-run of the register+query one-liner); other 409s
+                # (registration in flight, store-level failures) are
+                # real errors.
+                duplicate = f"history {args.name!r} already exists"
+                if exc.status != 409 or duplicate not in str(exc):
+                    raise
+                # Status lines go to stderr: stdout carries only the
+                # JSONL answers, like the local --batch path.
+                if not args.quiet:
+                    print(
+                        f"history {args.name!r} already exists on the "
+                        "server; querying the stored history "
+                        "(--data/--history ignored)",
+                        file=sys.stderr,
+                    )
+            else:
+                if not args.quiet:
+                    print(
+                        f"registered history {args.name!r} "
+                        f"({len(history)} statements)",
+                        file=sys.stderr,
+                    )
+        if specs is not None:
+            results = client.whatif_batch(
+                args.name, specs, method=args.method, backend=args.backend,
+                workers=args.batch_workers or None,
+            )
+        else:
+            results = [
+                client.whatif(
+                    args.name, single_spec,
+                    method=args.method, backend=args.backend,
+                )
+            ]
+    except ServiceClientError as exc:
+        raise _fail(f"service call failed: {exc}") from None
+    lines = [
+        json.dumps({"query": index, **result})
+        for index, result in enumerate(results)
+    ]
+    _emit_json_lines(lines, args)
+    return 0
 
 
 def _cmd_whatif_batch(args: argparse.Namespace) -> int:
@@ -228,7 +390,7 @@ def _cmd_whatif_batch(args: argparse.Namespace) -> int:
             "--explain is not supported with --batch (provenance is "
             "per-query; run the query of interest without --batch)"
         )
-    database = load_database_dir(args.data)
+    database = _load_database(args.data)
     history = _load_history(args.history)
     queries = [
         HistoricalWhatIfQuery(history, database, modifications)
@@ -244,21 +406,25 @@ def _cmd_whatif_batch(args: argparse.Namespace) -> int:
         json.dumps({"query": index, **_delta_json(result)})
         for index, result in enumerate(results)
     ]
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write("\n".join(lines) + "\n")
-        if not args.quiet:
-            print(f"{len(lines)} deltas written to {args.out}")
-    else:
-        for line in lines:
-            print(line)
+    _emit_json_lines(lines, args)
     return 0
 
 
+def _require_local_inputs(args: argparse.Namespace) -> None:
+    if not args.data or not args.history:
+        raise _fail(
+            "--data and --history are required (or pass --url to query a "
+            "stored history on a running service)"
+        )
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
+    if args.url:
+        return _cmd_whatif_remote(args)
+    _require_local_inputs(args)
     if args.batch:
         return _cmd_whatif_batch(args)
-    database = load_database_dir(args.data)
+    database = _load_database(args.data)
     history = _load_history(args.history)
     modifications = _build_modifications(args)
     query = HistoricalWhatIfQuery(history, database, modifications)
@@ -312,8 +478,61 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceError, WhatIfServer, WhatIfService
+
+    try:
+        service = WhatIfService(
+            args.root,
+            default_backend=args.backend,
+            checkpoint_interval=args.checkpoint_interval,
+            batch_workers=args.workers,
+        )
+    except (ServiceError, OSError) as exc:
+        raise _fail(f"cannot start service: {exc}") from None
+    if args.name and args.name not in service.history_names():
+        if not (args.data and args.history):
+            raise _fail(
+                "preloading --name needs both --data and --history"
+            )
+        database = _load_database(args.data)
+        history = _load_history(args.history)
+        try:
+            service.register(args.name, database, history)
+        except ServiceError as exc:
+            raise _fail(f"cannot register {args.name!r}: {exc}") from None
+        print(
+            f"registered history {args.name!r} ({len(history)} statements)",
+            flush=True,
+        )
+    elif args.name and (args.data or args.history):
+        print(
+            f"history {args.name!r} already exists under {args.root}; "
+            "serving the persisted history (--data/--history ignored — "
+            "append via the API to evolve it)",
+            flush=True,
+        )
+    server = WhatIfServer(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.address
+    print(
+        f"serving what-if queries on http://{host}:{port} "
+        f"(root={args.root}, backend={args.backend}, "
+        f"histories={service.history_names()})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
-    database = load_database_dir(args.data)
+    database = _load_database(args.data)
     history = _load_history(args.history)
     final = history.execute(database)
     names = [args.relation] if args.relation else final.relation_names()
@@ -333,6 +552,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_whatif(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

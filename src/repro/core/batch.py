@@ -195,11 +195,23 @@ def answer_batch_with(
     queries: Sequence[HistoricalWhatIfQuery],
     method: Method,
     workers: int | None = None,
+    start_databases: Sequence[Database] | None = None,
 ) -> list[MahifResult]:
     """Answer ``queries`` with ``method``; the worker behind
-    :meth:`Mahif.answer_batch` (which scopes the configured backend)."""
+    :meth:`Mahif.answer_batch` (which scopes the configured backend).
+
+    ``start_databases`` optionally injects the time-travelled state
+    before each query's first modified statement — the what-if service
+    passes versions reconstructed from a :class:`~repro.store.
+    HistoryStore` checkpoint (nearest checkpoint + bounded replay)
+    instead of replaying the whole prefix here.
+    """
     if not queries:
         return []
+    if start_databases is not None and len(start_databases) != len(queries):
+        raise ValueError(
+            "start_databases must supply one database per query"
+        )
     config = engine.config
     backend = resolve_backend(config.backend)
     if workers is None:
@@ -220,7 +232,7 @@ def answer_batch_with(
                 for naive in naives
             ]
         return _answer_reenactment_batch(
-            engine, backend, queries, method, executor
+            engine, backend, queries, method, executor, start_databases
         )
     finally:
         if executor is not None:
@@ -235,8 +247,13 @@ def _answer_reenactment_batch(
     queries: Sequence[HistoricalWhatIfQuery],
     method: Method,
     executor: Executor | None,
+    start_databases: Sequence[Database] | None = None,
 ) -> list[MahifResult]:
-    start_dbs = shared_start_databases(queries)
+    start_dbs = (
+        list(start_databases)
+        if start_databases is not None
+        else shared_start_databases(queries)
+    )
     shared: dict | None = {} if engine.config.batch_share_plans else None
     if executor is None:
         plans = [

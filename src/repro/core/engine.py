@@ -309,6 +309,7 @@ class Mahif:
         method: Method = Method.R_PS_DS,
         *,
         workers: int | None = None,
+        start_databases: Sequence[Database] | None = None,
     ) -> list[MahifResult]:
         """Answer several HWQs over a shared history in one call.
 
@@ -326,13 +327,20 @@ class Mahif:
           pool when ``workers``/``config.batch_workers`` > 1 — a process
           pool for the in-process backends, a thread pool for sqlite.
 
+        ``start_databases`` optionally injects each query's
+        time-travelled start version (the what-if service supplies
+        checkpoint-reconstructed states from its history store instead
+        of replaying prefixes here).
+
         With a pool, each result's ``exe_seconds`` is the summed worker
         time of its relation evaluations (CPU cost, not wall clock).
         """
         from .batch import answer_batch_with
 
         with use_backend(self.config.backend):
-            return answer_batch_with(self, list(queries), method, workers)
+            return answer_batch_with(
+                self, list(queries), method, workers, start_databases
+            )
 
     # -- reenactment pipeline ----------------------------------------------
     def _answer_reenactment(

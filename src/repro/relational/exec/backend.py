@@ -18,7 +18,12 @@ The default is process-wide state so that code without a config in hand
 ``evaluate_query`` calls) picks the engine-selected backend.  The engine
 scopes its configured backend with :func:`use_backend`, restoring the
 previous default on exit, so nested engines with different configs
-compose correctly.
+compose correctly.  The *scope* is thread-local (layered over the
+process-wide default): concurrent threads — e.g. the what-if service
+answering two requests with different backends — each see their own
+``use_backend`` stack and cannot corrupt each other's save/restore,
+while :func:`set_default_backend` still changes the process default for
+threads with no active scope.
 
 This module is import-light on purpose: :mod:`repro.relational.algebra`
 imports it at module load, while the compilers (which import the algebra)
@@ -27,6 +32,7 @@ are only pulled in lazily at evaluation time.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -48,6 +54,10 @@ BACKENDS = (BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE)
 
 _default_backend = BACKEND_COMPILED
 
+#: Per-thread ``use_backend`` override (None = fall through to the
+#: process default).  A plain attribute on a ``threading.local``.
+_scoped = threading.local()
+
 
 def _validate(backend: str) -> str:
     if backend not in BACKENDS:
@@ -59,8 +69,10 @@ def _validate(backend: str) -> str:
 
 
 def get_default_backend() -> str:
-    """The backend used when no explicit backend is passed."""
-    return _default_backend
+    """The backend used when no explicit backend is passed: this
+    thread's active ``use_backend`` scope, else the process default."""
+    scoped = getattr(_scoped, "backend", None)
+    return scoped if scoped is not None else _default_backend
 
 
 def set_default_backend(backend: str) -> str:
@@ -74,16 +86,19 @@ def set_default_backend(backend: str) -> str:
 def resolve_backend(backend: str | None = None) -> str:
     """Resolve an optional explicit backend against the default."""
     if backend is None:
-        return _default_backend
+        return get_default_backend()
     return _validate(backend)
 
 
 @contextmanager
 def use_backend(backend: str | None) -> Iterator[str]:
-    """Scope the default backend; ``None`` keeps the current default."""
+    """Scope the default backend for this thread; ``None`` keeps the
+    current effective default.  Save/restore is per-thread, so
+    concurrent scopes with different backends cannot interleave."""
     resolved = resolve_backend(backend)
-    previous = set_default_backend(resolved)
+    previous = getattr(_scoped, "backend", None)
+    _scoped.backend = resolved
     try:
         yield resolved
     finally:
-        set_default_backend(previous)
+        _scoped.backend = previous

@@ -52,17 +52,18 @@ class History:
             db = stmt.apply(db)
         return db
 
-    def execute_with_snapshots(self, db: Database) -> list[Database]:
-        """Return ``[D_0, D_1, ..., D_n]`` where ``D_i = H_i(D)``.
+    def execute_with_snapshots(self, db: Database) -> Iterator[Database]:
+        """Lazily yield ``D_0, D_1, ..., D_n`` where ``D_i = H_i(D)``.
 
-        ``D_0`` is the input database.  This is the storage layout of the
-        versioned database used for time travel.
+        ``D_0`` is the input database.  A generator, so consumers that
+        only sample versions (checkpointing, time travel) never hold
+        O(n) full states at once; wrap in ``list()`` for the eager
+        chain.
         """
-        snapshots = [db]
+        yield db
         for stmt in self.statements:
             db = stmt.apply(db)
-            snapshots.append(db)
-        return snapshots
+            yield db
 
     # -- sub-histories ---------------------------------------------------
     def prefix(self, i: int) -> "History":

@@ -3,27 +3,55 @@
 The paper assumes a DBMS with time travel (Oracle/SQL Server/DB2-style) so
 Mahif can access ``D``, the database state *before* the first modified
 statement ran.  This module provides that capability for the in-memory
-engine: a :class:`VersionedDatabase` records the initial state and a
-snapshot after every committed statement.  Because relations are immutable
-frozensets, snapshots share storage for untouched relations, so keeping a
-full version chain costs O(changed tuples), not O(database size) per
-version.
+engine: a :class:`VersionedDatabase` records the initial state and
+periodic snapshot *checkpoints* — every ``checkpoint_interval``-th
+version — instead of materializing every intermediate state eagerly.
+``as_of`` reconstructs any version from the nearest checkpoint at or
+below it by replaying at most ``checkpoint_interval`` statements; this is
+the same policy the on-disk :class:`~repro.store.HistoryStore` uses, so
+in-memory and persistent time travel share one cost model.  Because
+relations are immutable frozensets, checkpoints (and replayed states)
+share storage for untouched relations, so the chain costs O(changed
+tuples), not O(database size) per checkpoint.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import bisect
 from typing import Iterator
 
 from .database import Database
 from .history import History
 from .statements import Statement
 
-__all__ = ["VersionedDatabase", "VersionError"]
+__all__ = [
+    "VersionedDatabase",
+    "VersionError",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "nearest_checkpoint",
+]
+
+#: The single source of the checkpoint policy's default interval —
+#: :mod:`repro.store` re-exports it, so the in-memory and on-disk cost
+#: models cannot desynchronize.
+DEFAULT_CHECKPOINT_INTERVAL = 32
 
 
 class VersionError(Exception):
     """Raised for invalid version accesses."""
+
+
+def nearest_checkpoint(sorted_versions, version: int) -> int:
+    """The deepest checkpoint at or below ``version`` (0 as the floor).
+
+    The one checkpoint-policy lookup shared by the in-memory
+    :class:`VersionedDatabase` and the on-disk
+    :class:`~repro.store.HistoryStore`, so the two cost models cannot
+    drift.  ``sorted_versions`` must be ascending; the lookup is
+    O(log n), cheap enough for the service's per-query time travel.
+    """
+    index = bisect.bisect_right(sorted_versions, version)
+    return sorted_versions[index - 1] if index else 0
 
 
 class VersionedDatabase:
@@ -31,49 +59,90 @@ class VersionedDatabase:
 
     Versions are numbered ``0..n`` where version ``i`` is the state after
     executing the first ``i`` statements (version 0 is the initial state,
-    matching the paper's ``D_i = H_i(D)``).
+    matching the paper's ``D_i = H_i(D)``).  Only every
+    ``checkpoint_interval``-th version is kept materialized;
+    ``checkpoint_interval=1`` restores the old keep-every-snapshot
+    behavior.
     """
 
-    def __init__(self, initial: Database) -> None:
-        self._snapshots: list[Database] = [initial]
+    def __init__(
+        self,
+        initial: Database,
+        *,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise VersionError("checkpoint_interval must be >= 1")
+        self._interval = checkpoint_interval
+        self._checkpoints: dict[int, Database] = {0: initial}
+        self._order: list[int] = [0]  # ascending, mirrors _checkpoints
         self._statements: list[Statement] = []
+        self._current = initial
 
     # -- recording -----------------------------------------------------------
     def execute(self, stmt: Statement) -> Database:
-        """Apply a statement to the current version and record a snapshot."""
-        new_state = stmt.apply(self.current)
-        self._snapshots.append(new_state)
+        """Apply a statement to the current version; checkpoint every
+        ``checkpoint_interval``-th resulting version."""
+        self._current = stmt.apply(self._current)
         self._statements.append(stmt)
-        return new_state
+        version = len(self._statements)
+        if version % self._interval == 0:
+            self._checkpoints[version] = self._current
+            self._order.append(version)
+        return self._current
 
     def execute_history(self, history: History) -> Database:
-        """Execute an entire history, recording every version."""
+        """Execute an entire history, checkpointing as configured."""
         for stmt in history:
             self.execute(stmt)
-        return self.current
+        return self._current
 
     # -- access ----------------------------------------------------------
     @property
     def current(self) -> Database:
         """The latest database state ``H(D)``."""
-        return self._snapshots[-1]
+        return self._current
+
+    @property
+    def checkpoint_interval(self) -> int:
+        return self._interval
 
     @property
     def version_count(self) -> int:
         """Number of versions, ``len(history) + 1``."""
-        return len(self._snapshots)
+        return len(self._statements) + 1
+
+    def checkpoint_versions(self) -> tuple[int, ...]:
+        """The materialized versions (always includes 0)."""
+        return tuple(self._order)
+
+    def replay_cost(self, version: int) -> int:
+        """Statements :meth:`as_of` replays to reach ``version`` —
+        bounded by ``checkpoint_interval - 1`` (0 for checkpoints and
+        the current version)."""
+        self._check_version(version)
+        if version == len(self._statements):
+            return 0
+        return version - self._nearest_checkpoint(version)
 
     def as_of(self, version: int) -> Database:
-        """Time travel: the state after the first ``version`` statements."""
-        if not 0 <= version < len(self._snapshots):
-            raise VersionError(
-                f"version {version} out of range 0..{len(self._snapshots) - 1}"
-            )
-        return self._snapshots[version]
+        """Time travel: the state after the first ``version`` statements.
+
+        Reconstructed from the nearest checkpoint at or below
+        ``version`` plus a bounded replay — never a full-history replay.
+        """
+        self._check_version(version)
+        if version == len(self._statements):
+            return self._current
+        base = self._nearest_checkpoint(version)
+        state = self._checkpoints[base]
+        for stmt in self._statements[base:version]:
+            state = stmt.apply(state)
+        return state
 
     def initial(self) -> Database:
         """The state before any statement ran (version 0)."""
-        return self._snapshots[0]
+        return self._checkpoints[0]
 
     def history(self) -> History:
         """The recorded history as a :class:`History`."""
@@ -81,17 +150,41 @@ class VersionedDatabase:
 
     def history_since(self, version: int) -> History:
         """Statements executed after ``version`` (for HWQ suffix replay)."""
-        if not 0 <= version < len(self._snapshots):
-            raise VersionError(f"version {version} out of range")
+        self._check_version(version)
         return History(tuple(self._statements[version:]))
 
     def versions(self) -> Iterator[tuple[int, Database]]:
-        """Iterate ``(version, state)`` pairs oldest-first."""
-        return iter(enumerate(self._snapshots))
+        """Lazily iterate ``(version, state)`` pairs oldest-first.
+
+        One statement apply per step starting from the initial state —
+        a generator, so a long history never holds every intermediate
+        database at once.
+        """
+        state = self._checkpoints[0]
+        yield 0, state
+        for index, stmt in enumerate(self._statements, start=1):
+            state = stmt.apply(state)
+            yield index, state
 
     @classmethod
-    def from_history(cls, db: Database, history: History) -> "VersionedDatabase":
+    def from_history(
+        cls,
+        db: Database,
+        history: History,
+        *,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> "VersionedDatabase":
         """Build a versioned database by executing ``history`` over ``db``."""
-        versioned = cls(db)
+        versioned = cls(db, checkpoint_interval=checkpoint_interval)
         versioned.execute_history(history)
         return versioned
+
+    # -- internals -----------------------------------------------------------
+    def _nearest_checkpoint(self, version: int) -> int:
+        return nearest_checkpoint(self._order, version)
+
+    def _check_version(self, version: int) -> None:
+        if not 0 <= version <= len(self._statements):
+            raise VersionError(
+                f"version {version} out of range 0..{len(self._statements)}"
+            )

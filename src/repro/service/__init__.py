@@ -1,0 +1,31 @@
+"""Concurrent what-if service: HTTP server, client, wire formats.
+
+The serving half of the service subsystem (the persistence half is
+:mod:`repro.store`): a stdlib ``ThreadingHTTPServer`` exposing stored
+histories and single/batched what-if answering with a per-history,
+append-invalidated result cache.  See DESIGN.md, "Service architecture"
+and the CLI's ``serve`` command.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .server import ServiceError, WhatIfServer, WhatIfService
+from .wire import (
+    METHODS,
+    SpecError,
+    delta_payload,
+    modifications_from_spec,
+    result_payload,
+)
+
+__all__ = [
+    "METHODS",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "SpecError",
+    "WhatIfServer",
+    "WhatIfService",
+    "delta_payload",
+    "modifications_from_spec",
+    "result_payload",
+]

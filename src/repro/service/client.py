@@ -1,0 +1,154 @@
+"""Thin stdlib client for the what-if service's JSON API.
+
+Pure ``urllib.request`` — no dependencies beyond the standard library,
+mirroring the server side.  Raises :class:`ServiceClientError` carrying
+the server's one-line error message (or the transport failure) for any
+non-2xx response.
+
+    client = ServiceClient("http://127.0.0.1:8734")
+    client.register("orders", database, history_sql=script)
+    answer = client.whatif(
+        "orders",
+        {"replace": [[1, "UPDATE Orders SET Fee = 0 WHERE Price >= 60"]]},
+    )
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
+
+from ..relational.database import Database
+from ..relational.history import History
+from ..store import encode_database, encode_statement
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """A failed service call; ``status`` is the HTTP status (0 when the
+    server was unreachable)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one what-if service instance at ``url``."""
+
+    def __init__(self, url: str, *, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _call(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            method=method,
+            data=(
+                json.dumps(body).encode("utf-8")
+                if body is not None
+                else None
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:
+                message = str(exc)
+            raise ServiceClientError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"service unreachable at {self.url}: {exc.reason}"
+            ) from None
+
+    # -- API ---------------------------------------------------------------
+    def health(self) -> dict:
+        return self._call("GET", "/health")
+
+    def histories(self) -> list[dict]:
+        return self._call("GET", "/histories")["histories"]
+
+    def info(self, name: str) -> dict:
+        return self._call("GET", f"/histories/{name}")
+
+    def register(
+        self,
+        name: str,
+        database: Database,
+        history: History | None = None,
+        *,
+        history_sql: str | None = None,
+        checkpoint_interval: int | None = None,
+    ) -> dict:
+        body: dict[str, Any] = {
+            "name": name,
+            "database": encode_database(database),
+        }
+        if history is not None:
+            body["history"] = [encode_statement(s) for s in history]
+        if history_sql:
+            body["history_sql"] = history_sql
+        if checkpoint_interval is not None:
+            body["checkpoint_interval"] = checkpoint_interval
+        return self._call("POST", "/histories", body)
+
+    def append(
+        self,
+        name: str,
+        statements: Sequence | None = None,
+        *,
+        statements_sql: str | None = None,
+    ) -> dict:
+        body: dict[str, Any] = {}
+        if statements:
+            body["statements"] = [encode_statement(s) for s in statements]
+        if statements_sql:
+            body["statements_sql"] = statements_sql
+        return self._call("POST", f"/histories/{name}/append", body)
+
+    def whatif(
+        self,
+        name: str,
+        modifications: dict,
+        *,
+        method: str | None = None,
+        backend: str | None = None,
+    ) -> dict:
+        body: dict[str, Any] = {"modifications": modifications}
+        if method is not None:
+            body["method"] = method
+        if backend is not None:
+            body["backend"] = backend
+        return self._call("POST", f"/histories/{name}/whatif", body)
+
+    def whatif_batch(
+        self,
+        name: str,
+        queries: Sequence[dict],
+        *,
+        method: str | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> list[dict]:
+        body: dict[str, Any] = {"queries": list(queries)}
+        if method is not None:
+            body["method"] = method
+        if backend is not None:
+            body["backend"] = backend
+        if workers is not None:
+            body["workers"] = workers
+        return self._call("POST", f"/histories/{name}/batch", body)[
+            "results"
+        ]

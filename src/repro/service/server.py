@@ -1,0 +1,736 @@
+"""The concurrent what-if service.
+
+Two layers (see DESIGN.md, "Service architecture"):
+
+* :class:`WhatIfService` — the HTTP-agnostic engine: named persistent
+  histories (each a :class:`~repro.store.HistoryStore` under one root
+  directory), a shared :class:`~repro.core.Mahif` engine per backend,
+  and a per-history **result cache** keyed by ``(history length, query
+  fingerprint)``.  Appends invalidate incrementally: an entry is dropped
+  only when an appended statement accesses a relation in the entry's
+  delta; every other entry is re-keyed to the new history length and
+  keeps serving hits (the cache-invalidation contract is proved in
+  DESIGN.md).
+* :class:`WhatIfServer` — a stdlib ``ThreadingHTTPServer`` wrapping the
+  service in a small JSON API.  One OS thread per request; the service
+  layer is safe for concurrent use (immutable histories/databases, a
+  per-history lock around store appends and cache mutations, answers
+  computed outside any lock).
+
+API (all request/response bodies are JSON)::
+
+    GET  /health                      liveness + history names
+    GET  /histories                   list histories with lengths
+    POST /histories                   {name, database, history_sql?|history?,
+                                       checkpoint_interval?}
+    GET  /histories/<name>            info incl. checkpoint versions
+    POST /histories/<name>/append     {statements_sql?|statements?}
+    POST /histories/<name>/whatif     {modifications, method?, backend?}
+    POST /histories/<name>/batch      {queries: [spec...], method?,
+                                       backend?, workers?}
+
+Single queries run through :meth:`Mahif.answer_batch` with a one-element
+batch so both endpoints share the same machinery — shared time travel
+(the store's checkpoint-reconstructed version is injected, never a full
+prefix replay) and, within a batch, shared reenactment plans.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import sys
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Sequence
+
+from ..core import HistoricalWhatIfQuery, Mahif, MahifConfig, Method
+from ..core.engine import _statement_share_key
+from ..relational import BACKENDS
+from ..relational.database import Database
+from ..relational.history import History
+from ..relational.parser import ParseError, parse_history
+from ..relational.statements import Statement
+from ..store import (
+    CodecError,
+    DEFAULT_CHECKPOINT_INTERVAL,
+    HistoryStore,
+    StoreError,
+    decode_database,
+    decode_statement,
+)
+from .wire import (
+    METHODS,
+    SpecError,
+    modifications_from_spec,
+    result_payload,
+)
+
+__all__ = ["ServiceError", "WhatIfService", "WhatIfServer"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status, reported as ``{"error": ...}``."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class _CacheEntry:
+    """One cached answer plus the relations its delta touches (the
+    invalidation footprint — empty-delta relations are excluded, which
+    is exactly what makes retention across appends sound)."""
+
+    payload: dict
+    delta_relations: frozenset[str]
+
+
+@dataclass
+class _HistoryHandle:
+    name: str
+    store: HistoryStore
+    initial: Database
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    #: Memoized ``store.history()`` — rebuilding the statement tuple per
+    #: request is O(history length) on the cache-hit hot path.  Reset to
+    #: None by append().
+    history: History | None = None
+    #: (history length, fingerprint) -> entry; all live keys carry the
+    #: current length (entries are re-keyed or dropped on append).
+    cache: dict[tuple, _CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+
+class WhatIfService:
+    """Engine-level service: stores, engines, result caches.
+
+    ``root`` is the directory persistent histories live under (one
+    subdirectory per history); existing stores are reopened on startup,
+    so the service resumes exactly where the last process stopped.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        default_backend: str = "compiled",
+        default_method: str = Method.R_PS_DS.value,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        batch_workers: int = 0,
+    ) -> None:
+        import pathlib
+
+        if default_backend not in BACKENDS:
+            raise ServiceError(f"unknown backend {default_backend!r}")
+        if default_method not in METHODS:
+            raise ServiceError(f"unknown method {default_method!r}")
+        if checkpoint_interval < 1:
+            raise ServiceError("checkpoint_interval must be >= 1")
+        if batch_workers < 0:
+            raise ServiceError("batch_workers must be >= 0")
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.default_backend = default_backend
+        self.default_method = default_method
+        self.checkpoint_interval = checkpoint_interval
+        self.batch_workers = batch_workers
+        self._handles: dict[str, _HistoryHandle] = {}
+        self._handles_lock = threading.Lock()
+        self._engines: dict[str, Mahif] = {}
+        self._engines_lock = threading.Lock()
+        self.skipped_on_startup: dict[str, str] = {}
+        for entry in sorted(self.root.iterdir()):
+            if (entry / "META.json").is_file():
+                try:
+                    store = HistoryStore.open(entry)
+                except StoreError as exc:
+                    # One unrecoverable directory (e.g. a crash between
+                    # META and the base checkpoint during create) must
+                    # not take down every healthy history under root.
+                    self.skipped_on_startup[entry.name] = str(exc)
+                    print(
+                        f"warning: skipping history {entry.name!r}: {exc}",
+                        file=sys.stderr,
+                    )
+                    continue
+                self._handles[entry.name] = _HistoryHandle(
+                    entry.name, store, store.initial()
+                )
+
+    def close(self) -> None:
+        with self._handles_lock:
+            for handle in self._handles.values():
+                if handle is not None:
+                    handle.store.close()
+            self._handles.clear()
+
+    # -- history management ---------------------------------------------------
+    def history_names(self) -> list[str]:
+        with self._handles_lock:
+            return sorted(
+                name
+                for name, handle in self._handles.items()
+                if handle is not None
+            )
+
+    def register(
+        self,
+        name: str,
+        database: Database,
+        history: History | None = None,
+        *,
+        checkpoint_interval: int | None = None,
+    ) -> dict:
+        """Create a new stored history; returns its info payload."""
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ServiceError(
+                "history name must match [A-Za-z0-9_.-]{1,64}"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ServiceError("checkpoint_interval must be >= 1")
+        if history is not None:
+            # Validate before creating anything on disk: a bad history
+            # must not leave an empty store squatting on the name.
+            state = database
+            for stmt in history:
+                try:
+                    state = stmt.apply(state)
+                except Exception as exc:
+                    raise ServiceError(
+                        f"invalid history statement {stmt!r}: {exc}"
+                    ) from None
+        with self._handles_lock:
+            if name in self._handles:
+                raise ServiceError(
+                    f"history {name!r} already exists", status=409
+                )
+            # Reserve the name, then create the store outside the global
+            # lock: writing the base checkpoint is O(database) disk I/O
+            # and must not stall requests against other histories.
+            self._handles[name] = None
+        store = None
+        try:
+            if (self.root / name / "META.json").exists():
+                # A store directory we did not open (e.g. skipped as
+                # broken at startup): never delete it, never reuse the
+                # name.  Distinct wording from the handle-duplicate 409
+                # so clients can tell the two apart.
+                raise ServiceError(
+                    f"name {name!r} is taken by an existing store "
+                    "directory under the service root", status=409,
+                )
+            store = HistoryStore.create(
+                self.root / name,
+                database,
+                checkpoint_interval=(
+                    checkpoint_interval
+                    if checkpoint_interval is not None
+                    else self.checkpoint_interval
+                ),
+            )
+            # Append the initial history while the name is still only a
+            # reservation (other requests see 409 "being created"), so
+            # no concurrent append can interleave ahead of it; it was
+            # validated above, before anything touched the disk.  The
+            # validated states double as the store's apply results.
+            if history is not None and len(history) > 0:
+                state = database
+                for stmt in history:
+                    state = stmt.apply(state)
+                    store.append(stmt, state=state)
+        except BaseException as exc:
+            # Leave no partial store behind: a failed registration must
+            # be fully retryable, and a restart must not resurrect a
+            # truncated history the client was told failed.
+            with self._handles_lock:
+                self._handles.pop(name, None)
+            if store is not None:
+                store.close()
+                shutil.rmtree(self.root / name, ignore_errors=True)
+            if isinstance(exc, ServiceError):
+                raise
+            if isinstance(exc, StoreError):
+                raise ServiceError(str(exc), status=409) from None
+            raise
+        with self._handles_lock:
+            self._handles[name] = _HistoryHandle(name, store, database)
+        return self.info(name)
+
+    def _handle(self, name: str) -> _HistoryHandle:
+        with self._handles_lock:
+            try:
+                handle = self._handles[name]
+            except KeyError:
+                raise ServiceError(
+                    f"no history named {name!r}", status=404
+                ) from None
+        if handle is None:  # reserved: registration still in flight
+            raise ServiceError(
+                f"history {name!r} is still being created", status=409
+            )
+        return handle
+
+    def info(self, name: str) -> dict:
+        handle = self._handle(name)
+        with handle.lock:
+            store = handle.store
+            return {
+                "name": name,
+                "length": len(store),
+                "relations": store.current.relation_names(),
+                "checkpoint_interval": store.checkpoint_interval,
+                "checkpoints": list(store.checkpoint_versions()),
+                "cache": {
+                    "entries": len(handle.cache),
+                    "hits": handle.hits,
+                    "misses": handle.misses,
+                },
+            }
+
+    def append(self, name: str, statements: Sequence[Statement]) -> dict:
+        """Durably append statements; incrementally invalidate the cache.
+
+        An appended statement can change a cached answer only if it
+        reads or writes a relation whose cached delta is non-empty (all
+        other relations hold identical content in both the original and
+        the hypothetical branch, so the statement acts identically on
+        the two).  Entries with a disjoint footprint stay valid and are
+        re-keyed to the new history length; the rest are dropped.
+        """
+        if not statements:
+            raise ServiceError("append requires at least one statement")
+        handle = self._handle(name)
+        with handle.lock:
+            # Validate the whole batch before any durable write, so a
+            # bad statement in the middle cannot persist a partial
+            # prefix (a 400, not a half-applied 500).  The validated
+            # states double as the store's apply results below.
+            states: list[Database] = []
+            state = handle.store.current
+            for stmt in statements:
+                try:
+                    state = stmt.apply(state)
+                except Exception as exc:
+                    raise ServiceError(
+                        f"invalid statement {stmt!r}: {exc}"
+                    ) from None
+                states.append(state)
+            appended = 0
+            dropped = retained_count = 0
+            try:
+                for stmt, new_state in zip(statements, states):
+                    handle.store.append(stmt, state=new_state)
+                    appended += 1
+            finally:
+                # Invalidate for exactly the statements that became
+                # durable — even if a later store write failed, the
+                # cache must not keep entries the persisted prefix
+                # already invalidated.
+                if appended:
+                    handle.history = None  # memo invalid: log advanced
+                    accessed: set[str] = set()
+                    for stmt in statements[:appended]:
+                        accessed |= stmt.accessed_relations()
+                    new_length = len(handle.store)
+                    retained: dict[tuple, _CacheEntry] = {}
+                    for (_, fingerprint), entry in handle.cache.items():
+                        if entry.delta_relations & accessed:
+                            dropped += 1
+                        else:
+                            retained[(new_length, fingerprint)] = entry
+                    handle.cache = retained
+                    retained_count = len(retained)
+        return {
+            "name": name,
+            "length": new_length,
+            "cache_dropped": dropped,
+            "cache_retained": retained_count,
+        }
+
+    # -- answering ------------------------------------------------------------
+    def _engine(self, backend: str) -> Mahif:
+        if backend not in BACKENDS:
+            raise ServiceError(f"unknown backend {backend!r}")
+        with self._engines_lock:
+            engine = self._engines.get(backend)
+            if engine is None:
+                engine = Mahif(MahifConfig(backend=backend))
+                self._engines[backend] = engine
+            return engine
+
+    @staticmethod
+    def _fingerprint(method: Method, backend: str, modifications) -> tuple:
+        parts = []
+        for mod in modifications:
+            stmt = getattr(mod, "statement", None)
+            parts.append(
+                (
+                    type(mod).__name__,
+                    mod.position,
+                    _statement_share_key(stmt) if stmt is not None else None,
+                )
+            )
+        key = (method.value, backend, tuple(parts))
+        try:
+            hash(key)
+        except TypeError:  # unhashable constant: bypass the cache
+            return None
+        return key
+
+    def answer(
+        self,
+        name: str,
+        specs: Sequence[Any],
+        *,
+        method: str | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> list[dict]:
+        """Answer one spec per entry over the named stored history.
+
+        Cache hits are returned immediately; misses are answered in one
+        ``answer_batch`` call (shared time travel + shared plans across
+        the missing queries) with each start version reconstructed from
+        the store's nearest checkpoint.
+        """
+        backend = backend or self.default_backend
+        try:
+            method_enum = METHODS[method or self.default_method]
+        except KeyError:
+            raise ServiceError(f"unknown method {method!r}") from None
+        if workers is None:
+            workers = self.batch_workers
+        handle = self._handle(name)
+
+        try:
+            modifications = [modifications_from_spec(s) for s in specs]
+        except SpecError as exc:
+            raise ServiceError(str(exc)) from None
+
+        with handle.lock:
+            if handle.history is None:
+                handle.history = handle.store.history()
+            history = handle.history
+            length = len(history)
+            queries = []
+            fingerprints = []
+            outcomes: list[dict | None] = []
+            for mods in modifications:
+                try:
+                    query = HistoricalWhatIfQuery(
+                        history, handle.initial, mods
+                    )
+                except Exception as exc:
+                    raise ServiceError(str(exc)) from None
+                fingerprint = self._fingerprint(method_enum, backend, mods)
+                key = (length, fingerprint)
+                entry = (
+                    handle.cache.get(key)
+                    if fingerprint is not None
+                    else None
+                )
+                if entry is not None:
+                    handle.hits += 1
+                    # history_length reflects the length the entry is
+                    # keyed (and still valid) at, not the length it was
+                    # originally computed for.
+                    outcomes.append(
+                        {
+                            **entry.payload,
+                            "history_length": length,
+                            "cached": True,
+                        }
+                    )
+                    queries.append(None)
+                    fingerprints.append(None)
+                else:
+                    handle.misses += 1
+                    outcomes.append(None)
+                    queries.append(query)
+                    fingerprints.append(fingerprint)
+            misses = [q for q in queries if q is not None]
+            # Time travel through the store: nearest checkpoint + bounded
+            # replay, materialized once per *distinct* prefix, under the
+            # lock so the log cannot advance between history snapshot
+            # and version load.  NAIVE replays whole histories itself
+            # and ignores injected start versions — skip the I/O.
+            start_dbs = None
+            if misses and method_enum is not Method.NAIVE:
+                prefix_lengths = [
+                    self._prefix_length(query) for query in misses
+                ]
+                by_length = {
+                    length: handle.store.as_of(length)
+                    for length in set(prefix_lengths)
+                }
+                start_dbs = [
+                    by_length[length] for length in prefix_lengths
+                ]
+
+        if misses:
+            engine = self._engine(backend)
+            results = engine.answer_batch(
+                misses,
+                method_enum,
+                workers=workers,
+                start_databases=start_dbs,
+            )
+            fresh = iter(results)
+            with handle.lock:
+                current_length = len(handle.store)
+                for index, query in enumerate(queries):
+                    if query is None:
+                        continue
+                    result = next(fresh)
+                    payload = {
+                        **result_payload(result),
+                        "history_length": length,
+                        "method": method_enum.value,
+                        "backend": backend,
+                    }
+                    outcomes[index] = {**payload, "cached": False}
+                    fingerprint = fingerprints[index]
+                    if fingerprint is not None and current_length == length:
+                        delta_relations = frozenset(
+                            relation
+                            for relation, delta
+                            in result.delta.relations.items()
+                            if delta.added or delta.removed
+                        )
+                        handle.cache[(length, fingerprint)] = _CacheEntry(
+                            payload, delta_relations
+                        )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    @staticmethod
+    def _prefix_length(query) -> int:
+        _, prefix_length = query.aligned().trim_prefix()
+        return prefix_length
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto a :class:`WhatIfService`."""
+
+    service: WhatIfService  # injected by WhatIfServer
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        # Keep-alive hygiene: if a route errored before reading the
+        # request body, drain it now — otherwise the unread bytes would
+        # be parsed as the next request's request line.
+        if not getattr(self, "_body_consumed", False):
+            leftover = int(self.headers.get("Content-Length") or 0)
+            if leftover:
+                self.rfile.read(leftover)
+            self._body_consumed = True
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        self._body_consumed = True
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            payload, status = handler()
+        except ServiceError as exc:
+            self._reply({"error": str(exc)}, status=exc.status)
+        except (StoreError, CodecError, ParseError) as exc:
+            self._reply({"error": str(exc)}, status=400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(
+                {"error": f"internal error: {exc!r}"}, status=500
+            )
+        else:
+            self._reply(payload, status=status)
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._body_consumed = False  # per-request, the handler persists
+        self._dispatch(lambda: self._route_get(self.path.rstrip("/")))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._body_consumed = False
+        self._dispatch(lambda: self._route_post(self.path.rstrip("/")))
+
+    def _route_get(self, path: str):
+        service = self.service
+        if path in ("", "/health"):
+            return {"ok": True, "histories": service.history_names()}, 200
+        if path == "/histories":
+            return {
+                "histories": [
+                    service.info(name) for name in service.history_names()
+                ]
+            }, 200
+        match = re.fullmatch(r"/histories/([^/]+)", path)
+        if match:
+            return service.info(match.group(1)), 200
+        raise ServiceError(f"no such route GET {path}", status=404)
+
+    def _route_post(self, path: str):
+        service = self.service
+        if path == "/histories":
+            body = self._body()
+            name = body.get("name")
+            if "database" not in body:
+                raise ServiceError('register requires a "database" payload')
+            database = decode_database(body["database"])
+            if not isinstance(database, Database):
+                raise ServiceError(
+                    "register requires a set-semantics database"
+                )
+            history = _statements_of(body, "history")
+            interval = _int_of(body, "checkpoint_interval")
+            info = service.register(
+                name,
+                database,
+                History(tuple(history)) if history else None,
+                checkpoint_interval=interval,
+            )
+            return info, 201
+        match = re.fullmatch(r"/histories/([^/]+)/append", path)
+        if match:
+            body = self._body()
+            statements = _statements_of(body, "statements")
+            return service.append(match.group(1), statements), 200
+        match = re.fullmatch(r"/histories/([^/]+)/whatif", path)
+        if match:
+            body = self._body()
+            if "modifications" not in body:
+                raise ServiceError('whatif requires "modifications"')
+            results = service.answer(
+                match.group(1),
+                [body["modifications"]],
+                method=body.get("method"),
+                backend=body.get("backend"),
+            )
+            return results[0], 200
+        match = re.fullmatch(r"/histories/([^/]+)/batch", path)
+        if match:
+            body = self._body()
+            specs = body.get("queries")
+            if not isinstance(specs, list) or not specs:
+                raise ServiceError(
+                    'batch requires a non-empty "queries" array'
+                )
+            results = service.answer(
+                match.group(1),
+                specs,
+                method=body.get("method"),
+                backend=body.get("backend"),
+                workers=_int_of(body, "workers"),
+            )
+            return {"results": results}, 200
+        raise ServiceError(f"no such route POST {path}", status=404)
+
+
+def _int_of(body: Mapping, key: str) -> int | None:
+    """An optional integer body field; bad values are a 400, not a 500."""
+    value = body.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ServiceError(f'"{key}" must be an integer')
+    try:
+        return int(value)
+    except ValueError:
+        raise ServiceError(f'"{key}" must be an integer') from None
+
+
+def _statements_of(body: Mapping, key: str) -> list[Statement]:
+    """Statements from a request body: ``<key>`` (codec-encoded list)
+    and/or ``<key>_sql`` (a ``;``-separated SQL script)."""
+    statements: list[Statement] = []
+    encoded = body.get(key)
+    if encoded is not None:
+        if not isinstance(encoded, list):
+            raise ServiceError(f'"{key}" must be a list of statements')
+        statements.extend(decode_statement(item) for item in encoded)
+    sql = body.get(f"{key}_sql")
+    if sql:
+        try:
+            statements.extend(parse_history(sql))
+        except ParseError as exc:
+            raise ServiceError(f'unparseable "{key}_sql": {exc}') from None
+    return statements
+
+
+class WhatIfServer:
+    """A :class:`ThreadingHTTPServer` serving a :class:`WhatIfService`.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  ``start_background()`` serves from a daemon thread
+    (tests, benchmarks); ``serve_forever()`` blocks (the CLI).
+    """
+
+    def __init__(
+        self,
+        service: WhatIfService,
+        host: str = "127.0.0.1",
+        port: int = 8734,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        handler = type(
+            "_BoundHandler", (_Handler,), {"service": service, "quiet": quiet}
+        )
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "WhatIfServer":
+        thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="mahif-whatif-server",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.service.close()

@@ -1,0 +1,40 @@
+"""Persistent history storage: append-only statement log + checkpoints.
+
+The on-disk half of the service subsystem.  :class:`HistoryStore` keeps
+a transaction history durable across process exits and reconstructs any
+database version from the nearest snapshot checkpoint plus a bounded
+replay; :mod:`repro.store.codec` is the exact-round-trip JSON encoding
+it (and the wire protocol) uses for statements and snapshots.
+"""
+
+from .codec import (
+    CodecError,
+    decode_database,
+    decode_expr,
+    decode_operator,
+    decode_statement,
+    encode_database,
+    encode_expr,
+    encode_operator,
+    encode_statement,
+)
+from .history_store import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    HistoryStore,
+    StoreError,
+)
+
+__all__ = [
+    "CodecError",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "HistoryStore",
+    "StoreError",
+    "decode_database",
+    "decode_expr",
+    "decode_operator",
+    "decode_statement",
+    "encode_database",
+    "encode_expr",
+    "encode_operator",
+    "encode_statement",
+]

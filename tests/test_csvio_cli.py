@@ -346,3 +346,303 @@ class TestCli:
             ]
         )
         assert "Susan" in out_file.read_text()
+
+
+class TestCliErrorReporting:
+    """Unreadable inputs and malformed specs exit with a one-line error
+    (SystemExit carrying a message string -> stderr + exit code 1),
+    never a traceback."""
+
+    def _message_of(self, excinfo) -> str:
+        message = excinfo.value.code
+        assert isinstance(message, str), "expected a one-line error message"
+        assert "\n" not in message.strip()
+        assert message.startswith("repro.cli: error:")
+        return message
+
+    def test_missing_data_dir(self, workspace):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "nope"),
+                    "--history", str(workspace / "history.sql"),
+                    "--replace", "1",
+                    "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+                ]
+            )
+        assert "CSV data" in self._message_of(excinfo)
+
+    def test_unreadable_csv_file(self, workspace):
+        import os
+
+        target = workspace / "data" / "Orders.csv"
+        os.chmod(target, 0)
+        try:
+            if os.access(target, os.R_OK):  # running as root: no EPERM
+                pytest.skip("permissions are not enforced for this user")
+            with pytest.raises(SystemExit) as excinfo:
+                main(
+                    [
+                        "whatif",
+                        "--data", str(workspace / "data"),
+                        "--history", str(workspace / "history.sql"),
+                        "--replace", "1",
+                        "UPDATE Orders SET ShippingFee = 0",
+                    ]
+                )
+            assert "cannot read CSV data" in self._message_of(excinfo)
+        finally:
+            os.chmod(target, 0o644)
+
+    def test_malformed_csv_content(self, workspace):
+        (workspace / "data" / "Broken.csv").write_text("a,b\n1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--replace", "1",
+                    "UPDATE Orders SET ShippingFee = 0",
+                ]
+            )
+        assert "line 2" in self._message_of(excinfo)
+
+    def test_missing_history_file(self, workspace):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "nope.sql"),
+                    "--replace", "1",
+                    "UPDATE Orders SET ShippingFee = 0",
+                ]
+            )
+        assert "history script" in self._message_of(excinfo)
+
+    def test_batch_spec_not_json(self, workspace, tmp_path):
+        spec = tmp_path / "batch.json"
+        spec.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--batch", str(spec),
+                ]
+            )
+        assert "not valid JSON" in self._message_of(excinfo)
+
+    def test_batch_spec_missing_file(self, workspace, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--batch", str(tmp_path / "nope.json"),
+                ]
+            )
+        assert "cannot read --batch spec" in self._message_of(excinfo)
+
+    def test_bad_modification_sql(self, workspace):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    "--replace", "1", "THIS IS NOT SQL",
+                ]
+            )
+        assert "unparseable" in self._message_of(excinfo)
+
+    def test_whatif_without_inputs_or_url(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["whatif", "--replace", "1", "UPDATE R SET x = 1"])
+        assert "--data and --history" in self._message_of(excinfo)
+
+    def test_replay_missing_data(self, workspace):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "replay",
+                    "--data", str(workspace / "nope"),
+                    "--history", str(workspace / "history.sql"),
+                ]
+            )
+        self._message_of(excinfo)
+
+
+class TestCliRemote:
+    """--url remote-executes whatif/--batch against a running service."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import WhatIfServer, WhatIfService
+
+        service = WhatIfService(tmp_path / "stores")
+        server = WhatIfServer(service, port=0).start_background()
+        yield server
+        server.shutdown()
+
+    def test_register_and_single_query(self, workspace, server, capsys):
+        import json
+
+        code = main(
+            [
+                "whatif",
+                "--url", server.url,
+                "--name", "orders",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--replace", "1",
+                "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        line = [l for l in out.splitlines() if l.startswith("{")][0]
+        record = json.loads(line)
+        assert record["cached"] is False
+        assert "Orders" in record["delta"]
+
+    def test_remote_batch_matches_local(self, workspace, server, capsys,
+                                        tmp_path):
+        import json
+
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps(
+            [
+                {"replace": [[1, "UPDATE Orders SET ShippingFee = 0 "
+                                 "WHERE Price >= 60"]]},
+                {"delete_stmt": [2]},
+            ]
+        ))
+        main(
+            [
+                "whatif",
+                "--url", server.url,
+                "--name", "orders",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--batch", str(spec), "--quiet",
+            ]
+        )
+        remote = [
+            json.loads(l)
+            for l in capsys.readouterr().out.splitlines()
+            if l.startswith("{")
+        ]
+        # local in-process run over the same inputs
+        out_file = tmp_path / "local.jsonl"
+        main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--batch", str(spec),
+                "--out", str(out_file), "--quiet",
+            ]
+        )
+        local = [
+            json.loads(l) for l in out_file.read_text().splitlines()
+        ]
+        assert len(remote) == len(local) == 2
+        for remote_rec, local_rec in zip(remote, local):
+            local_nonempty = {
+                rel: d for rel, d in local_rec["delta"].items()
+                if d["added"] or d["removed"]
+            }
+            assert remote_rec["delta"] == local_nonempty
+
+    def test_url_requires_name(self, workspace, server):
+        with pytest.raises(SystemExit, match="--name"):
+            main(
+                [
+                    "whatif",
+                    "--url", server.url,
+                    "--replace", "1", "UPDATE Orders SET ShippingFee = 0",
+                ]
+            )
+
+    def test_unreachable_service_is_one_line_error(self, workspace):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "whatif",
+                    "--url", "http://127.0.0.1:1",
+                    "--name", "orders",
+                    "--replace", "1", "UPDATE Orders SET ShippingFee = 0",
+                ]
+            )
+        message = excinfo.value.code
+        assert isinstance(message, str)
+        assert "service call failed" in message
+
+    def test_remote_rejects_explain(self, workspace, server):
+        with pytest.raises(SystemExit, match="--explain"):
+            main(
+                [
+                    "whatif",
+                    "--url", server.url,
+                    "--name", "orders",
+                    "--explain",
+                    "--replace", "1", "UPDATE Orders SET ShippingFee = 0",
+                ]
+            )
+
+    def test_rerunning_register_and_query_is_idempotent(
+        self, workspace, server, capsys
+    ):
+        import json
+
+        argv = [
+            "whatif",
+            "--url", server.url,
+            "--name", "rerun",
+            "--data", str(workspace / "data"),
+            "--history", str(workspace / "history.sql"),
+            "--replace", "1",
+            "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # the documented one-liner survives a verbatim re-run: the
+        # existing stored history answers (with a stderr notice, not a
+        # 409; stdout stays pure JSONL)
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        second = captured.out
+        assert "already exists" in captured.err
+        assert all(
+            line.startswith("{") for line in second.splitlines() if line
+        )
+        get = lambda out: json.loads(
+            [l for l in out.splitlines() if l.startswith("{")][0]
+        )
+        assert get(second)["delta"] == get(first)["delta"]
+        assert get(second)["cached"] is True
+
+    def test_bad_flags_do_not_register_server_side(
+        self, workspace, server
+    ):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "whatif",
+                    "--url", server.url,
+                    "--name", "halfdone",
+                    "--data", str(workspace / "data"),
+                    "--history", str(workspace / "history.sql"),
+                    # no modifications: must fail BEFORE registering
+                ]
+            )
+        from repro.service import ServiceClient, ServiceClientError
+
+        with pytest.raises(ServiceClientError) as err:
+            ServiceClient(server.url).info("halfdone")
+        assert err.value.status == 404

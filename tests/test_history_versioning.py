@@ -32,10 +32,25 @@ class TestHistory:
         assert set(result["R"]) == {(1, 10), (2, 21)}
 
     def test_execute_with_snapshots(self):
-        snapshots = make_history().execute_with_snapshots(make_db())
+        snapshots = list(make_history().execute_with_snapshots(make_db()))
         assert len(snapshots) == 4
         assert set(snapshots[0]["R"]) == {(1, 10), (2, 20)}
         assert (3, 30) in snapshots[2]["R"]
+
+    def test_execute_with_snapshots_is_lazy(self):
+        """The snapshot chain is a generator: nothing runs until pulled,
+        and pulling one element materializes only that prefix."""
+        import types
+
+        chain = make_history().execute_with_snapshots(make_db())
+        assert isinstance(chain, types.GeneratorType)
+        first = next(chain)
+        assert set(first["R"]) == {(1, 10), (2, 20)}
+
+    def test_execute_with_snapshots_empty_history(self):
+        snapshots = list(History.of().execute_with_snapshots(make_db()))
+        assert len(snapshots) == 1
+        assert snapshots[0].same_contents(make_db())
 
     def test_one_based_indexing(self):
         history = make_history()
@@ -95,6 +110,81 @@ class TestHistory:
         assert list(make_history().positions()) == [1, 2, 3]
 
 
+class TestHistoryEditingEdgeCases:
+    """Out-of-range and empty-history behavior of the editing API."""
+
+    def test_insert_at_bounds(self):
+        history = make_history()
+        stmt = InsertTuple("R", (9, 90))
+        # position len+1 appends; 0 and len+2 are out of range
+        appended = history.insert_at(4, stmt)
+        assert appended[4] == stmt
+        with pytest.raises(IndexError):
+            history.insert_at(0, stmt)
+        with pytest.raises(IndexError):
+            history.insert_at(5, stmt)
+
+    def test_insert_at_into_empty_history(self):
+        stmt = InsertTuple("R", (9, 90))
+        history = History.of().insert_at(1, stmt)
+        assert len(history) == 1 and history[1] == stmt
+        with pytest.raises(IndexError):
+            History.of().insert_at(2, stmt)
+
+    def test_delete_at_bounds(self):
+        history = make_history()
+        with pytest.raises(IndexError):
+            history.delete_at(0)
+        with pytest.raises(IndexError):
+            history.delete_at(4)
+        with pytest.raises(IndexError):
+            History.of().delete_at(1)
+
+    def test_delete_at_until_empty(self):
+        history = make_history().delete_at(1).delete_at(1).delete_at(1)
+        assert len(history) == 0
+        assert list(history.positions()) == []
+
+    def test_slice_range_bounds(self):
+        history = make_history()
+        assert len(history.slice_range(1, 3)) == 3
+        assert len(history.slice_range(2, 2)) == 1
+        for bad in ((0, 2), (1, 4), (3, 2), (-1, 1)):
+            with pytest.raises(IndexError):
+                history.slice_range(*bad)
+        with pytest.raises(IndexError):
+            History.of().slice_range(1, 1)
+
+    def test_subset_bounds_and_empty(self):
+        history = make_history()
+        assert len(history.subset([])) == 0
+        assert len(history.subset([2, 2, 2])) == 1  # duplicates collapse
+        with pytest.raises(IndexError):
+            history.subset([0])
+        with pytest.raises(IndexError):
+            history.subset([-1])
+        with pytest.raises(IndexError):
+            History.of().subset([1])
+
+    def test_prefix_zero_and_empty(self):
+        history = make_history()
+        empty = history.prefix(0)
+        assert len(empty) == 0
+        assert empty.execute(make_db()).same_contents(make_db())
+        assert len(History.of().prefix(0)) == 0
+        with pytest.raises(IndexError):
+            history.prefix(-1)
+        with pytest.raises(IndexError):
+            History.of().prefix(1)
+
+    def test_replace_out_of_range(self):
+        stmt = InsertTuple("R", (9, 90))
+        with pytest.raises(IndexError):
+            make_history().replace(4, stmt)
+        with pytest.raises(IndexError):
+            History.of().replace(1, stmt)
+
+
 class TestVersionedDatabase:
     def test_records_every_version(self):
         versioned = VersionedDatabase(make_db())
@@ -104,10 +194,43 @@ class TestVersionedDatabase:
     def test_time_travel_matches_snapshots(self):
         db = make_db()
         history = make_history()
-        snapshots = history.execute_with_snapshots(db)
+        snapshots = list(history.execute_with_snapshots(db))
         versioned = VersionedDatabase.from_history(db, history)
         for i, snapshot in enumerate(snapshots):
             assert versioned.as_of(i).same_contents(snapshot)
+
+    def test_checkpoint_interval_bounds_replay(self):
+        """Only every K-th version is materialized and as_of replays at
+        most K-1 statements from the nearest checkpoint below."""
+        db = make_db()
+        history = History.of(
+            *[
+                UpdateStatement("R", {"v": col("v") + 1}, TRUE)
+                for _ in range(10)
+            ]
+        )
+        versioned = VersionedDatabase.from_history(
+            db, history, checkpoint_interval=4
+        )
+        assert versioned.checkpoint_versions() == (0, 4, 8)
+        eager = list(history.execute_with_snapshots(db))
+        for version in range(11):
+            assert versioned.replay_cost(version) < 4
+            assert versioned.as_of(version).same_contents(eager[version])
+        assert versioned.replay_cost(10) == 0  # current state, no replay
+
+    def test_checkpoint_interval_validation(self):
+        with pytest.raises(VersionError):
+            VersionedDatabase(make_db(), checkpoint_interval=0)
+
+    def test_versions_is_lazy(self):
+        import types
+
+        versioned = VersionedDatabase.from_history(make_db(), make_history())
+        chain = versioned.versions()
+        assert isinstance(chain, types.GeneratorType)
+        version, state = next(chain)
+        assert version == 0 and state.same_contents(make_db())
 
     def test_initial_and_current(self):
         versioned = VersionedDatabase.from_history(make_db(), make_history())

@@ -1,0 +1,454 @@
+"""Persistent history store: codec round-trips, checkpoint policy,
+crash-safe truncated-tail recovery."""
+
+import json
+import math
+
+import pytest
+
+from repro.relational import (
+    BagDatabase,
+    BagRelation,
+    Database,
+    History,
+    Relation,
+    Schema,
+)
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from repro.relational.bag import execute_history_bag
+from repro.relational.expressions import (
+    FALSE,
+    TRUE,
+    Attr,
+    Const,
+    If,
+    IsNull,
+    Not,
+    Var,
+    and_,
+    col,
+    eq,
+    ge,
+    lit,
+    or_,
+)
+from repro.relational.statements import (
+    DeleteStatement,
+    InsertQuery,
+    InsertTuple,
+    UpdateStatement,
+)
+from repro.store import (
+    CodecError,
+    HistoryStore,
+    StoreError,
+    decode_database,
+    decode_expr,
+    decode_statement,
+    encode_database,
+    encode_expr,
+    encode_statement,
+)
+
+
+def make_db():
+    return Database(
+        {"R": Relation.from_rows(Schema.of("k", "v"), [(1, 10), (2, 20)])}
+    )
+
+
+def update_v(delta):
+    return UpdateStatement("R", {"v": col("v") + delta}, TRUE)
+
+
+#: One of each statement type, covering every expression node kind.
+STATEMENT_ZOO = [
+    UpdateStatement(
+        "R",
+        {
+            "v": If(
+                IsNull(col("v")), lit(0), col("v") * 2 - (col("k") / 3)
+            ),
+        },
+        and_(ge(col("v"), 10), Not(eq(col("k"), lit("x")))),
+    ),
+    DeleteStatement("R", ge(col("v"), lit(2.5))),
+    DeleteStatement("R", FALSE),  # the padding no-op
+    InsertTuple("R", (3, 30)),
+    InsertTuple("R", (None, True)),  # NULL + boolean survive
+    InsertQuery(
+        "R",
+        Project(
+            Select(
+                Union(
+                    RelScan("R"),
+                    Difference(RelScan("R"), RelScan("R")),
+                ),
+                ge(col("v"), 15),
+            ),
+            ((col("k"), "k"), (col("v") + 100, "v")),
+        ),
+    ),
+    InsertQuery(
+        "R",
+        Project(
+            Join(
+                RelScan("R"),
+                Singleton(Schema.of("k2"), (1,)),
+                eq(col("k"), col("k2")),
+            ),
+            ((col("k") + 50, "k"), (col("v"), "v")),
+        ),
+    ),
+]
+
+#: Statements that only exist symbolically (solver variables) — they
+#: round-trip through the codec but cannot be applied to a database.
+SYMBOLIC_ZOO = [
+    UpdateStatement("R", {"v": Var("y") + 1}, or_(TRUE, FALSE)),
+]
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize(
+        "stmt", STATEMENT_ZOO + SYMBOLIC_ZOO, ids=lambda s: repr(s)[:60]
+    )
+    def test_every_statement_type_round_trips(self, stmt):
+        payload = json.loads(json.dumps(encode_statement(stmt)))
+        assert decode_statement(payload) == stmt
+
+    def test_round_trip_preserves_constant_types(self):
+        """bool vs int vs float distinctions a SQL round trip loses."""
+        for value in (True, False, 1, 0, 1.0, -2.5, "x", None):
+            back = decode_expr(
+                json.loads(json.dumps(encode_expr(Const(value))))
+            )
+            assert back == Const(value)
+            assert type(back.value) is type(value)
+
+    def test_round_trip_non_finite_floats(self):
+        inf = decode_expr(encode_expr(Const(float("inf"))))
+        assert inf.value == float("inf")
+        nan = decode_expr(
+            json.loads(json.dumps(encode_expr(Const(float("nan")))))
+        )
+        assert math.isnan(nan.value)
+
+    def test_set_snapshot_round_trips(self):
+        db = make_db()
+        back = decode_database(json.loads(json.dumps(encode_database(db))))
+        assert isinstance(back, Database)
+        assert back.same_contents(db)
+        assert back.schema_of("R") == db.schema_of("R")
+
+    def test_bag_snapshot_round_trips(self):
+        bag = BagDatabase(
+            {
+                "R": BagRelation(
+                    Schema.of("k", "v"), {(1, 10): 3, (2, 20): 1}
+                )
+            }
+        )
+        back = decode_database(json.loads(json.dumps(encode_database(bag))))
+        assert isinstance(back, BagDatabase)
+        assert back.same_contents(bag)
+
+    @pytest.mark.parametrize("stmt", STATEMENT_ZOO, ids=lambda s: repr(s)[:60])
+    def test_decoded_statement_applies_identically_set_and_bag(self, stmt):
+        """The decoded statement acts exactly like the original under
+        both set and bag semantics."""
+        back = decode_statement(
+            json.loads(json.dumps(encode_statement(stmt)))
+        )
+        db = make_db()
+        assert back.apply(db).same_contents(stmt.apply(db))
+        bag = BagDatabase(
+            {"R": BagRelation(Schema.of("k", "v"), {(1, 10): 2, (2, 20): 1})}
+        )
+        assert execute_history_bag(
+            History.of(back), bag
+        ).same_contents(execute_history_bag(History.of(stmt), bag))
+
+    def test_unknown_payloads_raise(self):
+        with pytest.raises(CodecError):
+            decode_expr({"e": "nope"})
+        with pytest.raises(CodecError):
+            decode_statement({"s": "nope"})
+        with pytest.raises(CodecError):
+            decode_statement([1, 2])
+        with pytest.raises(CodecError):
+            decode_database({"kind": "nope", "relations": {}})
+
+
+class TestHistoryStore:
+    def test_create_append_reopen(self, tmp_path):
+        path = tmp_path / "store"
+        with HistoryStore.create(path, make_db(), checkpoint_interval=3) as s:
+            for i in range(7):
+                s.append(update_v(i + 1))
+            history = s.history()
+            final = s.current
+        with HistoryStore.open(path) as reopened:
+            assert reopened.checkpoint_interval == 3
+            assert reopened.history() == history
+            assert reopened.current.same_contents(final)
+            assert reopened.version_count == 8
+
+    def test_as_of_matches_eager_replay_with_bounded_cost(self, tmp_path):
+        db = make_db()
+        history = History.of(*[update_v(i + 1) for i in range(10)])
+        with HistoryStore.create(
+            tmp_path / "s", db, checkpoint_interval=4
+        ) as store:
+            store.append_history(history)
+            eager = list(history.execute_with_snapshots(db))
+            for version in range(11):
+                assert store.replay_cost(version) < 4
+                assert store.as_of(version).same_contents(eager[version])
+            assert store.checkpoint_versions() == (0, 4, 8)
+            with pytest.raises(StoreError):
+                store.as_of(11)
+            with pytest.raises(StoreError):
+                store.as_of(-1)
+
+    def test_as_of_after_reopen(self, tmp_path):
+        db = make_db()
+        history = History.of(*[update_v(i + 1) for i in range(9)])
+        path = tmp_path / "s"
+        with HistoryStore.create(path, db, checkpoint_interval=4) as store:
+            store.append_history(history)
+        eager = list(history.execute_with_snapshots(db))
+        with HistoryStore.open(path) as store:
+            for version in (0, 3, 4, 5, 8, 9):
+                assert store.replay_cost(version) < 4
+                assert store.as_of(version).same_contents(eager[version])
+
+    def test_every_statement_type_survives_the_log(self, tmp_path):
+        path = tmp_path / "s"
+        db = make_db()
+        with HistoryStore.create(path, db) as store:
+            for stmt in STATEMENT_ZOO:
+                store.append(stmt)
+        with HistoryStore.open(path) as store:
+            assert list(store.history()) == STATEMENT_ZOO
+            assert store.current.same_contents(
+                History(tuple(STATEMENT_ZOO)).execute(db)
+            )
+
+    def test_truncated_tail_is_recovered(self, tmp_path):
+        path = tmp_path / "s"
+        with HistoryStore.create(path, make_db(), checkpoint_interval=2) as s:
+            for i in range(5):
+                s.append(update_v(i + 1))
+        log = path / "log.jsonl"
+        raw = log.read_bytes()
+        # Simulate a crash mid-append: drop half of the last record.
+        log.write_bytes(raw[: len(raw) - len(raw.splitlines(True)[-1]) // 2])
+        with HistoryStore.open(path) as store:
+            assert len(store) == 4  # last record lost, prefix intact
+            expected = History.of(
+                *[update_v(i + 1) for i in range(4)]
+            ).execute(make_db())
+            assert store.current.same_contents(expected)
+            # the store keeps accepting appends after recovery
+            store.append(update_v(99))
+            assert len(store) == 5
+        with HistoryStore.open(path) as store:
+            assert len(store) == 5
+
+    def test_corrupt_middle_record_truncates_from_there(self, tmp_path):
+        path = tmp_path / "s"
+        with HistoryStore.create(path, make_db(), checkpoint_interval=2) as s:
+            for i in range(6):
+                s.append(update_v(i + 1))
+        log = path / "log.jsonl"
+        lines = log.read_bytes().splitlines(True)
+        lines[3] = b'{"i": 4, "stmt": {"s": "garbage"}}\n'
+        log.write_bytes(b"".join(lines))
+        with HistoryStore.open(path) as store:
+            # records 4..6 dropped; checkpoints beyond the log pruned
+            assert len(store) == 3
+            assert all(v <= 3 for v in store.checkpoint_versions())
+
+    def test_stale_checkpoints_are_discarded_on_recovery(self, tmp_path):
+        path = tmp_path / "s"
+        with HistoryStore.create(path, make_db(), checkpoint_interval=2) as s:
+            for i in range(4):
+                s.append(update_v(i + 1))
+        log = path / "log.jsonl"
+        lines = log.read_bytes().splitlines(True)
+        log.write_bytes(b"".join(lines[:1]))  # history shrinks to 1 stmt
+        with HistoryStore.open(path) as store:
+            assert len(store) == 1
+            assert store.checkpoint_versions() == (0,)
+            assert store.current.same_contents(
+                update_v(1).apply(make_db())
+            )
+
+    def test_create_refuses_existing_store(self, tmp_path):
+        path = tmp_path / "s"
+        HistoryStore.create(path, make_db()).close()
+        with pytest.raises(StoreError):
+            HistoryStore.create(path, make_db())
+
+    def test_open_missing_or_foreign_directory(self, tmp_path):
+        with pytest.raises(StoreError):
+            HistoryStore.open(tmp_path / "nope")
+        (tmp_path / "foreign").mkdir()
+        (tmp_path / "foreign" / "META.json").write_text('{"format": "other"}')
+        with pytest.raises(StoreError):
+            HistoryStore.open(tmp_path / "foreign")
+
+    def test_closed_store_rejects_appends(self, tmp_path):
+        store = HistoryStore.create(tmp_path / "s", make_db())
+        store.close()
+        with pytest.raises(StoreError):
+            store.append(update_v(1))
+
+    def test_versions_iterates_lazily(self, tmp_path):
+        import types
+
+        with HistoryStore.create(tmp_path / "s", make_db()) as store:
+            store.append(update_v(1))
+            chain = store.versions()
+            assert isinstance(chain, types.GeneratorType)
+            assert [v for v, _ in chain] == [0, 1]
+
+    def test_checkpoint_interval_validation(self, tmp_path):
+        with pytest.raises(StoreError):
+            HistoryStore.create(tmp_path / "s", make_db(), checkpoint_interval=0)
+
+
+class TestCheckpointBackfill:
+    def test_lost_checkpoint_is_backfilled_on_open(self, tmp_path):
+        """A checkpoint lost to a crash (log record durable, rename not
+        reached) is rebuilt on open, restoring the <K replay bound."""
+        path = tmp_path / "s"
+        db = make_db()
+        with HistoryStore.create(path, db, checkpoint_interval=4) as store:
+            store.append_history(
+                History.of(*[update_v(i + 1) for i in range(9)])
+            )
+            assert store.checkpoint_versions() == (0, 4, 8)
+        (path / "checkpoints" / "ckpt-00000004.json").unlink()
+        with HistoryStore.open(path) as store:
+            assert store.checkpoint_versions() == (0, 4, 8)
+            eager = list(
+                History.of(
+                    *[update_v(i + 1) for i in range(9)]
+                ).execute_with_snapshots(db)
+            )
+            for version in range(10):
+                assert store.replay_cost(version) < 4
+                assert store.as_of(version).same_contents(eager[version])
+
+    def test_all_interior_checkpoints_lost(self, tmp_path):
+        path = tmp_path / "s"
+        db = make_db()
+        with HistoryStore.create(path, db, checkpoint_interval=2) as store:
+            store.append_history(
+                History.of(*[update_v(i + 1) for i in range(6)])
+            )
+        for ckpt in (path / "checkpoints").glob("ckpt-*.json"):
+            if not ckpt.name.endswith("00000000.json"):
+                ckpt.unlink()
+        with HistoryStore.open(path) as store:
+            assert store.checkpoint_versions() == (0, 2, 4, 6)
+            assert all(store.replay_cost(v) < 2 for v in range(7))
+
+    def test_corrupt_interior_checkpoint_is_rebuilt(self, tmp_path):
+        """Bit rot in one non-base checkpoint must not make a store with
+        an intact log unopenable — it is deleted and backfilled."""
+        path = tmp_path / "s"
+        db = make_db()
+        with HistoryStore.create(path, db, checkpoint_interval=2) as store:
+            store.append_history(
+                History.of(*[update_v(i + 1) for i in range(5)])
+            )
+        (path / "checkpoints" / "ckpt-00000002.json").write_text("{corrupt")
+        with HistoryStore.open(path) as store:
+            assert store.checkpoint_versions() == (0, 2, 4)
+            eager = list(
+                History.of(
+                    *[update_v(i + 1) for i in range(5)]
+                ).execute_with_snapshots(db)
+            )
+            for version in range(6):
+                assert store.as_of(version).same_contents(eager[version])
+
+    def test_corrupt_base_checkpoint_is_fatal(self, tmp_path):
+        path = tmp_path / "s"
+        with HistoryStore.create(path, make_db(), checkpoint_interval=2) as s:
+            s.append(update_v(1))
+        (path / "checkpoints" / "ckpt-00000000.json").write_text("{corrupt")
+        with pytest.raises(StoreError, match="base checkpoint"):
+            HistoryStore.open(path)
+
+    def test_corrupt_checkpoint_self_heals_on_read(self, tmp_path):
+        """as_of falls back past a rotted checkpoint and re-writes it,
+        restoring the bounded-replay invariant for later reads."""
+        path = tmp_path / "s"
+        db = make_db()
+        with HistoryStore.create(path, db, checkpoint_interval=2) as store:
+            store.append_history(
+                History.of(*[update_v(i + 1) for i in range(5)])
+            )
+            (path / "checkpoints" / "ckpt-00000002.json").write_text("{rot")
+            eager = list(
+                History.of(
+                    *[update_v(i + 1) for i in range(5)]
+                ).execute_with_snapshots(db)
+            )
+            assert store.as_of(2).same_contents(eager[2])  # heals
+            assert store.as_of(3).same_contents(eager[3])
+            assert 2 in store.checkpoint_versions()
+            # the re-written file is valid again
+            import json as _json
+
+            _json.loads(
+                (path / "checkpoints" / "ckpt-00000002.json").read_text()
+            )
+
+    def test_valid_json_invalid_payload_checkpoint_heals(self, tmp_path):
+        """Valid JSON that is not a database payload is still 'corrupt'
+        — it must enter the same fallback path, not crash open()."""
+        path = tmp_path / "s"
+        db = make_db()
+        with HistoryStore.create(path, db, checkpoint_interval=2) as store:
+            store.append_history(
+                History.of(*[update_v(i + 1) for i in range(4)])
+            )
+        (path / "checkpoints" / "ckpt-00000002.json").write_text(
+            '{"kinf": "set"}'
+        )
+        with HistoryStore.open(path) as store:
+            eager = list(
+                History.of(
+                    *[update_v(i + 1) for i in range(4)]
+                ).execute_with_snapshots(db)
+            )
+            for version in range(5):
+                assert store.as_of(version).same_contents(eager[version])
+
+    def test_corrupt_meta_is_store_error(self, tmp_path):
+        path = tmp_path / "s"
+        HistoryStore.create(path, make_db()).close()
+        for bad in (
+            '{"format": "mahif-history-store", "version": 1}',
+            '{"format": "mahif-history-store", "version": 1, '
+            '"checkpoint_interval": "x"}',
+            '{"format": "mahif-history-store", "version": 1, '
+            '"checkpoint_interval": 0}',
+            '[1, 2]',
+        ):
+            (path / "META.json").write_text(bad)
+            with pytest.raises(StoreError):
+                HistoryStore.open(path)
