@@ -1,0 +1,201 @@
+"""Sharded reenactment: 4 shards vs 1 on a large generated workload
+(see DESIGN.md, "Sharded execution").
+
+The workload is the interactive pattern sharding targets: a large
+relation, a history of range-predicate updates whose windows sit in a
+narrow key region, and a what-if replacing one of them.  Range
+partitioning on the condition column clusters the affected window into
+one shard, so skip routing proves the other shards untouched and drops
+them from reenactment entirely — the speedup source that holds even on
+a single core, with worker-pool parallelism stacking on top when the
+machine has cores to spare (``shard_workers`` rows are recorded either
+way, but only floored on multi-core hosts).
+
+Every sharded delta is asserted identical to the unsharded oracle's,
+and the headline floor — ≥ 1.5× for ``shards=4`` vs ``shards=1`` on the
+compiled backend, plain reenactment — is asserted whenever the workload
+is at least default scale (``ROWS >= 2000``; the CI shard-smoke job
+runs at default scale, so the floor is enforced there).
+
+Results land in ``results.jsonl`` (experiment ``"shard"``) and
+``BENCH_shard.json`` at the repo root.
+"""
+
+import os
+import pathlib
+import time
+
+from repro.bench import print_series_table, write_bench_report
+from repro.core import (
+    HistoricalWhatIfQuery,
+    Mahif,
+    MahifConfig,
+    Method,
+    Replace,
+)
+from repro.relational import Database, History, Relation, Schema
+from repro.relational.expressions import Attr, and_, ge, le
+from repro.relational.statements import UpdateStatement
+
+from .common import record
+
+ROWS = int(os.environ.get("MAHIF_BENCH_SHARD_ROWS", "40000"))
+UPDATES = int(os.environ.get("MAHIF_BENCH_SHARD_UPDATES", "12"))
+SHARDS = 4
+#: The affected key window: everything the history (and the what-if)
+#: touches lives in the lowest eighth of the key space, so range
+#: partitioning at 4 shards isolates it in shard 0.
+WINDOW = ROWS // 8
+#: Modifying the first statement keeps the (shared) time-travel prefix
+#: empty, so the measured difference is reenactment itself — the part
+#: sharding scales out (a deployed service gets its start versions from
+#: the history store's checkpoints either way).
+MOD_POSITION = 1
+SPEEDUP_FLOOR = 1.5
+TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_shard.json"
+
+
+def _workload() -> HistoricalWhatIfQuery:
+    # Payload columns beyond (k, v) make every reenactment projection
+    # level carry realistic per-row width, the work sharding scales out;
+    # each update touches two value columns (a fee and a running total,
+    # say), which is what a transactional history looks like.
+    schema = Schema(("k", "a", "b", "c", "d", "v", "w"))
+    relation = Relation.from_rows(
+        schema,
+        (
+            (
+                k, k % 13, float(k % 29), k % 7, float(k % 11),
+                float(k % 97), float(k % 53),
+            )
+            for k in range(ROWS)
+        ),
+    )
+    database = Database({"data": relation})
+    statements = []
+    for i in range(UPDATES):
+        low = (i * 7) % max(WINDOW - 50, 1)
+        statements.append(
+            UpdateStatement(
+                "data",
+                {
+                    "v": Attr("v") + (1 + i),
+                    "w": Attr("w") + Attr("v") * 0.5,
+                },
+                and_(ge(Attr("k"), low), le(Attr("k"), low + 40)),
+            )
+        )
+    history = History.of(*statements)
+    base = history[MOD_POSITION]
+    replacement = UpdateStatement(
+        "data",
+        {"v": Attr("v") + 999, "w": Attr("w") + Attr("v")},
+        base.condition,
+    )
+    return HistoricalWhatIfQuery(
+        history, database, (Replace(MOD_POSITION, replacement),)
+    )
+
+
+def _cold_caches():
+    from repro.relational.exec import clear_caches
+
+    clear_caches()
+
+
+def _timed_answer(query, method, config):
+    engine = Mahif(config)
+    start = time.perf_counter()
+    result = engine.answer(query, method)
+    return time.perf_counter() - start, result.delta
+
+
+def _shard_rows():
+    query = _workload()
+    out = []
+    for method in (Method.R, Method.R_PS_DS):
+        _cold_caches()
+        baseline_seconds, oracle = _timed_answer(
+            query, method, MahifConfig(backend="compiled")
+        )
+        for shards, workers in ((SHARDS, 0), (SHARDS, SHARDS)):
+            config = MahifConfig(
+                backend="compiled", shards=shards, shard_workers=workers
+            )
+            _cold_caches()
+            seconds, delta = _timed_answer(query, method, config)
+            assert delta == oracle, (
+                f"sharded delta differs from the unsharded oracle "
+                f"({method.value}, shards={shards}) — correctness bug"
+            )
+            row = {
+                "method": method.value,
+                "rows": ROWS,
+                "updates": UPDATES,
+                "shards": shards,
+                "shard_workers": workers,
+                "unsharded_seconds": baseline_seconds,
+                "sharded_seconds": seconds,
+                "speedup": baseline_seconds / seconds,
+            }
+            record("shard", row)
+            out.append(row)
+    return out
+
+
+def test_sharded_vs_unsharded(benchmark):
+    rows = benchmark.pedantic(_shard_rows, rounds=1, iterations=1)
+
+    usable_cpus = len(os.sched_getaffinity(0))
+    write_bench_report(
+        TARGET,
+        "shard",
+        {
+            "rows": ROWS,
+            "updates": UPDATES,
+            "modified_position": MOD_POSITION,
+            "shards": SHARDS,
+            "backend": "compiled",
+            "scheme": "range",
+            "usable_cpus": usable_cpus,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "floor_asserted": ROWS >= 2000,
+            "metric": "wall seconds: Mahif.answer at shards=1 vs "
+            "shards=4 (skip routing + optional worker pool)",
+        },
+        configurations=rows,
+    )
+
+    print_series_table(
+        f"Sharding — {ROWS} rows, U{UPDATES}, window {WINDOW}, "
+        f"{SHARDS} shards (compiled)",
+        ["method", "workers", "unsharded", "sharded", "speedup"],
+        [
+            [r["method"], r["shard_workers"], r["unsharded_seconds"],
+             r["sharded_seconds"], r["speedup"]]
+            for r in rows
+        ],
+        note="range partitioning + skip routing; ≥ 1.5× floor on plain "
+        "reenactment at default scale",
+    )
+
+    if ROWS >= 2000:
+        serial = [
+            r for r in rows
+            if r["method"] == Method.R.value and r["shard_workers"] == 0
+        ][0]
+        assert serial["speedup"] >= SPEEDUP_FLOOR, (
+            "sharded reenactment no longer pays for itself on the "
+            f"compiled backend: {serial['speedup']:.2f}x < "
+            f"{SPEEDUP_FLOOR}x at {SHARDS} shards"
+        )
+        if usable_cpus >= 2:
+            pooled = [
+                r for r in rows
+                if r["method"] == Method.R.value
+                and r["shard_workers"] == SHARDS
+            ][0]
+            assert pooled["speedup"] >= SPEEDUP_FLOOR, (
+                "pooled sharded reenactment fell below the floor on a "
+                f"{usable_cpus}-core host: {pooled['speedup']:.2f}x"
+            )

@@ -122,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend: compiled closures, the tree-walking "
         "reference interpreter, or server-side SQL on in-memory sqlite",
     )
+    whatif.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard-parallel reenactment: partition each relation into "
+        "N shards, skip shards the modification provably cannot touch, "
+        "and merge the per-shard deltas (default: unsharded locally, "
+        "the server's default over --url; an explicit value always "
+        "wins, including --shards 1)",
+    )
     whatif.add_argument("--explain", action="store_true",
                         help="print why-provenance for delta tuples")
     whatif.add_argument("--out", help="write the delta as CSV")
@@ -181,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="default worker pool for batched answers",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="default shard count for answers (requests can override "
+        "with a \"shards\" body field)",
     )
     serve.add_argument(
         "--name", help="preload: register this history name on startup"
@@ -366,12 +379,14 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
             results = client.whatif_batch(
                 args.name, specs, method=args.method, backend=args.backend,
                 workers=args.batch_workers or None,
+                shards=args.shards,
             )
         else:
             results = [
                 client.whatif(
                     args.name, single_spec,
                     method=args.method, backend=args.backend,
+                    shards=args.shards,
                 )
             ]
     except ServiceClientError as exc:
@@ -396,11 +411,7 @@ def _cmd_whatif_batch(args: argparse.Namespace) -> int:
         HistoricalWhatIfQuery(history, database, modifications)
         for modifications in _parse_batch_spec(args.batch)
     ]
-    config = MahifConfig(
-        slicing_algorithm=args.slicing,
-        backend=args.backend,
-        batch_workers=args.batch_workers,
-    )
+    config = _engine_config(args, batch_workers=args.batch_workers)
     results = Mahif(config).answer_batch(queries, _METHODS[args.method])
     lines = [
         json.dumps({"query": index, **_delta_json(result)})
@@ -408,6 +419,21 @@ def _cmd_whatif_batch(args: argparse.Namespace) -> int:
     ]
     _emit_json_lines(lines, args)
     return 0
+
+
+def _engine_config(
+    args: argparse.Namespace, *, batch_workers: int = 0
+) -> MahifConfig:
+    """The engine configuration the whatif flags describe."""
+    try:
+        return MahifConfig(
+            slicing_algorithm=args.slicing,
+            backend=args.backend,
+            batch_workers=batch_workers,
+            shards=args.shards if args.shards is not None else 1,
+        )
+    except ValueError as exc:
+        raise _fail(str(exc)) from None
 
 
 def _require_local_inputs(args: argparse.Namespace) -> None:
@@ -428,9 +454,7 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     history = _load_history(args.history)
     modifications = _build_modifications(args)
     query = HistoricalWhatIfQuery(history, database, modifications)
-    config = MahifConfig(
-        slicing_algorithm=args.slicing, backend=args.backend
-    )
+    config = _engine_config(args)
     result = Mahif(config).answer(query, _METHODS[args.method])
 
     if not args.quiet:
@@ -487,6 +511,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_backend=args.backend,
             checkpoint_interval=args.checkpoint_interval,
             batch_workers=args.workers,
+            default_shards=args.shards,
         )
     except (ServiceError, OSError) as exc:
         raise _fail(f"cannot start service: {exc}") from None

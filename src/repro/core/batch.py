@@ -292,7 +292,37 @@ def _answer_reenactment_batch(
 
     deltas: list[dict[str, RelationDelta]] = [{} for _ in queries]
     eval_seconds = [0.0] * len(queries)
-    if isinstance(executor, ProcessPoolExecutor):
+    if engine.config.shards > 1:
+        # Sharded execution: fan out at (query, relation, shard)
+        # granularity through the same executor.  A shard call ships
+        # only its own shard's database and an unshardable fallback
+        # call only the relations its query pair scans, so the
+        # per-query grouping that bounds start-database pickling in the
+        # unsharded process-pool path is unnecessary here.  Partition
+        # lists are memoized across queries sharing a start database.
+        from .shard import evaluate_shard_works, plan_relation_shards
+
+        partitions: dict = {}
+        owners: list[int] = []
+        works = []
+        for index, plan in enumerate(plans):
+            for relation in sorted(plan.affected):
+                owners.append(index)
+                works.append(
+                    plan_relation_shards(
+                        backend,
+                        plan,
+                        relation,
+                        engine.config.shards,
+                        engine.config.shard_scheme,
+                        partitions,
+                    )
+                )
+        merged = evaluate_shard_works(works, executor)
+        for index, work, (delta, seconds) in zip(owners, works, merged):
+            deltas[index][work.relation] = delta
+            eval_seconds[index] += seconds
+    elif isinstance(executor, ProcessPoolExecutor):
         # Grouped per query: the start database pickles once per query.
         grouped = _run_tasks(
             executor,

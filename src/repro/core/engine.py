@@ -30,7 +30,9 @@ empty delta and are skipped outright.
 from __future__ import annotations
 
 import enum
+import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -119,6 +121,16 @@ class MahifConfig:
     queries release the GIL) — while ``batch_share_plans`` reuses
     reenactment operator trees across batch queries that slice to the
     same statement set.
+
+    ``shards`` > 1 turns on sharded execution (see DESIGN.md, "Sharded
+    execution"): each affected relation is horizontally partitioned
+    (``shard_scheme``: ``"range"`` clusters by the leading/key column so
+    data-slicing routing can skip whole shards, ``"hash"`` balances
+    arbitrary distributions), the reenactment pair is evaluated per
+    shard, and the per-shard deltas merge back exactly.
+    ``shard_workers`` > 1 fans the shard evaluations over the same kind
+    of pool as ``batch_workers`` (0 evaluates shards serially, which
+    still benefits from skip routing).
     """
 
     slicing_algorithm: str = "dependency"
@@ -130,14 +142,28 @@ class MahifConfig:
     backend: str = "compiled"
     batch_workers: int = 0
     batch_share_plans: bool = True
+    shards: int = 1
+    shard_workers: int = 0
+    shard_scheme: str = "range"
 
     def __post_init__(self) -> None:
+        from ..relational.partition import PARTITION_SCHEMES
+
         if self.slicing_algorithm not in ("dependency", "greedy"):
             raise ValueError(
                 f"unknown slicing algorithm {self.slicing_algorithm!r}"
             )
         if self.batch_workers < 0:
             raise ValueError("batch_workers must be >= 0")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0")
+        if self.shard_scheme not in PARTITION_SCHEMES:
+            raise ValueError(
+                f"unknown shard scheme {self.shard_scheme!r}; expected one "
+                f"of {PARTITION_SCHEMES}"
+            )
         resolve_backend(self.backend)  # raises ValueError when unknown
 
 
@@ -223,6 +249,10 @@ class _ReenactmentPlan:
     inserted_modified: Database | None
     slice_result: SliceResult | None
     data_slicing: DataSlicingConditions | None
+    #: Skip-routing conditions for sharded execution: equals
+    #: ``data_slicing`` for DS methods, and is computed (but never
+    #: injected into the queries) for the others when ``shards`` > 1.
+    routing: DataSlicingConditions | None
     ps_seconds: float
     build_seconds: float
 
@@ -278,6 +308,39 @@ class Mahif:
 
     def __init__(self, config: MahifConfig | None = None) -> None:
         self.config = config or MahifConfig()
+        #: Lazily-created worker pool for sharded single answers
+        #: (``shards`` > 1 and ``shard_workers`` > 1), reused across
+        #: calls — pool startup would otherwise dominate the small
+        #: per-query work sharding targets.  Shut down when the engine
+        #: is collected (or on a task failure, which may poison a
+        #: process pool).
+        self._shard_executor = None
+        self._shard_pool_lock = threading.Lock()
+
+    def _shard_pool(self):
+        if self.config.shards <= 1 or self.config.shard_workers <= 1:
+            return None
+        with self._shard_pool_lock:
+            if self._shard_executor is None:
+                from .batch import _make_executor
+
+                executor = _make_executor(
+                    resolve_backend(self.config.backend),
+                    self.config.shard_workers,
+                )
+                if executor is not None:
+                    weakref.finalize(
+                        self, executor.shutdown,
+                        wait=False, cancel_futures=True,
+                    )
+                self._shard_executor = executor
+            return self._shard_executor
+
+    def _reset_shard_pool(self) -> None:
+        with self._shard_pool_lock:
+            executor, self._shard_executor = self._shard_executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     # -- public API --------------------------------------------------------
     def answer(
@@ -349,19 +412,35 @@ class Mahif:
         plan = self._plan_reenactment(query, method)
         t0 = time.perf_counter()
         deltas: dict[str, RelationDelta] = {}
-        for relation in sorted(plan.affected):
-            deltas[relation], _ = _relation_delta_task(
-                None,  # ambient backend: `answer` scoped the configured one
-                plan.queries_h[relation],
-                plan.queries_m[relation],
-                plan.start_db,
-                plan.inserted_original[relation]
-                if plan.inserted_original is not None
-                else None,
-                plan.inserted_modified[relation]
-                if plan.inserted_modified is not None
-                else None,
-            )
+        if self.config.shards > 1:
+            from .shard import evaluate_plan_sharded
+
+            try:
+                deltas, _ = evaluate_plan_sharded(
+                    plan,
+                    self.config,
+                    resolve_backend(self.config.backend),
+                    executor=self._shard_pool(),
+                )
+            except BaseException:
+                # A failed task may have poisoned a process pool; build
+                # a fresh one on the next call.
+                self._reset_shard_pool()
+                raise
+        else:
+            for relation in sorted(plan.affected):
+                deltas[relation], _ = _relation_delta_task(
+                    None,  # ambient backend: `answer` scoped it
+                    plan.queries_h[relation],
+                    plan.queries_m[relation],
+                    plan.start_db,
+                    plan.inserted_original[relation]
+                    if plan.inserted_original is not None
+                    else None,
+                    plan.inserted_modified[relation]
+                    if plan.inserted_modified is not None
+                    else None,
+                )
         exe_seconds = plan.build_seconds + (time.perf_counter() - t0)
         return MahifResult(
             delta=DatabaseDelta(deltas),
@@ -439,8 +518,13 @@ class Mahif:
             # proceed with plain reenactment, optionally data-sliced.
 
         t1 = time.perf_counter()
+        # Sharded execution needs the slicing conditions for skip routing
+        # even when the method does not inject them into the queries.
+        needs_conditions = (
+            method.uses_data_slicing or self.config.shards > 1
+        )
         insert_mod_relations: set[str] = set()
-        if method.uses_data_slicing:
+        if needs_conditions:
             insert_mod_relations = {
                 trimmed.original[p].relation
                 for p in trimmed.modified_positions
@@ -472,40 +556,43 @@ class Mahif:
                 share_key = None
 
         if cached is not None:
-            queries_h, queries_m, data_slicing = cached
+            queries_h, queries_m, data_slicing, routing = cached
         else:
             queries_h = reenactment_queries(pair.original, schemas)
             queries_m = reenactment_queries(pair.modified, schemas)
 
             data_slicing = None
-            if method.uses_data_slicing:
-                data_slicing = compute_data_slicing(pair, schemas)
+            routing = None
+            if needs_conditions:
+                conditions = compute_data_slicing(pair, schemas)
                 # Modified inserts: after the Section-10 split the pair no
                 # longer carries the insert, so the collision disjunct that
                 # compute_data_slicing derives for insert modifications (see
                 # data_slicing._affected_condition_map) is lost.  Filtering
                 # such a relation could then drop a base tuple that one
-                # side's replayed insert re-adds; disable filtering for those
-                # relations instead (their insert-side delta is tiny anyway).
+                # side's replayed insert re-adds — and shard routing could
+                # likewise skip a shard holding such a tuple; disable
+                # filtering/skipping for those relations instead (their
+                # insert-side delta is tiny anyway).
                 from ..relational.expressions import TRUE
 
                 if insert_mod_relations and (
                     inserted_original is not None
                     or inserted_modified is not None
                 ):
-                    data_slicing = DataSlicingConditions(
+                    conditions = DataSlicingConditions(
                         {
                             rel: (
                                 TRUE
                                 if rel in insert_mod_relations
                                 else cond
                             )
-                            for rel, cond in data_slicing.for_original.items()
+                            for rel, cond in conditions.for_original.items()
                         }
                         | {
                             rel: TRUE
                             for rel in insert_mod_relations
-                            if rel not in data_slicing.for_original
+                            if rel not in conditions.for_original
                         },
                         {
                             rel: (
@@ -513,26 +600,30 @@ class Mahif:
                                 if rel in insert_mod_relations
                                 else cond
                             )
-                            for rel, cond in data_slicing.for_modified.items()
+                            for rel, cond in conditions.for_modified.items()
                         }
                         | {
                             rel: TRUE
                             for rel in insert_mod_relations
-                            if rel not in data_slicing.for_modified
+                            if rel not in conditions.for_modified
                         },
                     )
-                queries_h = {
-                    name: inject_selection(
-                        op, dict(data_slicing.for_original)
-                    )
-                    for name, op in queries_h.items()
-                }
-                queries_m = {
-                    name: inject_selection(
-                        op, dict(data_slicing.for_modified)
-                    )
-                    for name, op in queries_m.items()
-                }
+                if self.config.shards > 1:
+                    routing = conditions
+                if method.uses_data_slicing:
+                    data_slicing = conditions
+                    queries_h = {
+                        name: inject_selection(
+                            op, dict(data_slicing.for_original)
+                        )
+                        for name, op in queries_h.items()
+                    }
+                    queries_m = {
+                        name: inject_selection(
+                            op, dict(data_slicing.for_modified)
+                        )
+                        for name, op in queries_m.items()
+                    }
 
             if self.config.optimize_queries:
                 queries_h = {
@@ -545,7 +636,9 @@ class Mahif:
                 }
 
             if share_key is not None:
-                shared[share_key] = (queries_h, queries_m, data_slicing)
+                shared[share_key] = (
+                    queries_h, queries_m, data_slicing, routing
+                )
 
         return _ReenactmentPlan(
             query=query,
@@ -558,6 +651,7 @@ class Mahif:
             inserted_modified=inserted_modified,
             slice_result=slice_result,
             data_slicing=data_slicing,
+            routing=routing,
             ps_seconds=ps_seconds,
             build_seconds=time.perf_counter() - t1,
         )

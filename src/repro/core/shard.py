@@ -1,0 +1,397 @@
+"""Sharded, partition-parallel reenactment (DESIGN.md, "Sharded execution").
+
+The data-slicing theory already tells the engine *which* tuples a
+hypothetical modification can affect; this module uses the same
+machinery to scale reenactment *out*: each affected relation is
+horizontally partitioned (:mod:`repro.relational.partition`), the
+query pair ``(Q_H, Q_{H[M]})`` is evaluated independently per shard —
+serially or over the same ``concurrent.futures`` pools the batch path
+uses (processes for the in-process backends, threads for sqlite, whose
+per-thread connection cache gives every worker its own generation-token
+cached connections per shard database) — and the per-shard
+``(added, removed, common)`` triples merge back into one exact delta.
+
+Two properties make this sound (proof sketches in DESIGN.md):
+
+* **distributivity** — reenactment queries for histories without
+  ``INSERT ... SELECT`` are trees of scan/select/project/union/singleton
+  over their *own* relation, and every one of those operators distributes
+  over a union of scan inputs (singletons are union-idempotent under set
+  semantics), so ``∪_s Q(R_s) = Q(R)``; queries that join or read other
+  relations are detected by :func:`shardable` and fall back to one
+  unsharded evaluation,
+* **skip routing** — a shard none of whose tuples satisfies the
+  data-slicing condition ``θ_H ∨ θ_{H[M]}`` of its relation is provably
+  untouched by the modification: both reenactments map each of its
+  tuples identically, so the shard contributes nothing to the delta and
+  skips evaluation entirely.  (Cross-shard cancellation of a skipped
+  shard's images relies on histories being key-preserving — exactly the
+  assumption Theorem 2's data slicing already makes; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..relational.algebra import (
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+    evaluate_query,
+    walk_operators,
+)
+from ..relational.database import Database
+from ..relational.expressions import Expr, FALSE, TRUE, or_, simplify
+from ..relational.partition import (
+    ShardDelta,
+    merge_shard_deltas,
+    partition_relation,
+    shard_delta,
+)
+from ..relational.relation import Relation
+from .data_slicing import DataSlicingConditions
+from .delta import RelationDelta
+
+__all__ = [
+    "shardable",
+    "routing_condition",
+    "shard_keep_mask",
+    "RelationShardWork",
+    "plan_relation_shards",
+    "merge_relation_shards",
+    "evaluate_shard_works",
+    "evaluate_plan_sharded",
+]
+
+
+def shardable(op: Operator, relation: str) -> bool:
+    """True when ``∪_s op(R_s) = op(R)`` holds by construction.
+
+    Requires every node to be a scan of ``relation`` itself, a
+    selection, a projection, a union, or a constant singleton.  A join,
+    a difference, or a scan of *another* relation (an ``INSERT ...
+    SELECT`` in the history) breaks per-shard distributivity — those
+    queries are evaluated unsharded.
+    """
+    for node in walk_operators(op):
+        if isinstance(node, RelScan):
+            if node.name != relation:
+                return False
+        elif not isinstance(node, (Select, Project, Union, Singleton)):
+            return False
+    return True
+
+
+def _contains_singleton(op: Operator) -> bool:
+    return any(isinstance(node, Singleton) for node in walk_operators(op))
+
+
+def _range_key_index(schema, condition: Expr) -> int:
+    """The column range partitioning sorts on: the first schema column
+    the routing condition mentions, so tuples the condition selects
+    cluster into few contiguous shards and the rest skip.  Falls back
+    to the leading (conventionally key) column when the condition is
+    unavailable or mentions nothing in the schema."""
+    from ..relational.expressions import attributes_of
+
+    mentioned = attributes_of(condition)
+    for index, attribute in enumerate(schema.attributes):
+        if attribute in mentioned:
+            return index
+    return 0
+
+
+def routing_condition(
+    routing: DataSlicingConditions | None, relation: str
+) -> Expr:
+    """The per-relation skip-routing condition ``θ_H ∨ θ_{H[M]}``.
+
+    ``TRUE`` (no shard may skip) when no conditions are available or the
+    relation is missing from both maps — missing is treated
+    conservatively here, unlike the engine's relation-level skip, because
+    routing decides per *shard* and must never guess.
+    """
+    if routing is None:
+        return TRUE
+    cond_h = routing.for_original.get(relation)
+    cond_m = routing.for_modified.get(relation)
+    if cond_h is None and cond_m is None:
+        return TRUE
+    return simplify(
+        or_(
+            cond_h if cond_h is not None else FALSE,
+            cond_m if cond_m is not None else FALSE,
+        )
+    )
+
+
+def shard_keep_mask(
+    parts: Sequence[Relation],
+    condition: Expr,
+    *,
+    protect_first: bool = False,
+) -> list[bool]:
+    """Which shards must be evaluated under ``condition``.
+
+    A shard is kept when any of its tuples satisfies the routing
+    condition — rows the compiled predicate *errors* on count as
+    matches, so routing can never skip a shard the sequential path would
+    have surfaced an evaluation error for.  ``protect_first`` pins the
+    first shard (reenactment singletons — inserted tuples — are
+    evaluated per shard and must survive in at least one).
+    """
+    if condition == TRUE:
+        return [True] * len(parts)
+    from ..relational.exec import compile_predicate
+
+    predicate = compile_predicate(condition, parts[0].schema)
+    keep = []
+    for index, part in enumerate(parts):
+        if index == 0 and protect_first:
+            keep.append(True)
+            continue
+        matched = False
+        for row in part.tuples:
+            try:
+                if predicate(row):
+                    matched = True
+                    break
+            except Exception:
+                matched = True  # conservative: never skip on error
+                break
+        keep.append(matched)
+    return keep
+
+
+def shard_pair_task(
+    backend: str | None,
+    query_h: Operator,
+    query_m: Operator,
+    db: Database,
+    extra_original: Relation | None,
+    extra_modified: Relation | None,
+) -> tuple[ShardDelta, float]:
+    """Evaluate one shard's (or one unsharded fallback's) query pair.
+
+    Module-level so process-pool workers pick it up by reference, like
+    :func:`repro.core.engine._relation_delta_task`; returns the shard's
+    delta triple plus its worker-side wall time.
+    """
+    t0 = time.perf_counter()
+    result_h = evaluate_query(query_h, db, backend=backend)
+    result_m = evaluate_query(query_m, db, backend=backend)
+    if extra_original is not None:
+        result_h = result_h.union(extra_original)
+    if extra_modified is not None:
+        result_m = result_m.union(extra_modified)
+    return shard_delta(result_h, result_m), time.perf_counter() - t0
+
+
+@dataclass(frozen=True)
+class RelationShardWork:
+    """Planned shard evaluation for one (query, relation) delta.
+
+    ``calls`` are ready argument tuples for :func:`shard_pair_task`;
+    ``extra`` is the insert-split pseudo-shard (the Section-10 inserted
+    tuples, merged in-parent instead of shipping them to every worker);
+    ``sharded`` is False for the unsharded fallback (one call carrying
+    the full start database and the extras inline)."""
+
+    relation: str
+    calls: tuple[tuple, ...]
+    extra: ShardDelta | None
+    schema: Any
+    sharded: bool
+    shard_count: int
+    skipped: int
+
+
+def plan_relation_shards(
+    backend: str | None,
+    plan,
+    relation: str,
+    shards: int,
+    scheme: str,
+    partitions: dict | None = None,
+) -> RelationShardWork:
+    """Plan one relation's delta evaluation under ``shards`` partitions.
+
+    ``plan`` is the engine's :class:`~repro.core.engine._ReenactmentPlan`;
+    ``partitions`` optionally memoizes partition lists across queries of
+    a batch that share the same start database (keyed by database
+    identity — safe because databases are immutable).
+    """
+    query_h = plan.queries_h[relation]
+    query_m = plan.queries_m[relation]
+    extra_h = (
+        plan.inserted_original[relation]
+        if plan.inserted_original is not None
+        else None
+    )
+    extra_m = (
+        plan.inserted_modified[relation]
+        if plan.inserted_modified is not None
+        else None
+    )
+    base_schema = plan.start_db.schema_of(relation)
+    if (
+        shards <= 1
+        or not shardable(query_h, relation)
+        or not shardable(query_m, relation)
+    ):
+        # Unsharded fallback: ship only the relations the query pair
+        # actually scans, not the whole start database — on a process
+        # pool the full database would otherwise pickle once per
+        # fallback relation.
+        from ..relational.algebra import base_relations
+
+        needed = base_relations(query_h) | base_relations(query_m)
+        fallback_db = Database(
+            {
+                name: plan.start_db[name]
+                for name in sorted(needed)
+                if name in plan.start_db
+            }
+        )
+        call = (backend, query_h, query_m, fallback_db, extra_h, extra_m)
+        return RelationShardWork(
+            relation, (call,), None, base_schema, False, 1, 0
+        )
+
+    condition = routing_condition(plan.routing, relation)
+    key_index = _range_key_index(base_schema, condition) if (
+        scheme == "range"
+    ) else 0
+    # The memo stores the per-shard Database wrappers, not just the
+    # Relation parts: the sqlite backend's connection cache is keyed by
+    # database identity, so batch queries sharing a start database must
+    # reuse the same wrapper objects or every query would re-ingest
+    # every shard server-side.
+    key = (id(plan.start_db), relation, shards, scheme, key_index)
+    shard_dbs = partitions.get(key) if partitions is not None else None
+    if shard_dbs is None:
+        shard_dbs = [
+            Database({relation: part})
+            for part in partition_relation(
+                plan.start_db[relation], shards, scheme, key_index
+            )
+        ]
+        if partitions is not None:
+            partitions[key] = shard_dbs
+    parts = [shard_db[relation] for shard_db in shard_dbs]
+    protect_first = _contains_singleton(query_h) or _contains_singleton(
+        query_m
+    )
+    keep = shard_keep_mask(parts, condition, protect_first=protect_first)
+    calls = tuple(
+        (backend, query_h, query_m, shard_db, None, None)
+        for shard_db, kept in zip(shard_dbs, keep)
+        if kept
+    )
+    extra = None
+    if extra_h is not None or extra_m is not None:
+        empty = Relation.empty(base_schema)
+        extra = shard_delta(
+            extra_h if extra_h is not None else empty,
+            extra_m if extra_m is not None else empty,
+        )
+    return RelationShardWork(
+        relation,
+        calls,
+        extra,
+        base_schema,
+        True,
+        len(parts),
+        keep.count(False),
+    )
+
+
+def merge_relation_shards(
+    work: RelationShardWork,
+    outcomes: Sequence[tuple[ShardDelta, float]],
+) -> tuple[RelationDelta, float]:
+    """Merge a relation's shard outcomes into its delta + summed seconds."""
+    triples = [outcome[0] for outcome in outcomes]
+    if work.extra is not None and work.sharded:
+        triples.append(work.extra)
+    delta = merge_shard_deltas(triples, schema=work.schema)
+    return delta, sum(outcome[1] for outcome in outcomes)
+
+
+def evaluate_shard_works(
+    works: Sequence[RelationShardWork],
+    executor,
+) -> list[tuple[RelationDelta, float]]:
+    """Fan planned shard works out and merge them, preserving order.
+
+    The shared dispatch core of the single-answer and batch paths:
+    flatten every work's calls into one :func:`shard_pair_task` task
+    list, run them over ``executor`` (serially when ``None``), and
+    slice the outcomes back per work through
+    :func:`merge_relation_shards`.
+    """
+    from .batch import _run_tasks
+
+    calls = [call for work in works for call in work.calls]
+    outcomes = _run_tasks(executor, shard_pair_task, calls)
+    results = []
+    cursor = 0
+    for work in works:
+        slice_ = outcomes[cursor:cursor + len(work.calls)]
+        cursor += len(work.calls)
+        results.append(merge_relation_shards(work, slice_))
+    return results
+
+
+def evaluate_plan_sharded(
+    plan,
+    config,
+    backend: str,
+    executor=None,
+) -> tuple[dict[str, RelationDelta], dict[str, dict]]:
+    """Evaluate a reenactment plan's deltas shard-parallel.
+
+    Drives every affected relation through
+    :func:`plan_relation_shards` → :func:`evaluate_shard_works`,
+    fanning the flattened shard tasks over a worker pool
+    (``config.shard_workers`` > 1) or running them serially
+    in-process.  ``executor`` lets the engine pass its cached pool
+    (created and shut down by the caller); without one, a pool is
+    created and torn down per call.  Returns the per-relation deltas
+    plus per-relation shard statistics (``shards``/``evaluated``/
+    ``skipped``/``sharded``) for inspection and tests.
+    """
+    from .batch import _make_executor
+
+    partitions: dict = {}
+    works = [
+        plan_relation_shards(
+            backend, plan, relation, config.shards, config.shard_scheme,
+            partitions,
+        )
+        for relation in sorted(plan.affected)
+    ]
+    owned = None
+    if executor is None:
+        executor = owned = _make_executor(backend, config.shard_workers)
+    try:
+        merged = evaluate_shard_works(works, executor)
+    finally:
+        if owned is not None:
+            owned.shutdown(cancel_futures=True)
+    deltas: dict[str, RelationDelta] = {}
+    stats: dict[str, dict] = {}
+    for work, (delta, _) in zip(works, merged):
+        deltas[work.relation] = delta
+        stats[work.relation] = {
+            "shards": work.shard_count,
+            "evaluated": len(work.calls),
+            "skipped": work.skipped,
+            "sharded": work.sharded,
+        }
+    return deltas, stats

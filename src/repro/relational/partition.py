@@ -1,0 +1,297 @@
+"""Horizontal partitioning of relations for shard-parallel reenactment.
+
+The engine's sharded execution path (see DESIGN.md, "Sharded execution",
+and :mod:`repro.core.shard`) splits each base relation into ``N``
+disjoint shards, evaluates a reenactment query pair independently per
+shard, and merges the per-shard outcomes back into one relation delta.
+This module supplies the data-layer half of that subsystem:
+
+* **partitioners** — :func:`hash_partition` (stable content hash, good
+  load balance regardless of data distribution) and
+  :func:`range_partition` (sort by a key column and cut into contiguous
+  chunks, which *clusters* tuples the data-slicing conditions select and
+  lets whole shards skip reenactment) — for both set
+  (:class:`~repro.relational.relation.Relation`) and bag
+  (:class:`~repro.relational.bag.BagRelation`) relations,
+* **merges** — :func:`merge_shard_relations` / :func:`merge_shard_bags`
+  recombine shard contents, and :class:`ShardDelta` +
+  :func:`merge_shard_deltas` implement the partition-aware delta merge.
+
+Why deltas need a three-way merge: per-shard deltas alone are *not*
+union-mergeable under set semantics.  With ``h_s``/``m_s`` the per-shard
+query results, a tuple can be added on one shard (``t ∈ m_1 − h_1``) yet
+present on both sides of another (``t ∈ h_2 ∩ m_2``) — globally it is in
+both ``∪h_s`` and ``∪m_s``, so the true delta drops it, but the union of
+per-shard deltas would report ``+t``.  Each shard therefore reports the
+triple ``(added, removed, common)`` — a lossless re-encoding of
+``(h_s, m_s)`` that stores the (typically large) common part once — and
+the merge cancels cross-shard collisions exactly::
+
+    added   = ∪ added_s  − ∪ removed_s − ∪ common_s
+    removed = ∪ removed_s − ∪ added_s  − ∪ common_s
+
+which equals ``(∪m_s − ∪h_s, ∪h_s − ∪m_s)`` (proof sketch in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .bag import BagRelation
+from .relation import Relation, _sort_key
+from .schema import Schema
+
+__all__ = [
+    "PARTITION_SCHEMES",
+    "stable_shard_of",
+    "hash_partition",
+    "range_partition",
+    "hash_partition_bag",
+    "range_partition_bag",
+    "partition_relation",
+    "partition_bag",
+    "merge_shard_relations",
+    "merge_shard_bags",
+    "ShardDelta",
+    "shard_delta",
+    "merge_shard_deltas",
+    "merge_bag_deltas",
+]
+
+PARTITION_SCHEMES = ("hash", "range")
+
+
+def stable_shard_of(row: tuple[Any, ...], shards: int) -> int:
+    """Deterministic shard index of a row, stable across processes.
+
+    Python's builtin ``hash`` is salted per process for strings
+    (``PYTHONHASHSEED``), which would make shard assignment — and with
+    it any debugging trace — differ between runs; CRC32 over the row's
+    ``repr`` is stable, cheap, and good enough for load balancing
+    (collisions only perturb balance, never correctness: *any* disjoint
+    cover of the relation is a valid partition).
+    """
+    return zlib.crc32(repr(row).encode("utf-8", "surrogatepass")) % shards
+
+
+def _check_shards(shards: int) -> None:
+    if shards < 1:
+        raise ValueError("shard count must be >= 1")
+
+
+def hash_partition(relation: Relation, shards: int) -> list[Relation]:
+    """Split a set relation into ``shards`` disjoint relations by row hash."""
+    _check_shards(shards)
+    if shards == 1:
+        return [relation]
+    buckets: list[set] = [set() for _ in range(shards)]
+    for row in relation.tuples:
+        buckets[stable_shard_of(row, shards)].add(row)
+    return [
+        Relation(relation.schema, frozenset(bucket)) for bucket in buckets
+    ]
+
+
+def range_partition(
+    relation: Relation, shards: int, key_index: int = 0
+) -> list[Relation]:
+    """Split a set relation into contiguous key ranges of near-equal size.
+
+    Rows are ordered by the mixed-type total order on column
+    ``key_index`` (ties broken by the full row) and cut into ``shards``
+    contiguous chunks.  Contiguity is what makes range partitioning pair
+    well with data-slicing skip routing: a modification whose conditions
+    select a narrow key window lands in few shards, and the rest skip
+    reenactment entirely.
+    """
+    _check_shards(shards)
+    if shards == 1:
+        return [relation]
+    # Ties may land on either side of a chunk boundary; any disjoint
+    # cover is a valid partition, so no (costly) full-row tie-break.
+    ordered = sorted(
+        relation.tuples, key=lambda row: _sort_key(row[key_index])
+    )
+    return [
+        Relation(relation.schema, frozenset(chunk))
+        for chunk in _chunks(ordered, shards)
+    ]
+
+
+def hash_partition_bag(bag: BagRelation, shards: int) -> list[BagRelation]:
+    """Hash-partition a bag relation; each distinct row keeps its full
+    multiplicity inside its shard."""
+    _check_shards(shards)
+    if shards == 1:
+        return [bag]
+    buckets: list[dict] = [{} for _ in range(shards)]
+    for row, count in bag.multiplicities.items():
+        buckets[stable_shard_of(row, shards)][row] = count
+    return [BagRelation(bag.schema, bucket) for bucket in buckets]
+
+
+def range_partition_bag(
+    bag: BagRelation, shards: int, key_index: int = 0
+) -> list[BagRelation]:
+    """Range-partition a bag relation by distinct row (multiplicities
+    travel with their row)."""
+    _check_shards(shards)
+    if shards == 1:
+        return [bag]
+    ordered = sorted(
+        bag.multiplicities, key=lambda row: _sort_key(row[key_index])
+    )
+    return [
+        BagRelation(
+            bag.schema, {row: bag.multiplicities[row] for row in chunk}
+        )
+        for chunk in _chunks(ordered, shards)
+    ]
+
+
+def _chunks(ordered: list, shards: int) -> list[list]:
+    """Cut an ordered list into ``shards`` near-equal contiguous chunks
+    (sizes differ by at most one; trailing chunks may be empty)."""
+    n = len(ordered)
+    base, extra = divmod(n, shards)
+    chunks = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(ordered[start:start + size])
+        start += size
+    return chunks
+
+
+def partition_relation(
+    relation: Relation,
+    shards: int,
+    scheme: str = "hash",
+    key_index: int = 0,
+) -> list[Relation]:
+    """Partition a set relation with the named scheme."""
+    if scheme == "hash":
+        return hash_partition(relation, shards)
+    if scheme == "range":
+        return range_partition(relation, shards, key_index)
+    raise ValueError(
+        f"unknown partition scheme {scheme!r}; expected one of "
+        f"{PARTITION_SCHEMES}"
+    )
+
+
+def partition_bag(
+    bag: BagRelation,
+    shards: int,
+    scheme: str = "hash",
+    key_index: int = 0,
+) -> list[BagRelation]:
+    """Partition a bag relation with the named scheme."""
+    if scheme == "hash":
+        return hash_partition_bag(bag, shards)
+    if scheme == "range":
+        return range_partition_bag(bag, shards, key_index)
+    raise ValueError(
+        f"unknown partition scheme {scheme!r}; expected one of "
+        f"{PARTITION_SCHEMES}"
+    )
+
+
+# -- merges ------------------------------------------------------------------
+
+def merge_shard_relations(parts: Sequence[Relation]) -> Relation:
+    """Union shard contents back into one set relation."""
+    if not parts:
+        raise ValueError("cannot merge zero shards")
+    rows: set = set()
+    for part in parts:
+        rows |= part.tuples
+    return Relation(parts[0].schema, frozenset(rows))
+
+
+def merge_shard_bags(parts: Sequence[BagRelation]) -> BagRelation:
+    """Recombine *disjoint* bag shards (additive on multiplicities, so
+    only valid over a partition — shards must not share distinct rows)."""
+    if not parts:
+        raise ValueError("cannot merge zero shards")
+    counts: dict = {}
+    for part in parts:
+        for row, count in part.multiplicities.items():
+            counts[row] = counts.get(row, 0) + count
+    return BagRelation(parts[0].schema, counts)
+
+
+@dataclass(frozen=True)
+class ShardDelta:
+    """One shard's contribution to a relation delta.
+
+    A lossless re-encoding of the shard's evaluated pair
+    ``(h_s, m_s)``: ``added = m_s − h_s``, ``removed = h_s − m_s``,
+    ``common = h_s ∩ m_s``.  ``common`` is what lets the merge cancel a
+    tuple another shard reports as added/removed but this shard holds on
+    both sides (see the module docstring).
+    """
+
+    schema: Schema
+    added: frozenset[tuple[Any, ...]]
+    removed: frozenset[tuple[Any, ...]]
+    common: frozenset[tuple[Any, ...]]
+
+
+def shard_delta(current: Relation, modified: Relation) -> ShardDelta:
+    """The ``(added, removed, common)`` triple of one shard's query pair."""
+    return ShardDelta(
+        schema=current.schema,
+        added=frozenset(modified.tuples - current.tuples),
+        removed=frozenset(current.tuples - modified.tuples),
+        common=frozenset(current.tuples & modified.tuples),
+    )
+
+
+def merge_shard_deltas(
+    deltas: Sequence[ShardDelta], schema: Schema | None = None
+):
+    """Merge per-shard triples into one relation delta.
+
+    Equals ``RelationDelta.between(∪h_s, ∪m_s)`` for any family of
+    pairs ``(h_s, m_s)`` the triples encode; ``schema`` is the fallback
+    for the empty family (e.g. every shard skipped)."""
+    # Imported here: repro.core imports the relational layer, so a
+    # module-level import would be circular at package load.
+    from ..core.delta import RelationDelta
+
+    if not deltas:
+        if schema is None:
+            raise ValueError("cannot merge zero shard deltas without a schema")
+        return RelationDelta(schema, frozenset(), frozenset())
+    added: set = set()
+    removed: set = set()
+    common: set = set()
+    for delta in deltas:
+        added |= delta.added
+        removed |= delta.removed
+        common |= delta.common
+    return RelationDelta(
+        deltas[0].schema,
+        added=frozenset(added - removed - common),
+        removed=frozenset(removed - added - common),
+    )
+
+
+def merge_bag_deltas(
+    deltas: Sequence[dict[tuple[Any, ...], int]],
+) -> dict[tuple[Any, ...], int]:
+    """Merge per-shard signed bag deltas (see
+    :func:`repro.relational.bag.bag_delta`) over a *partition*.
+
+    Bags need no ``common`` bookkeeping: multiplicities are additive
+    over disjoint shards, so the signed counts simply sum (a row's total
+    change is the sum of its per-shard changes); zero entries drop.
+    """
+    merged: dict[tuple[Any, ...], int] = {}
+    for delta in deltas:
+        for row, diff in delta.items():
+            merged[row] = merged.get(row, 0) + diff
+    return {row: diff for row, diff in merged.items() if diff}

@@ -125,12 +125,15 @@ class ServiceClient:
         *,
         method: str | None = None,
         backend: str | None = None,
+        shards: int | None = None,
     ) -> dict:
         body: dict[str, Any] = {"modifications": modifications}
         if method is not None:
             body["method"] = method
         if backend is not None:
             body["backend"] = backend
+        if shards is not None:
+            body["shards"] = shards
         return self._call("POST", f"/histories/{name}/whatif", body)
 
     def whatif_batch(
@@ -141,6 +144,7 @@ class ServiceClient:
         method: str | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        shards: int | None = None,
     ) -> list[dict]:
         body: dict[str, Any] = {"queries": list(queries)}
         if method is not None:
@@ -149,6 +153,8 @@ class ServiceClient:
             body["backend"] = backend
         if workers is not None:
             body["workers"] = workers
+        if shards is not None:
+            body["shards"] = shards
         return self._call("POST", f"/histories/{name}/batch", body)[
             "results"
         ]

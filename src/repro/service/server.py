@@ -25,9 +25,10 @@ API (all request/response bodies are JSON)::
                                        checkpoint_interval?}
     GET  /histories/<name>            info incl. checkpoint versions
     POST /histories/<name>/append     {statements_sql?|statements?}
-    POST /histories/<name>/whatif     {modifications, method?, backend?}
+    POST /histories/<name>/whatif     {modifications, method?, backend?,
+                                       shards?}
     POST /histories/<name>/batch      {queries: [spec...], method?,
-                                       backend?, workers?}
+                                       backend?, workers?, shards?}
 
 Single queries run through :meth:`Mahif.answer_batch` with a one-element
 batch so both endpoints share the same machinery — shared time travel
@@ -71,6 +72,12 @@ from .wire import (
 __all__ = ["ServiceError", "WhatIfService", "WhatIfServer"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+#: Upper bound on per-request shard counts.  Engines are cached per
+#: (backend, shards), so an unbounded client-chosen count would let a
+#: client grow that map without limit; beyond ~CPU-count shards there
+#: is no win anyway.
+MAX_SHARDS = 64
 
 
 class ServiceError(Exception):
@@ -124,6 +131,7 @@ class WhatIfService:
         default_method: str = Method.R_PS_DS.value,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         batch_workers: int = 0,
+        default_shards: int = 1,
     ) -> None:
         import pathlib
 
@@ -135,15 +143,22 @@ class WhatIfService:
             raise ServiceError("checkpoint_interval must be >= 1")
         if batch_workers < 0:
             raise ServiceError("batch_workers must be >= 0")
+        if not 1 <= default_shards <= MAX_SHARDS:
+            raise ServiceError(
+                f"default_shards must be between 1 and {MAX_SHARDS}"
+            )
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.default_backend = default_backend
         self.default_method = default_method
         self.checkpoint_interval = checkpoint_interval
         self.batch_workers = batch_workers
+        self.default_shards = default_shards
         self._handles: dict[str, _HistoryHandle] = {}
         self._handles_lock = threading.Lock()
-        self._engines: dict[str, Mahif] = {}
+        #: One shared engine per (backend, shard count) — shards are part
+        #: of the key because MahifConfig is frozen per engine.
+        self._engines: dict[tuple[str, int], Mahif] = {}
         self._engines_lock = threading.Lock()
         self.skipped_on_startup: dict[str, str] = {}
         for entry in sorted(self.root.iterdir()):
@@ -355,18 +370,25 @@ class WhatIfService:
         }
 
     # -- answering ------------------------------------------------------------
-    def _engine(self, backend: str) -> Mahif:
+    def _engine(self, backend: str, shards: int) -> Mahif:
         if backend not in BACKENDS:
             raise ServiceError(f"unknown backend {backend!r}")
         with self._engines_lock:
-            engine = self._engines.get(backend)
+            engine = self._engines.get((backend, shards))
             if engine is None:
-                engine = Mahif(MahifConfig(backend=backend))
-                self._engines[backend] = engine
+                engine = Mahif(MahifConfig(backend=backend, shards=shards))
+                self._engines[(backend, shards)] = engine
             return engine
 
     @staticmethod
-    def _fingerprint(method: Method, backend: str, modifications) -> tuple:
+    def _fingerprint(
+        method: Method, backend: str, shards: int, modifications
+    ) -> tuple:
+        # The shard count is part of the key: sharded and unsharded
+        # answers are proved (and differentially tested) identical, but
+        # the cached payload records the configuration it was computed
+        # under — serving a shards=4 payload to a shards=1 request would
+        # misreport it, so the cache never crosses shard counts.
         parts = []
         for mod in modifications:
             stmt = getattr(mod, "statement", None)
@@ -377,7 +399,7 @@ class WhatIfService:
                     _statement_share_key(stmt) if stmt is not None else None,
                 )
             )
-        key = (method.value, backend, tuple(parts))
+        key = (method.value, backend, shards, tuple(parts))
         try:
             hash(key)
         except TypeError:  # unhashable constant: bypass the cache
@@ -392,13 +414,15 @@ class WhatIfService:
         method: str | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        shards: int | None = None,
     ) -> list[dict]:
         """Answer one spec per entry over the named stored history.
 
         Cache hits are returned immediately; misses are answered in one
         ``answer_batch`` call (shared time travel + shared plans across
         the missing queries) with each start version reconstructed from
-        the store's nearest checkpoint.
+        the store's nearest checkpoint.  ``shards`` > 1 answers through
+        the sharded execution path (DESIGN.md, "Sharded execution").
         """
         backend = backend or self.default_backend
         try:
@@ -407,6 +431,12 @@ class WhatIfService:
             raise ServiceError(f"unknown method {method!r}") from None
         if workers is None:
             workers = self.batch_workers
+        if shards is None:
+            shards = self.default_shards
+        if not 1 <= shards <= MAX_SHARDS:
+            raise ServiceError(
+                f"shards must be between 1 and {MAX_SHARDS}"
+            )
         handle = self._handle(name)
 
         try:
@@ -429,7 +459,9 @@ class WhatIfService:
                     )
                 except Exception as exc:
                     raise ServiceError(str(exc)) from None
-                fingerprint = self._fingerprint(method_enum, backend, mods)
+                fingerprint = self._fingerprint(
+                    method_enum, backend, shards, mods
+                )
                 key = (length, fingerprint)
                 entry = (
                     handle.cache.get(key)
@@ -475,7 +507,7 @@ class WhatIfService:
                 ]
 
         if misses:
-            engine = self._engine(backend)
+            engine = self._engine(backend, shards)
             results = engine.answer_batch(
                 misses,
                 method_enum,
@@ -494,6 +526,7 @@ class WhatIfService:
                         "history_length": length,
                         "method": method_enum.value,
                         "backend": backend,
+                        "shards": shards,
                     }
                     outcomes[index] = {**payload, "cached": False}
                     fingerprint = fingerprints[index]
@@ -629,6 +662,7 @@ class _Handler(BaseHTTPRequestHandler):
                 [body["modifications"]],
                 method=body.get("method"),
                 backend=body.get("backend"),
+                shards=_int_of(body, "shards"),
             )
             return results[0], 200
         match = re.fullmatch(r"/histories/([^/]+)/batch", path)
@@ -645,6 +679,7 @@ class _Handler(BaseHTTPRequestHandler):
                 method=body.get("method"),
                 backend=body.get("backend"),
                 workers=_int_of(body, "workers"),
+                shards=_int_of(body, "shards"),
             )
             return {"results": results}, 200
         raise ServiceError(f"no such route POST {path}", status=404)

@@ -56,6 +56,12 @@ from repro.relational.statements import (
 FUZZ_SEED = int(os.environ.get("MAHIF_FUZZ_SEED", "20260725"))
 _SCALE = float(os.environ.get("MAHIF_FUZZ_SCALE", "1"))
 
+#: The shard-count axis of the shard-invariance differential suite
+#: (``tests/test_shard_differential.py``): unsharded, the smallest real
+#: split, and more shards than most generated relations have rows (so
+#: empty shards and skip routing both get exercised).
+SHARD_COUNTS = (1, 2, 8)
+
 
 def scaled(trials: int) -> int:
     """Trial count honouring the CI smoke-run scale knob."""
@@ -339,3 +345,115 @@ def random_hwq_batch(rng, *, size=4, rows=10):
 
 def fresh_rng(offset=0):
     return random.Random(FUZZ_SEED + offset)
+
+
+# -- store-codec value fuzzing ------------------------------------------------
+#
+# The history-store codec promises *exact* round trips — bool is not 1,
+# 1 is not 1.0, and the non-finite floats survive — so its property fuzz
+# draws from a wider, nastier value pool than the backend-differential
+# generators (which keep values well-typed for all three backends).
+
+SPECIAL_FLOATS = (
+    float("inf"), float("-inf"), float("nan"), -0.0, 1e308, 5e-324
+)
+
+
+def random_codec_value(rng):
+    """Any scalar the store codec must round-trip exactly."""
+    roll = rng.random()
+    if roll < 0.10:
+        return None
+    if roll < 0.25:
+        return rng.random() < 0.5
+    if roll < 0.45:
+        return rng.randint(-10**9, 10**9)
+    if roll < 0.55:
+        return float(rng.randint(-50, 50))  # int-valued float, not int
+    if roll < 0.70:
+        return rng.choice(SPECIAL_FLOATS)
+    if roll < 0.85:
+        return round(rng.uniform(-1e3, 1e3), 6)
+    return rng.choice(STRINGS)
+
+
+def random_codec_expr(rng, attributes, depth=2):
+    """An expression tree over arbitrary codec values (type soundness is
+    irrelevant here: the codec round-trips structure, never evaluates)."""
+    roll = rng.random()
+    if depth > 0 and roll < 0.15:
+        return Arith(
+            rng.choice(["+", "-", "*", "/"]),
+            random_codec_expr(rng, attributes, depth - 1),
+            random_codec_expr(rng, attributes, depth - 1),
+        )
+    if depth > 0 and roll < 0.30:
+        return Cmp(
+            rng.choice(_ORDERED_OPS),
+            random_codec_expr(rng, attributes, depth - 1),
+            random_codec_expr(rng, attributes, depth - 1),
+        )
+    if depth > 0 and roll < 0.40:
+        return Logic(
+            rng.choice(["and", "or"]),
+            random_codec_expr(rng, attributes, depth - 1),
+            random_codec_expr(rng, attributes, depth - 1),
+        )
+    if depth > 0 and roll < 0.50:
+        return Not(random_codec_expr(rng, attributes, depth - 1))
+    if depth > 0 and roll < 0.60:
+        return If(
+            random_codec_expr(rng, attributes, depth - 1),
+            random_codec_expr(rng, attributes, depth - 1),
+            random_codec_expr(rng, attributes, depth - 1),
+        )
+    if roll < 0.75:
+        return IsNull(Attr(rng.choice(attributes)))
+    if rng.random() < 0.5:
+        return Attr(rng.choice(attributes))
+    return Const(random_codec_value(rng))
+
+
+def random_codec_statement(rng, relation="R", attributes=("k", "c0", "c1")):
+    """A statement carrying codec-corner values in every slot."""
+    attributes = tuple(attributes)
+    roll = rng.random()
+    if roll < 0.35:
+        sets = {
+            attribute: random_codec_expr(rng, attributes)
+            for attribute in rng.sample(
+                attributes, rng.randint(1, len(attributes))
+            )
+        }
+        return UpdateStatement(
+            relation, sets, random_codec_expr(rng, attributes)
+        )
+    if roll < 0.6:
+        return DeleteStatement(
+            relation, random_codec_expr(rng, attributes)
+        )
+    if roll < 0.8:
+        return InsertTuple(
+            relation,
+            tuple(random_codec_value(rng) for _ in attributes),
+        )
+    query = RelScan("S")
+    if rng.random() < 0.7:
+        query = Select(query, random_codec_expr(rng, attributes))
+    if rng.random() < 0.4:
+        query = Project(
+            query,
+            tuple(
+                (random_codec_expr(rng, attributes, depth=1), a)
+                for a in attributes
+            ),
+        )
+    return InsertQuery(relation, query)
+
+
+def random_codec_rows(rng, arity, rows):
+    """Row tuples mixing every codec value kind (NaN/±Inf included)."""
+    return [
+        tuple(random_codec_value(rng) for _ in range(arity))
+        for _ in range(rows)
+    ]

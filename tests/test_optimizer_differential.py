@@ -1,0 +1,151 @@
+"""Differential NULL-soundness fuzz for the algebraic optimizer.
+
+PR 2's three-way harness caught three NULL-unsound rewrites in
+``expressions.simplify`` (``x = x -> TRUE``, ``x * 0 -> 0``,
+NOT-comparison flipping); ``relational/optimizer.py`` composes those
+expression rewrites with its own algebraic ones (projection merging,
+selection fusion/pushdown, union pruning), each of which substitutes
+expressions into expressions — exactly where 2VL NULL semantics breaks
+naive identities.  This suite mirrors the PR 2 harness one level up:
+random NULL-heavy databases, random operator trees (ad-hoc stacks and
+real reenactment queries with injected data-slicing-style selections),
+asserting ``eval(optimize(Q)) == eval(Q)`` on the interpreter (the
+oracle) and the compiled backend.
+"""
+
+import pytest
+
+from fuzz_differential import (
+    fresh_rng,
+    random_history,
+    random_set_expression,
+    random_typed_condition,
+    random_typed_database,
+    scaled,
+)
+
+from repro.core.reenactment import reenactment_queries
+from repro.relational import OptimizerConfig, optimize
+from repro.relational.algebra import (
+    Project,
+    RelScan,
+    Select,
+    Union,
+    evaluate_query,
+    evaluate_query_interpreted,
+    inject_selection,
+)
+from repro.relational.expressions import Attr
+
+N_REENACT = 40
+N_INJECTED = 40
+N_ADHOC = 80
+
+#: A second config that forces aggressive merging — the growth-aware
+#: default can decline merges, which would leave rewrites untested.
+AGGRESSIVE = OptimizerConfig(
+    max_expression_size=100_000, growth_factor=1_000.0
+)
+
+
+def _assert_equivalent(op, db, label):
+    expected = evaluate_query_interpreted(op, db)
+    for config in (None, AGGRESSIVE):
+        optimized = optimize(op, config)
+        assert (
+            evaluate_query_interpreted(optimized, db).tuples
+            == expected.tuples
+        ), f"{label}: optimizer changed the interpreted result"
+        assert (
+            evaluate_query(optimized, db, backend="compiled").tuples
+            == expected.tuples
+        ), f"{label}: optimizer changed the compiled result"
+
+
+class TestOptimizerNullSoundness:
+    def test_reenactment_queries(self):
+        """Real reenactment stacks (the optimizer's production input)
+        over NULL-bearing relations."""
+        rng = fresh_rng(offset=80)
+        for trial in range(scaled(N_REENACT)):
+            db, types_by_name = random_typed_database(rng, rows=10)
+            history = random_history(rng, db, types_by_name)
+            schemas = {
+                name: db.schema_of(name) for name in db.relations
+            }
+            for relation, op in reenactment_queries(
+                history, schemas
+            ).items():
+                _assert_equivalent(op, db, f"trial {trial} ({relation})")
+
+    def test_reenactment_with_injected_selections(self):
+        """Data-slicing-shaped selections injected at the scans, then
+        optimized — the exact pipeline R+DS/R+PS+DS runs."""
+        rng = fresh_rng(offset=81)
+        for trial in range(scaled(N_INJECTED)):
+            db, types_by_name = random_typed_database(rng, rows=10)
+            history = random_history(rng, db, types_by_name)
+            schemas = {
+                name: db.schema_of(name) for name in db.relations
+            }
+            conditions = {
+                name: random_typed_condition(
+                    rng, db.schema_of(name), types_by_name[name]
+                )
+                for name in ("R", "S")
+            }
+            for relation, op in reenactment_queries(
+                history, schemas
+            ).items():
+                injected = inject_selection(op, dict(conditions))
+                _assert_equivalent(
+                    injected, db, f"trial {trial} ({relation}, injected)"
+                )
+
+    def test_adhoc_select_project_union_stacks(self):
+        """Random stacks hitting every rewrite rule: selection fusion
+        (σσ), pushdown through projections (σΠ) and unions (σ∪), and
+        projection merging (ΠΠ) with NULL-producing outputs."""
+        rng = fresh_rng(offset=82)
+        for trial in range(scaled(N_ADHOC)):
+            db, types_by_name = random_typed_database(rng, rows=10)
+            schema = db.schema_of("R")
+            types = types_by_name["R"]
+
+            def random_project(inner):
+                outputs = []
+                for attribute in schema.attributes:
+                    if attribute != "k" and rng.random() < 0.5:
+                        outputs.append(
+                            (
+                                random_set_expression(
+                                    rng, schema, types, attribute
+                                ),
+                                attribute,
+                            )
+                        )
+                    else:
+                        outputs.append((Attr(attribute), attribute))
+                return Project(inner, tuple(outputs))
+
+            def random_tree(depth):
+                if depth == 0:
+                    return RelScan("R")
+                roll = rng.random()
+                if roll < 0.4:
+                    return Select(
+                        random_tree(depth - 1),
+                        random_typed_condition(rng, schema, types),
+                    )
+                if roll < 0.8:
+                    return random_project(random_tree(depth - 1))
+                return Union(
+                    random_tree(depth - 1), random_tree(depth - 1)
+                )
+
+            op = random_tree(rng.randint(2, 4))
+            _assert_equivalent(op, db, f"trial {trial} (ad-hoc)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,202 @@
+"""Unit tests for the relation partitioners and shard-delta merge."""
+
+import random
+
+import pytest
+
+from repro.core.delta import RelationDelta
+from repro.relational import (
+    BagRelation,
+    Relation,
+    Schema,
+    hash_partition,
+    hash_partition_bag,
+    merge_bag_deltas,
+    merge_shard_bags,
+    merge_shard_deltas,
+    merge_shard_relations,
+    partition_bag,
+    partition_relation,
+    range_partition,
+    range_partition_bag,
+    shard_delta,
+    stable_shard_of,
+)
+from repro.relational.partition import ShardDelta, _sort_key
+
+SCHEMA = Schema(("k", "v"))
+
+
+def rel(rows):
+    return Relation.from_rows(SCHEMA, rows)
+
+
+@pytest.fixture
+def relation():
+    return rel([(k, k % 5) for k in range(40)])
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("scheme", ["hash", "range"])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7, 50])
+    def test_disjoint_cover(self, relation, scheme, shards):
+        parts = partition_relation(relation, shards, scheme)
+        assert len(parts) == shards
+        assert all(p.schema == relation.schema for p in parts)
+        seen: set = set()
+        for part in parts:
+            assert not (part.tuples & seen), "shards overlap"
+            seen |= part.tuples
+        assert seen == relation.tuples
+        assert merge_shard_relations(parts).tuples == relation.tuples
+
+    def test_shards_one_is_identity(self, relation):
+        assert partition_relation(relation, 1, "hash") == [relation]
+        assert partition_relation(relation, 1, "range") == [relation]
+
+    def test_range_partition_is_contiguous_and_balanced(self, relation):
+        parts = range_partition(relation, 4, key_index=0)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == len(relation)
+        assert max(sizes) - min(sizes) <= 1
+        # contiguity: every key in shard i precedes every key in i+1
+        bounds = [
+            sorted(_sort_key(row[0]) for row in part.tuples)
+            for part in parts
+            if part.tuples
+        ]
+        for earlier, later in zip(bounds, bounds[1:]):
+            assert earlier[-1] <= later[0]
+
+    def test_range_partition_mixed_types_and_nulls(self):
+        mixed = rel(
+            [(None, 1), (True, 2), (3, 3), (2.5, 4), ("x", 5), ("a", 6)]
+        )
+        parts = range_partition(mixed, 3)
+        assert merge_shard_relations(parts).tuples == mixed.tuples
+
+    def test_stable_shard_of_is_deterministic_and_in_range(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            row = (rng.randint(-9, 9), rng.choice(("a", None, 2.5, True)))
+            shard = stable_shard_of(row, 6)
+            assert 0 <= shard < 6
+            assert shard == stable_shard_of(row, 6)
+
+    def test_empty_relation_partitions(self):
+        parts = partition_relation(Relation.empty(SCHEMA), 4, "range")
+        assert [len(p) for p in parts] == [0, 0, 0, 0]
+
+    def test_errors(self, relation):
+        with pytest.raises(ValueError):
+            partition_relation(relation, 0, "hash")
+        with pytest.raises(ValueError):
+            partition_relation(relation, 2, "nope")
+        with pytest.raises(ValueError):
+            merge_shard_relations([])
+
+
+class TestBagPartitioners:
+    @pytest.fixture
+    def bag(self):
+        return BagRelation(
+            SCHEMA, {(k, k % 3): 1 + k % 4 for k in range(20)}
+        )
+
+    @pytest.mark.parametrize("scheme", ["hash", "range"])
+    @pytest.mark.parametrize("shards", [1, 2, 5, 30])
+    def test_disjoint_cover_with_multiplicities(self, bag, scheme, shards):
+        parts = partition_bag(bag, shards, scheme)
+        assert len(parts) == shards
+        merged = merge_shard_bags(parts)
+        assert dict(merged.multiplicities) == dict(bag.multiplicities)
+        seen: set = set()
+        for part in parts:
+            rows = set(part.multiplicities)
+            assert not (rows & seen)
+            seen |= rows
+
+    def test_named_partitioners_match_dispatcher(self, bag):
+        assert hash_partition_bag(bag, 3) == partition_bag(bag, 3, "hash")
+        assert range_partition_bag(bag, 3) == partition_bag(
+            bag, 3, "range"
+        )
+
+    def test_errors(self, bag):
+        with pytest.raises(ValueError):
+            partition_bag(bag, 0, "hash")
+        with pytest.raises(ValueError):
+            partition_bag(bag, 2, "nope")
+        with pytest.raises(ValueError):
+            merge_shard_bags([])
+
+
+class TestShardDeltaMerge:
+    def test_cross_shard_collision_cancels(self):
+        """The counterexample that rules out naive per-shard delta
+        unions: shard 1 adds t, shard 2 holds t on both sides — the
+        global delta is empty and the merge must agree."""
+        t = (1, "x")
+        shard1 = shard_delta(rel([]), rel([t]))
+        shard2 = shard_delta(rel([t]), rel([t]))
+        merged = merge_shard_deltas([shard1, shard2])
+        assert merged.is_empty()
+
+    def test_added_and_removed_across_shards_cancel(self):
+        t = (1, "x")
+        add = shard_delta(rel([]), rel([t]))
+        remove = shard_delta(rel([t]), rel([]))
+        assert merge_shard_deltas([add, remove]).is_empty()
+
+    def test_merge_equals_global_delta_on_random_pair_families(self):
+        """Property: for arbitrary per-shard (h_s, m_s) pairs the merge
+        equals Δ(∪h_s, ∪m_s) — stronger than needed (real shards are
+        disjoint partitions), so partitions are covered a fortiori."""
+        rng = random.Random(20260726)
+        universe = [(k, k % 3) for k in range(12)]
+        for _ in range(300):
+            pairs = [
+                (
+                    rel(rng.sample(universe, rng.randint(0, 8))),
+                    rel(rng.sample(universe, rng.randint(0, 8))),
+                )
+                for _ in range(rng.randint(1, 4))
+            ]
+            merged = merge_shard_deltas(
+                [shard_delta(h, m) for h, m in pairs]
+            )
+            union_h = rel([]).union(pairs[0][0])
+            union_m = rel([]).union(pairs[0][1])
+            for h, m in pairs[1:]:
+                union_h = union_h.union(h)
+                union_m = union_m.union(m)
+            assert merged == RelationDelta.between(union_h, union_m)
+
+    def test_empty_family_needs_schema(self):
+        empty = merge_shard_deltas([], schema=SCHEMA)
+        assert empty.is_empty()
+        with pytest.raises(ValueError):
+            merge_shard_deltas([])
+
+    def test_shard_delta_is_lossless(self):
+        h = rel([(1, 0), (2, 1)])
+        m = rel([(2, 1), (3, 2)])
+        triple = shard_delta(h, m)
+        assert triple.added == frozenset({(3, 2)})
+        assert triple.removed == frozenset({(1, 0)})
+        assert triple.common == frozenset({(2, 1)})
+        assert isinstance(triple, ShardDelta)
+
+
+class TestBagDeltaMerge:
+    def test_signed_counts_sum_and_zeros_drop(self):
+        merged = merge_bag_deltas(
+            [
+                {(1,): +2, (2,): -1},
+                {(1,): -2, (2,): -1, (3,): +4},
+            ]
+        )
+        assert merged == {(2,): -2, (3,): +4}
+
+    def test_empty(self):
+        assert merge_bag_deltas([]) == {}
