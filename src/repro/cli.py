@@ -158,6 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--history are also given, the history is registered under this "
         "name first",
     )
+    whatif.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="with --url: retry shed (503) and transport failures up to "
+        "N times with exponential backoff + jitter, honoring the "
+        "server's Retry-After hint (default 2; 0 disables)",
+    )
+    whatif.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help="with --url: total time budget per call across retries, "
+        "also propagated to the server as X-Mahif-Deadline-Ms so it "
+        "stops computing once nobody is waiting",
+    )
 
     replay = sub.add_parser("replay", help="execute a history")
     replay.add_argument("--data", required=True)
@@ -203,6 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--history", help="preload: SQL script file with the history"
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=32, metavar="N",
+        help="admission control: concurrent compute (whatif/batch) "
+        "requests admitted; beyond N new ones are shed with 503 + "
+        "Retry-After instead of queueing without bound (0 disables)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help="server-side default deadline for compute requests when "
+        "the client sends no X-Mahif-Deadline-Ms header; expiring "
+        "requests get a fast 504 (default: no timeout)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=16 * 1024 * 1024,
+        metavar="BYTES",
+        help="largest accepted request body; bigger ones are refused "
+        "with 413 before being read (default 16 MiB)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long graceful shutdown waits for in-flight requests "
+        "to finish before closing (default 10)",
+    )
+    serve.add_argument(
+        "--no-sync", action="store_true",
+        help="skip fsync on appends and checkpoints: faster, but a "
+        "power loss can drop acknowledged statements (crash-safety of "
+        "the log format itself is unaffected)",
     )
     serve.add_argument(
         "--verbose", action="store_true",
@@ -339,7 +380,19 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
     else:
         specs = None
         single_spec = _modification_spec(args)
-    client = ServiceClient(args.url)
+    if args.retries < 0:
+        raise _fail("--retries must be >= 0")
+    if args.deadline_ms is not None and args.deadline_ms < 1:
+        raise _fail("--deadline-ms must be >= 1")
+    client = ServiceClient(
+        args.url,
+        retries=args.retries,
+        deadline=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+    )
     try:
         if args.data or args.history:
             if not (args.data and args.history):
@@ -503,8 +556,22 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import ServiceError, WhatIfServer, WhatIfService
+    from .service import (
+        ResilienceConfig,
+        ServiceError,
+        WhatIfServer,
+        WhatIfService,
+    )
 
+    try:
+        resilience = ResilienceConfig(
+            max_in_flight=args.max_in_flight,
+            default_deadline_ms=args.deadline_ms,
+            max_body_bytes=args.max_body_bytes,
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        raise _fail(str(exc)) from None
     try:
         service = WhatIfService(
             args.root,
@@ -512,6 +579,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_interval=args.checkpoint_interval,
             batch_workers=args.workers,
             default_shards=args.shards,
+            sync=not args.no_sync,
         )
     except (ServiceError, OSError) as exc:
         raise _fail(f"cannot start service: {exc}") from None
@@ -538,7 +606,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
     server = WhatIfServer(
-        service, host=args.host, port=args.port, quiet=not args.verbose
+        service, host=args.host, port=args.port, quiet=not args.verbose,
+        resilience=resilience,
     )
     host, port = server.address
     print(

@@ -35,7 +35,9 @@ initializer is the next step if profiles ever show it dominating.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from concurrent.futures import (
+    BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -45,6 +47,7 @@ from typing import Callable, Sequence
 from ..relational.database import Database
 from ..relational.exec.backend import BACKEND_SQLITE, resolve_backend
 from ..relational.statements import Statement
+from .degradation import record_degradation
 from .delta import DatabaseDelta, RelationDelta
 from .engine import (
     Mahif,
@@ -56,7 +59,11 @@ from .engine import (
 from .hwq import HistoricalWhatIfQuery
 from .naive import NaiveResult, naive_what_if
 
-__all__ = ["answer_batch_with", "shared_start_databases"]
+__all__ = [
+    "ResilientExecutor",
+    "answer_batch_with",
+    "shared_start_databases",
+]
 
 
 def _trimmed_prefix(query: HistoricalWhatIfQuery) -> tuple[Statement, ...]:
@@ -118,31 +125,175 @@ def shared_start_databases(
     return results  # type: ignore[return-value]
 
 
-def _make_executor(backend: str, workers: int) -> Executor | None:
+class ResilientExecutor:
+    """A pool with a watchdog: rebuild a broken pool once, then serial.
+
+    A SIGKILLed (OOM-killed, crashed) process-pool worker poisons the
+    whole ``ProcessPoolExecutor`` — every pending and future submission
+    raises :class:`BrokenProcessPool`.  Batch tasks are pure functions
+    of their arguments, so the whole call list can safely re-run: the
+    watchdog rebuilds the pool via its factory exactly once
+    (``pool_rebuild`` degradation event) and, if the rebuilt pool breaks
+    too, degrades permanently to serial in-process execution
+    (``pool_serial``) — the batch *always* returns the same deltas as
+    the serial oracle, only slower.
+
+    Thread pools cannot break this way, but wrapping both kinds keeps
+    one executor type flowing through the batch and shard paths.
+    """
+
+    def __init__(self, factory: Callable[[], Executor], kind: str) -> None:
+        self._factory = factory
+        self.kind = kind  # "process" | "thread"
+        self._executor: Executor | None = factory()
+        self._lock = threading.Lock()
+        self._rebuilt = False
+        self._serial = False
+
+    def submit(self, task, *args):
+        """Direct submission for callers that manage futures themselves
+        (no watchdog protection — use :meth:`run` for that)."""
+        return self._executor.submit(task, *args)
+
+    def run(self, task: Callable, calls: Sequence[tuple]) -> list:
+        """Run ``task`` over every call tuple, surviving a broken pool."""
+        while True:
+            with self._lock:
+                serial, executor = self._serial, self._executor
+            if serial or executor is None:
+                return [task(*args) for args in calls]
+            try:
+                futures = [executor.submit(task, *args) for args in calls]
+                return [future.result() for future in futures]
+            except BrokenExecutor:
+                self._degrade(executor)
+
+    def run_settled(self, task: Callable, calls: Sequence[tuple]) -> list:
+        """Like :meth:`run`, but capture per-call failures as
+        ``(False, exception)`` instead of raising (``(True, result)``
+        for successes).  A broken *pool* is not a per-call failure —
+        it triggers the watchdog and the whole list re-runs."""
+        while True:
+            with self._lock:
+                serial, executor = self._serial, self._executor
+            if serial or executor is None:
+                return _settle_serial(task, calls)
+            try:
+                futures = [executor.submit(task, *args) for args in calls]
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append((True, future.result()))
+                    except BrokenExecutor:
+                        raise
+                    except Exception as exc:
+                        outcomes.append((False, exc))
+                return outcomes
+            except BrokenExecutor:
+                self._degrade(executor)
+
+    def _degrade(self, broken: Executor) -> None:
+        """Replace the broken pool (once) or drop to serial, exactly one
+        transition per broken pool even under concurrent callers."""
+        with self._lock:
+            if self._executor is not broken:
+                return  # another thread already handled this pool
+            broken.shutdown(wait=False, cancel_futures=True)
+            if not self._rebuilt:
+                self._rebuilt = True
+                self._executor = self._factory()
+                record_degradation("pool_rebuild")
+            else:
+                self._serial = True
+                self._executor = None
+                record_degradation("pool_serial")
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False):
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._serial = True
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
+def _settle_serial(task: Callable, calls: Sequence[tuple]) -> list:
+    outcomes = []
+    for args in calls:
+        try:
+            outcomes.append((True, task(*args)))
+        except Exception as exc:
+            outcomes.append((False, exc))
+    return outcomes
+
+
+def _make_executor(backend: str, workers: int) -> ResilientExecutor | None:
     if workers <= 1:
         return None
     if backend == BACKEND_SQLITE:
-        return ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="mahif-batch"
+        return ResilientExecutor(
+            lambda: ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="mahif-batch"
+            ),
+            "thread",
         )
-    import multiprocessing
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork: spawn/forkserver default
-        context = None
-    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    def _process_pool() -> Executor:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: spawn/forkserver default
+            context = None
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    return ResilientExecutor(_process_pool, "process")
+
+
+def _executor_kind(executor) -> str | None:
+    """'process' / 'thread' / None across raw and watchdog executors."""
+    if executor is None:
+        return None
+    if isinstance(executor, ResilientExecutor):
+        return executor.kind
+    if isinstance(executor, ThreadPoolExecutor):
+        return "thread"
+    if isinstance(executor, ProcessPoolExecutor):
+        return "process"
+    return None
 
 
 def _run_tasks(
-    executor: Executor | None,
+    executor,
     task: Callable,
     calls: Sequence[tuple],
 ) -> list:
     if executor is None:
         return [task(*args) for args in calls]
+    if isinstance(executor, ResilientExecutor):
+        return executor.run(task, calls)
     futures = [executor.submit(task, *args) for args in calls]
     return [future.result() for future in futures]
+
+
+def _run_tasks_settled(
+    executor,
+    task: Callable,
+    calls: Sequence[tuple],
+) -> list:
+    """Per-call ``(ok, result-or-exception)`` pairs; pool breakage is
+    handled by the watchdog (wrapped executors) or propagates (raw)."""
+    if executor is None:
+        return _settle_serial(task, calls)
+    if isinstance(executor, ResilientExecutor):
+        return executor.run_settled(task, calls)
+    futures = [executor.submit(task, *args) for args in calls]
+    outcomes = []
+    for future in futures:
+        try:
+            outcomes.append((True, future.result()))
+        except Exception as exc:
+            outcomes.append((False, exc))
+    return outcomes
 
 
 def _naive_task(
@@ -264,7 +415,7 @@ def _answer_reenactment_batch(
         ]
     else:
         # Only thread pools can mutate the shared cache in place.
-        shared_arg = shared if isinstance(executor, ThreadPoolExecutor) else None
+        shared_arg = shared if _executor_kind(executor) == "thread" else None
         plans = [
             dataclasses.replace(plan, start_db=start_db)
             for plan, start_db in zip(
@@ -322,7 +473,7 @@ def _answer_reenactment_batch(
         for index, work, (delta, seconds) in zip(owners, works, merged):
             deltas[index][work.relation] = delta
             eval_seconds[index] += seconds
-    elif isinstance(executor, ProcessPoolExecutor):
+    elif _executor_kind(executor) == "process":
         # Grouped per query: the start database pickles once per query.
         grouped = _run_tasks(
             executor,

@@ -1,0 +1,71 @@
+"""Process-global graceful-degradation counters.
+
+When a layer survives a fault by degrading — the batch pool watchdog
+rebuilding a broken process pool or dropping to serial execution, a
+sharded evaluation falling back to one unsharded call, the service
+re-answering a failed sqlite request on the compiled backend — the event
+must be *visible*, or silent degradation rots into permanent slow paths
+nobody notices.  Each fallback records itself here; the what-if
+service's ``/health`` endpoint exposes the snapshot, and the resilience
+tests assert on exact counts.
+
+The registry is process-global (one flat counter per event kind) rather
+than per-engine because degradation happens in layers that do not know
+which service owns them — a shard fallback deep inside
+``core/shard.py`` runs three frames below the request handler.  Counts
+are monotonic; :func:`reset_degradation` exists for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "DegradationStats",
+    "record_degradation",
+    "degradation_snapshot",
+    "reset_degradation",
+]
+
+#: Event kinds the library records (documented, not enforced — new
+#: degradation paths may add kinds without touching this module):
+#:
+#: * ``pool_rebuild``   — a broken process pool was rebuilt once
+#: * ``pool_serial``    — the rebuilt pool broke too; execution went serial
+#: * ``shard_fallback`` — a per-shard failure re-ran one relation unsharded
+#: * ``sqlite_fallback``— a sqlite-backend error re-answered on compiled
+
+
+class DegradationStats:
+    """Thread-safe monotonic counters keyed by event kind."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def record(self, kind: str, count: int = 1) -> None:
+        with self._lock:
+            self._counts[kind] = self._counts.get(kind, 0) + count
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+_GLOBAL = DegradationStats()
+
+
+def record_degradation(kind: str, count: int = 1) -> None:
+    _GLOBAL.record(kind, count)
+
+
+def degradation_snapshot() -> dict[str, int]:
+    return _GLOBAL.snapshot()
+
+
+def reset_degradation() -> None:
+    _GLOBAL.reset()

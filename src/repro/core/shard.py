@@ -200,7 +200,11 @@ class RelationShardWork:
     ``extra`` is the insert-split pseudo-shard (the Section-10 inserted
     tuples, merged in-parent instead of shipping them to every worker);
     ``sharded`` is False for the unsharded fallback (one call carrying
-    the full start database and the extras inline)."""
+    the full start database and the extras inline).  ``fallback_call``
+    is the pre-built unsharded (shards=1) call for a *sharded* work —
+    if any of its shard calls fails, :func:`evaluate_shard_works`
+    re-evaluates the whole relation through it in-parent instead of
+    failing the query (degradation event ``shard_fallback``)."""
 
     relation: str
     calls: tuple[tuple, ...]
@@ -209,6 +213,7 @@ class RelationShardWork:
     sharded: bool
     shard_count: int
     skipped: int
+    fallback_call: tuple | None = None
 
 
 def plan_relation_shards(
@@ -300,6 +305,16 @@ def plan_relation_shards(
             extra_h if extra_h is not None else empty,
             extra_m if extra_m is not None else empty,
         )
+    # Pre-built shards=1 escape hatch: shardable queries scan only their
+    # own relation, so the fallback database is just that relation.
+    fallback_call = (
+        backend,
+        query_h,
+        query_m,
+        Database({relation: plan.start_db[relation]}),
+        extra_h,
+        extra_m,
+    )
     return RelationShardWork(
         relation,
         calls,
@@ -308,6 +323,7 @@ def plan_relation_shards(
         True,
         len(parts),
         keep.count(False),
+        fallback_call,
     )
 
 
@@ -334,17 +350,41 @@ def evaluate_shard_works(
     list, run them over ``executor`` (serially when ``None``), and
     slice the outcomes back per work through
     :func:`merge_relation_shards`.
+
+    Graceful degradation: a failed shard call does not fail the query.
+    The affected relation falls back to its pre-built ``shards=1`` call,
+    evaluated in-parent (``shard_fallback`` degradation event) — a
+    deterministic evaluation error simply re-raises from the unsharded
+    path, exactly as the sequential engine would have surfaced it, while
+    a shard-infrastructure failure recovers.  Pool breakage is handled a
+    layer below by the batch watchdog.
     """
-    from .batch import _run_tasks
+    from .batch import _run_tasks_settled
+    from .degradation import record_degradation
 
     calls = [call for work in works for call in work.calls]
-    outcomes = _run_tasks(executor, shard_pair_task, calls)
+    outcomes = _run_tasks_settled(executor, shard_pair_task, calls)
     results = []
     cursor = 0
     for work in works:
         slice_ = outcomes[cursor:cursor + len(work.calls)]
         cursor += len(work.calls)
-        results.append(merge_relation_shards(work, slice_))
+        failures = [value for ok, value in slice_ if not ok]
+        if not failures:
+            results.append(
+                merge_relation_shards(
+                    work, [value for _, value in slice_]
+                )
+            )
+            continue
+        if work.fallback_call is None:
+            # Already unsharded: nothing gentler to degrade to.
+            raise failures[0]
+        record_degradation("shard_fallback")
+        triple, seconds = shard_pair_task(*work.fallback_call)
+        results.append(
+            (merge_shard_deltas([triple], schema=work.schema), seconds)
+        )
     return results
 
 

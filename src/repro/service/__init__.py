@@ -8,7 +8,16 @@ and the CLI's ``serve`` command.
 """
 
 from .client import ServiceClient, ServiceClientError
-from .server import ServiceError, WhatIfServer, WhatIfService
+from .resilience import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+    ResilienceConfig,
+    ServiceError,
+    backoff_delay,
+)
+from .server import WhatIfServer, WhatIfService
 from .wire import (
     METHODS,
     SpecError,
@@ -19,12 +28,18 @@ from .wire import (
 
 __all__ = [
     "METHODS",
+    "AdmissionController",
+    "Deadline",
+    "DeadlineExceeded",
+    "Overloaded",
+    "ResilienceConfig",
     "ServiceClient",
     "ServiceClientError",
     "ServiceError",
     "SpecError",
     "WhatIfServer",
     "WhatIfService",
+    "backoff_delay",
     "delta_payload",
     "modifications_from_spec",
     "result_payload",

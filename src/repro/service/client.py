@@ -1,11 +1,30 @@
-"""Thin stdlib client for the what-if service's JSON API.
+"""Resilient stdlib client for the what-if service's JSON API.
 
 Pure ``urllib.request`` — no dependencies beyond the standard library,
-mirroring the server side.  Raises :class:`ServiceClientError` carrying
-the server's one-line error message (or the transport failure) for any
-non-2xx response.
+mirroring the server side.  On top of the PR-4 thin transport, the
+client now implements the client half of the resilience contract
+(DESIGN.md, "Resilience"):
 
-    client = ServiceClient("http://127.0.0.1:8734")
+* **Bounded retries with exponential backoff + jitter** on 503 shed
+  responses and transport errors, honoring the server's ``Retry-After``
+  hint.  The backoff schedule is :func:`~repro.service.resilience.
+  backoff_delay`; ``sleep``/``rng``/``clock`` are injectable so the
+  schedule is unit-testable without real sleeping.
+* **Idempotency keys on append**: every :meth:`append` call carries a
+  fresh key, so a retry after a lost response replays the recorded
+  outcome server-side instead of double-appending.  Registration is
+  *not* transport-retried (a lost 201 is indistinguishable from a lost
+  request), but 503s — guaranteed shed before processing — retry for
+  every call.
+* **Deadline propagation**: a per-call deadline budget caps total time
+  across attempts and travels to the server as ``X-Mahif-Deadline-Ms``
+  so it can stop computing an answer nobody is waiting for.
+
+Raises :class:`ServiceClientError` carrying the server's one-line error
+message (or the transport failure), the HTTP status, a machine-readable
+``retryable`` flag, and the server's ``retry_after`` hint in seconds.
+
+    client = ServiceClient("http://127.0.0.1:8734", retries=3)
     client.register("orders", database, history_sql=script)
     answer = client.whatif(
         "orders",
@@ -16,37 +35,108 @@ non-2xx response.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Sequence
+import uuid
+from typing import Any, Callable, Sequence
 
 from ..relational.database import Database
 from ..relational.history import History
 from ..store import encode_database, encode_statement
+from .resilience import backoff_delay
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
+#: Statuses that are safe to retry for *any* request: the server sheds
+#: 503 before the route runs, so the request had no effect.
+_RETRYABLE_STATUSES = frozenset({503})
+
 
 class ServiceClientError(Exception):
-    """A failed service call; ``status`` is the HTTP status (0 when the
-    server was unreachable)."""
+    """A failed service call.
 
-    def __init__(self, message: str, status: int = 0) -> None:
+    ``status`` is the HTTP status (0 when the server was unreachable);
+    ``retryable`` is True when retrying the same call is safe and might
+    succeed (503 sheds, transport errors on idempotent calls);
+    ``retry_after`` is the server's backoff hint in seconds, when one
+    was sent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        *,
+        retryable: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+
+def _retry_after_of(headers) -> float | None:
+    value = headers.get("Retry-After") if headers is not None else None
+    if value is None:
+        return None
+    try:
+        return max(float(value), 0.0)
+    except ValueError:
+        return None
 
 
 class ServiceClient:
-    """Client for one what-if service instance at ``url``."""
+    """Client for one what-if service instance at ``url``.
 
-    def __init__(self, url: str, *, timeout: float = 60.0) -> None:
+    ``retries`` bounds retry *attempts beyond the first* (0 disables
+    retrying).  ``deadline`` is an optional per-call budget in seconds
+    across all attempts, propagated to the server.  ``sleep``, ``rng``,
+    and ``clock`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        deadline: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        opener: Callable = urllib.request.urlopen,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.deadline = deadline
+        self._sleep = sleep
+        self._rng = rng
+        self._clock = clock
+        self._opener = opener
 
     # -- transport ---------------------------------------------------------
-    def _call(
-        self, method: str, path: str, body: dict | None = None
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        timeout: float,
+        deadline_ms: float | None,
     ) -> dict:
+        """One HTTP round trip; failures raise :class:`ServiceClientError`
+        with ``retryable``/``retry_after`` set."""
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Mahif-Deadline-Ms"] = f"{deadline_ms:.0f}"
         request = urllib.request.Request(
             f"{self.url}{path}",
             method=method,
@@ -55,23 +145,103 @@ class ServiceClient:
                 if body is not None
                 else None
             ),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
+            with self._opener(request, timeout=timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8"))["error"]
             except Exception:
                 message = str(exc)
-            raise ServiceClientError(message, status=exc.code) from None
+            raise ServiceClientError(
+                message,
+                status=exc.code,
+                retryable=exc.code in _RETRYABLE_STATUSES,
+                retry_after=_retry_after_of(exc.headers),
+            ) from None
         except urllib.error.URLError as exc:
             raise ServiceClientError(
-                f"service unreachable at {self.url}: {exc.reason}"
+                f"service unreachable at {self.url}: {exc.reason}",
+                retryable=True,
             ) from None
+        except TimeoutError as exc:
+            raise ServiceClientError(
+                f"request to {self.url} timed out: {exc}",
+                retryable=True,
+            ) from None
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        retry_transport: bool = True,
+    ) -> dict:
+        """Issue a request with bounded retries under the call deadline.
+
+        503s retry for every call (the server guarantees a shed request
+        had no effect).  Transport errors — where the response, not the
+        request, may be what was lost — retry only when
+        ``retry_transport`` (idempotent calls: reads, keyed appends,
+        what-if answering, which never mutates).
+        """
+        expires = (
+            self._clock() + self.deadline
+            if self.deadline is not None
+            else None
+        )
+        attempt = 0
+        while True:
+            remaining = (
+                expires - self._clock() if expires is not None else None
+            )
+            if remaining is not None and remaining <= 0:
+                raise ServiceClientError(
+                    f"client deadline of {self.deadline:g}s exhausted "
+                    f"before {method} {path} could complete",
+                    status=0,
+                    retryable=False,
+                )
+            timeout = (
+                min(self.timeout, remaining)
+                if remaining is not None
+                else self.timeout
+            )
+            try:
+                return self._attempt(
+                    method,
+                    path,
+                    body,
+                    timeout,
+                    remaining * 1000.0 if remaining is not None else None,
+                )
+            except ServiceClientError as exc:
+                transport = exc.status == 0
+                may_retry = exc.retryable and (
+                    retry_transport or not transport
+                )
+                if not may_retry or attempt >= self.retries:
+                    raise
+                delay = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else backoff_delay(
+                        attempt,
+                        base=self.backoff_base,
+                        cap=self.backoff_cap,
+                        rng=self._rng,
+                    )
+                )
+                if expires is not None:
+                    budget = expires - self._clock()
+                    if budget <= 0:
+                        raise
+                    delay = min(delay, budget)
+                self._sleep(delay)
+                attempt += 1
 
     # -- API ---------------------------------------------------------------
     def health(self) -> dict:
@@ -102,7 +272,11 @@ class ServiceClient:
             body["history_sql"] = history_sql
         if checkpoint_interval is not None:
             body["checkpoint_interval"] = checkpoint_interval
-        return self._call("POST", "/histories", body)
+        # Not transport-retried: registration has no idempotency key, so
+        # a lost 201 response would replay as a 409.  (503s still retry.)
+        return self._call(
+            "POST", "/histories", body, retry_transport=False
+        )
 
     def append(
         self,
@@ -110,8 +284,18 @@ class ServiceClient:
         statements: Sequence | None = None,
         *,
         statements_sql: str | None = None,
+        idempotency_key: str | None = None,
     ) -> dict:
-        body: dict[str, Any] = {}
+        """Append statements; retries are safe by construction.
+
+        Every call carries an idempotency key (a fresh UUID unless
+        ``idempotency_key`` pins one), so a retry after a lost response
+        replays the recorded outcome server-side instead of appending
+        twice.
+        """
+        body: dict[str, Any] = {
+            "idempotency_key": idempotency_key or uuid.uuid4().hex
+        }
         if statements:
             body["statements"] = [encode_statement(s) for s in statements]
         if statements_sql:

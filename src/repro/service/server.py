@@ -62,6 +62,17 @@ from ..store import (
     decode_database,
     decode_statement,
 )
+from .resilience import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceeded,
+    IdempotencyCache,
+    InFlightTracker,
+    Overloaded,
+    ResilienceConfig,
+    ServiceError,
+    resilience_snapshot,
+)
 from .wire import (
     METHODS,
     SpecError,
@@ -78,14 +89,6 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
 #: client grow that map without limit; beyond ~CPU-count shards there
 #: is no win anyway.
 MAX_SHARDS = 64
-
-
-class ServiceError(Exception):
-    """An error with an HTTP status, reported as ``{"error": ...}``."""
-
-    def __init__(self, message: str, status: int = 400) -> None:
-        super().__init__(message)
-        self.status = status
 
 
 @dataclass
@@ -113,6 +116,11 @@ class _HistoryHandle:
     cache: dict[tuple, _CacheEntry] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    #: idempotency key -> recorded append response (bounded LRU), so a
+    #: client retry after a lost response never double-appends.
+    idempotency: IdempotencyCache = field(
+        default_factory=IdempotencyCache
+    )
 
 
 class WhatIfService:
@@ -132,6 +140,7 @@ class WhatIfService:
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         batch_workers: int = 0,
         default_shards: int = 1,
+        sync: bool = True,
     ) -> None:
         import pathlib
 
@@ -154,6 +163,14 @@ class WhatIfService:
         self.checkpoint_interval = checkpoint_interval
         self.batch_workers = batch_workers
         self.default_shards = default_shards
+        #: Power-loss durability for the stores this service owns: fsync
+        #: the log on append, the directory on checkpoint rename.
+        self.sync = sync
+        #: Service-level degradation counters (process-wide pool/shard
+        #: counters live in ``repro.core.degradation``).
+        self._stats_lock = threading.Lock()
+        self.deadline_timeouts = 0
+        self.sqlite_fallbacks = 0
         self._handles: dict[str, _HistoryHandle] = {}
         self._handles_lock = threading.Lock()
         #: One shared engine per (backend, shard count) — shards are part
@@ -164,7 +181,7 @@ class WhatIfService:
         for entry in sorted(self.root.iterdir()):
             if (entry / "META.json").is_file():
                 try:
-                    store = HistoryStore.open(entry)
+                    store = HistoryStore.open(entry, sync=sync)
                 except StoreError as exc:
                     # One unrecoverable directory (e.g. a crash between
                     # META and the base checkpoint during create) must
@@ -249,6 +266,7 @@ class WhatIfService:
                     if checkpoint_interval is not None
                     else self.checkpoint_interval
                 ),
+                sync=self.sync,
             )
             # Append the initial history while the name is still only a
             # reservation (other requests see 409 "being created"), so
@@ -309,7 +327,13 @@ class WhatIfService:
                 },
             }
 
-    def append(self, name: str, statements: Sequence[Statement]) -> dict:
+    def append(
+        self,
+        name: str,
+        statements: Sequence[Statement],
+        *,
+        idempotency_key: str | None = None,
+    ) -> dict:
         """Durably append statements; incrementally invalidate the cache.
 
         An appended statement can change a cached answer only if it
@@ -318,11 +342,29 @@ class WhatIfService:
         the hypothetical branch, so the statement acts identically on
         the two).  Entries with a disjoint footprint stay valid and are
         re-keyed to the new history length; the rest are dropped.
+
+        ``idempotency_key`` makes the append replay-safe: a key seen
+        before returns the originally recorded response (marked
+        ``"idempotent_replay": true``) without appending again, so a
+        client retrying a lost response cannot double-append.  One key
+        names one logical request — reusing a key with different
+        statements replays the original outcome.
         """
         if not statements:
             raise ServiceError("append requires at least one statement")
+        if idempotency_key is not None and (
+            not isinstance(idempotency_key, str)
+            or not 1 <= len(idempotency_key) <= 200
+        ):
+            raise ServiceError(
+                "idempotency_key must be a string of 1..200 characters"
+            )
         handle = self._handle(name)
         with handle.lock:
+            if idempotency_key is not None:
+                recorded = handle.idempotency.get(idempotency_key)
+                if recorded is not None:
+                    return {**recorded, "idempotent_replay": True}
             # Validate the whole batch before any durable write, so a
             # bad statement in the middle cannot persist a partial
             # prefix (a 400, not a half-applied 500).  The validated
@@ -343,6 +385,21 @@ class WhatIfService:
                 for stmt, new_state in zip(statements, states):
                     handle.store.append(stmt, state=new_state)
                     appended += 1
+            except StoreError as exc:
+                # A rolled-back transient failure before anything
+                # persisted is cleanly retryable (503 + Retry-After); a
+                # mid-batch failure persisted a prefix, so a blind retry
+                # would double-append it — surface that as a 500 with
+                # the count, never as retryable.
+                if exc.retryable and appended == 0:
+                    raise Overloaded(
+                        f"append failed transiently and was rolled "
+                        f"back: {exc}", 0.25,
+                    ) from None
+                raise ServiceError(
+                    f"append persisted only {appended}/"
+                    f"{len(statements)} statements: {exc}", status=500,
+                ) from None
             finally:
                 # Invalidate for exactly the statements that became
                 # durable — even if a later store write failed, the
@@ -362,12 +419,15 @@ class WhatIfService:
                             retained[(new_length, fingerprint)] = entry
                     handle.cache = retained
                     retained_count = len(retained)
-        return {
-            "name": name,
-            "length": new_length,
-            "cache_dropped": dropped,
-            "cache_retained": retained_count,
-        }
+            response = {
+                "name": name,
+                "length": new_length,
+                "cache_dropped": dropped,
+                "cache_retained": retained_count,
+            }
+            if idempotency_key is not None:
+                handle.idempotency.put(idempotency_key, response)
+        return response
 
     # -- answering ------------------------------------------------------------
     def _engine(self, backend: str, shards: int) -> Mahif:
@@ -415,6 +475,7 @@ class WhatIfService:
         backend: str | None = None,
         workers: int | None = None,
         shards: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[dict]:
         """Answer one spec per entry over the named stored history.
 
@@ -423,6 +484,15 @@ class WhatIfService:
         the missing queries) with each start version reconstructed from
         the store's nearest checkpoint.  ``shards`` > 1 answers through
         the sharded execution path (DESIGN.md, "Sharded execution").
+
+        ``deadline`` bounds the miss computation server-side: on expiry
+        the call raises :class:`~repro.service.resilience.
+        DeadlineExceeded` (504) while the abandoned computation may
+        still finish in the background and populate the cache.  A
+        sqlite-backend failure degrades to the compiled backend (the
+        answer is backend-invariant by the differential suite); the
+        response's ``backend`` field reports what actually answered and
+        ``degraded_from`` the backend that failed.
         """
         backend = backend or self.default_backend
         try:
@@ -507,77 +577,185 @@ class WhatIfService:
                 ]
 
         if misses:
-            engine = self._engine(backend, shards)
+
+            def _resolve_misses() -> None:
+                answered_backend, degraded_from = self._answer_misses(
+                    backend, shards, misses, method_enum, workers,
+                    start_dbs,
+                )
+                results, used_backend = answered_backend
+                fresh = iter(results)
+                with handle.lock:
+                    current_length = len(handle.store)
+                    for index, query in enumerate(queries):
+                        if query is None:
+                            continue
+                        result = next(fresh)
+                        payload = {
+                            **result_payload(result),
+                            "history_length": length,
+                            "method": method_enum.value,
+                            "backend": used_backend,
+                            "shards": shards,
+                        }
+                        if degraded_from is not None:
+                            payload["degraded_from"] = degraded_from
+                        outcomes[index] = {**payload, "cached": False}
+                        fingerprint = fingerprints[index]
+                        if (
+                            fingerprint is not None
+                            and current_length == length
+                        ):
+                            delta_relations = frozenset(
+                                relation
+                                for relation, delta
+                                in result.delta.relations.items()
+                                if delta.added or delta.removed
+                            )
+                            handle.cache[(length, fingerprint)] = (
+                                _CacheEntry(payload, delta_relations)
+                            )
+
+            if deadline is not None:
+                try:
+                    deadline.run(_resolve_misses, "what-if computation")
+                except ServiceError as exc:
+                    if exc.status == 504:
+                        with self._stats_lock:
+                            self.deadline_timeouts += 1
+                    raise
+            else:
+                _resolve_misses()
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _answer_misses(
+        self, backend, shards, misses, method_enum, workers, start_dbs
+    ):
+        """One ``answer_batch`` call with sqlite→compiled degradation.
+
+        Returns ``((results, backend_used), degraded_from)``.  Only
+        sqlite has an external moving part (the C library, its
+        connections, its temp storage); its errors re-answer on the
+        compiled backend, which the three-way differential suite proves
+        answer-equivalent.  Compiled/interpreted failures are
+        deterministic Python errors and propagate.
+        """
+        import sqlite3
+
+        engine = self._engine(backend, shards)
+        try:
             results = engine.answer_batch(
                 misses,
                 method_enum,
                 workers=workers,
                 start_databases=start_dbs,
             )
-            fresh = iter(results)
-            with handle.lock:
-                current_length = len(handle.store)
-                for index, query in enumerate(queries):
-                    if query is None:
-                        continue
-                    result = next(fresh)
-                    payload = {
-                        **result_payload(result),
-                        "history_length": length,
-                        "method": method_enum.value,
-                        "backend": backend,
-                        "shards": shards,
-                    }
-                    outcomes[index] = {**payload, "cached": False}
-                    fingerprint = fingerprints[index]
-                    if fingerprint is not None and current_length == length:
-                        delta_relations = frozenset(
-                            relation
-                            for relation, delta
-                            in result.delta.relations.items()
-                            if delta.added or delta.removed
-                        )
-                        handle.cache[(length, fingerprint)] = _CacheEntry(
-                            payload, delta_relations
-                        )
-        return [outcome for outcome in outcomes if outcome is not None]
+            return (results, backend), None
+        except sqlite3.Error as exc:
+            if backend != "sqlite":
+                raise
+            with self._stats_lock:
+                self.sqlite_fallbacks += 1
+            from ..core.degradation import record_degradation
+
+            record_degradation("sqlite_fallback")
+            print(
+                f"warning: sqlite backend failed ({exc}); degrading to "
+                "the compiled backend for this request",
+                file=sys.stderr,
+            )
+            fallback = self._engine("compiled", shards)
+            results = fallback.answer_batch(
+                misses,
+                method_enum,
+                workers=workers,
+                start_databases=start_dbs,
+            )
+            return (results, "compiled"), "sqlite"
 
     @staticmethod
     def _prefix_length(query) -> int:
         _, prefix_length = query.aligned().trim_prefix()
         return prefix_length
 
+    def service_stats(self) -> dict:
+        """Service-level resilience counters for ``/health``."""
+        with self._stats_lock:
+            return {
+                "deadline_timeouts": self.deadline_timeouts,
+                "sqlite_fallbacks": self.sqlite_fallbacks,
+            }
+
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the JSON API onto a :class:`WhatIfService`."""
+    """Routes the JSON API onto a :class:`WhatIfService`.
+
+    Resilience behavior (see DESIGN.md, "Resilience"): compute routes
+    (``whatif``/``batch``) pass admission control — beyond
+    ``max_in_flight`` concurrent requests they are shed with 503 +
+    ``Retry-After`` — and honor per-request deadline budgets from the
+    ``X-Mahif-Deadline-Ms`` header (504 on expiry).  All POST routes
+    require a ``Content-Length`` (411) within ``max_body_bytes`` (413).
+    While the server drains for shutdown, every non-health request is
+    refused 503 so in-flight work can complete.
+    """
 
     service: WhatIfService  # injected by WhatIfServer
+    resilience: ResilienceConfig  # injected by WhatIfServer
+    admission: AdmissionController  # shared across requests
+    tracker: InFlightTracker  # shared across requests
     quiet = True
     protocol_version = "HTTP/1.1"
+
+    #: Routes that run engine computation and therefore pass admission
+    #: control and deadline budgeting.
+    _COMPUTE = re.compile(r"/histories/[^/]+/(whatif|batch)$")
 
     # -- plumbing ----------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if not self.quiet:
             super().log_message(format, *args)
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
+    def _reply(
+        self,
+        payload: dict,
+        status: int = 200,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         # Keep-alive hygiene: if a route errored before reading the
         # request body, drain it now — otherwise the unread bytes would
-        # be parsed as the next request's request line.
+        # be parsed as the next request's request line.  Oversized
+        # bodies are not worth draining; close the connection instead.
         if not getattr(self, "_body_consumed", False):
             leftover = int(self.headers.get("Content-Length") or 0)
-            if leftover:
+            if 0 < leftover <= self.resilience.max_body_bytes:
                 self.rfile.read(leftover)
+            elif leftover:
+                self.close_connection = True
             self._body_consumed = True
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise ServiceError("Content-Length required", status=411)
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ServiceError("Content-Length must be an integer") from None
+        if length > self.resilience.max_body_bytes:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.resilience.max_body_bytes}-byte limit",
+                status=413,
+            )
         raw = self.rfile.read(length) if length else b"{}"
         self._body_consumed = True
         try:
@@ -588,11 +766,34 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError("request body must be a JSON object")
         return payload
 
+    def _deadline(self) -> Deadline | None:
+        """The request's deadline budget: client header, else the
+        server-side default for compute routes."""
+        header = self.headers.get("X-Mahif-Deadline-Ms")
+        if header is not None:
+            try:
+                ms = float(header)
+            except ValueError:
+                raise ServiceError(
+                    "X-Mahif-Deadline-Ms must be a number"
+                ) from None
+            if ms <= 0:
+                raise DeadlineExceeded("deadline already expired on arrival")
+            return Deadline.after_ms(ms)
+        if self.resilience.default_deadline_ms is not None:
+            return Deadline.after_ms(self.resilience.default_deadline_ms)
+        return None
+
     def _dispatch(self, handler) -> None:
+        self.tracker.enter()
         try:
             payload, status = handler()
         except ServiceError as exc:
-            self._reply({"error": str(exc)}, status=exc.status)
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = f"{exc.retry_after:g}"
+            self._reply({"error": str(exc)}, status=exc.status,
+                        headers=headers or None)
         except (StoreError, CodecError, ParseError) as exc:
             self._reply({"error": str(exc)}, status=400)
         except Exception as exc:  # pragma: no cover - defensive
@@ -601,20 +802,56 @@ class _Handler(BaseHTTPRequestHandler):
             )
         else:
             self._reply(payload, status=status)
+        finally:
+            self.tracker.leave()
+
+    def _guard(self, route, *, compute: bool):
+        """Drain + admission checks wrapped around a route handler."""
+        if self.tracker.draining:
+            raise Overloaded(
+                "server is shutting down", self.resilience.retry_after
+            )
+        if compute:
+            with self.admission:
+                return route()
+        return route()
 
     # -- routes ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._body_consumed = False  # per-request, the handler persists
-        self._dispatch(lambda: self._route_get(self.path.rstrip("/")))
+        path = self.path.rstrip("/")
+        if path in ("", "/health"):
+            # Health stays answerable while draining or overloaded —
+            # it is how orchestrators *see* those states.
+            self._dispatch(lambda: self._route_health())
+            return
+        self._dispatch(
+            lambda: self._guard(lambda: self._route_get(path), compute=False)
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._body_consumed = False
-        self._dispatch(lambda: self._route_post(self.path.rstrip("/")))
+        path = self.path.rstrip("/")
+        compute = self._COMPUTE.fullmatch(path) is not None
+        self._dispatch(
+            lambda: self._guard(
+                lambda: self._route_post(path), compute=compute
+            )
+        )
+
+    def _route_health(self):
+        service = self.service
+        return {
+            "ok": True,
+            "ready": not self.tracker.draining,
+            "histories": service.history_names(),
+            "resilience": resilience_snapshot(
+                self.admission, self.tracker, service.service_stats()
+            ),
+        }, 200
 
     def _route_get(self, path: str):
         service = self.service
-        if path in ("", "/health"):
-            return {"ok": True, "histories": service.history_names()}, 200
         if path == "/histories":
             return {
                 "histories": [
@@ -651,7 +888,12 @@ class _Handler(BaseHTTPRequestHandler):
         if match:
             body = self._body()
             statements = _statements_of(body, "statements")
-            return service.append(match.group(1), statements), 200
+            key = body.get("idempotency_key") or self.headers.get(
+                "X-Mahif-Idempotency-Key"
+            )
+            return service.append(
+                match.group(1), statements, idempotency_key=key
+            ), 200
         match = re.fullmatch(r"/histories/([^/]+)/whatif", path)
         if match:
             body = self._body()
@@ -663,6 +905,7 @@ class _Handler(BaseHTTPRequestHandler):
                 method=body.get("method"),
                 backend=body.get("backend"),
                 shards=_int_of(body, "shards"),
+                deadline=self._deadline(),
             )
             return results[0], 200
         match = re.fullmatch(r"/histories/([^/]+)/batch", path)
@@ -680,6 +923,7 @@ class _Handler(BaseHTTPRequestHandler):
                 backend=body.get("backend"),
                 workers=_int_of(body, "workers"),
                 shards=_int_of(body, "shards"),
+                deadline=self._deadline(),
             )
             return {"results": results}, 200
         raise ServiceError(f"no such route POST {path}", status=404)
@@ -722,6 +966,13 @@ class WhatIfServer:
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     construction.  ``start_background()`` serves from a daemon thread
     (tests, benchmarks); ``serve_forever()`` blocks (the CLI).
+
+    ``resilience`` tunes admission control, deadlines, body limits, and
+    drain behavior (defaults are production-shaped; see
+    :class:`~repro.service.resilience.ResilienceConfig`).
+    :meth:`shutdown` is graceful by default: stop accepting, shed new
+    requests 503, wait for in-flight requests to complete (up to
+    ``drain_timeout``), then flush and close every store.
     """
 
     def __init__(
@@ -731,9 +982,23 @@ class WhatIfServer:
         port: int = 8734,
         *,
         quiet: bool = True,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
+        self.resilience = resilience or ResilienceConfig()
+        self.admission = AdmissionController(
+            self.resilience.max_in_flight, self.resilience.retry_after
+        )
+        self.tracker = InFlightTracker()
         handler = type(
-            "_BoundHandler", (_Handler,), {"service": service, "quiet": quiet}
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "service": service,
+                "quiet": quiet,
+                "resilience": self.resilience,
+                "admission": self.admission,
+                "tracker": self.tracker,
+            },
         )
         self.service = service
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -762,10 +1027,28 @@ class WhatIfServer:
         self._thread = thread
         return self
 
-    def shutdown(self) -> None:
+    def shutdown(self, *, drain: bool | None = None) -> bool:
+        """Stop the server; returns True when the drain fully completed.
+
+        Graceful by default: (1) mark draining, so every new request is
+        shed with 503 + Retry-After while health keeps answering with
+        ``ready: false``; (2) stop the accept loop; (3) wait up to
+        ``drain_timeout`` for in-flight requests to finish writing their
+        responses; (4) close the listening socket and flush + close the
+        stores.  ``drain=False`` skips step (3) (tests, emergencies).
+        """
+        if drain is None:
+            drain = True
+        self.tracker.begin_drain()
         self._httpd.shutdown()
+        drained = True
+        if drain:
+            drained = self.tracker.wait_idle(
+                timeout=self.resilience.drain_timeout
+            )
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
         self.service.close()
+        return drained

@@ -18,6 +18,15 @@ from .codec import (
     encode_operator,
     encode_statement,
 )
+from .faults import (
+    REAL_OPS,
+    CountingOps,
+    CrashingOps,
+    FileOps,
+    FlakyOps,
+    SimulatedCrash,
+    SlowOps,
+)
 from .history_store import (
     DEFAULT_CHECKPOINT_INTERVAL,
     HistoryStore,
@@ -26,8 +35,15 @@ from .history_store import (
 
 __all__ = [
     "CodecError",
+    "CountingOps",
+    "CrashingOps",
     "DEFAULT_CHECKPOINT_INTERVAL",
+    "FileOps",
+    "FlakyOps",
     "HistoryStore",
+    "REAL_OPS",
+    "SimulatedCrash",
+    "SlowOps",
     "StoreError",
     "decode_database",
     "decode_expr",

@@ -1,0 +1,273 @@
+"""Injectable filesystem operations — the store's fault-injection seam.
+
+:class:`HistoryStore` routes every write-side filesystem operation
+(open, write, flush, fsync, atomic rename, directory fsync) through a
+:class:`FileOps` instance.  Production uses :data:`REAL_OPS`, a direct
+passthrough; tests substitute fault injectors to *prove* the recovery
+contracts instead of trusting them:
+
+* :class:`CrashingOps` — a process death at an exact byte offset of the
+  durable write stream: the prefix reaches the disk, everything after
+  (including the rename of a torn checkpoint temp file) is lost.  The
+  kill-at-every-byte-offset fuzz in ``tests/test_store_faults.py`` runs
+  a whole append scenario once per offset and asserts ``open()`` always
+  recovers a consistent prefix of the log.
+* :class:`FlakyOps` — transient ``OSError`` (ENOSPC, EIO, …) on the
+  first N write-side calls, then healthy: exercises
+  :meth:`HistoryStore.append`'s roll-back-and-retry contract.
+* :class:`SlowOps` — per-operation latency, for deadline and overload
+  tests that need I/O to take real time.
+
+A simulated crash raises :class:`SimulatedCrash`, deliberately a
+``BaseException`` subclass: a real crash is not catchable by the store's
+``except OSError`` / ``except Exception`` recovery paths, so the
+simulation must not be either.  Only the test harness catches it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+import time
+
+__all__ = [
+    "FileOps",
+    "REAL_OPS",
+    "SimulatedCrash",
+    "CrashingOps",
+    "CountingOps",
+    "FlakyOps",
+    "SlowOps",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.  ``BaseException`` on purpose — see
+    the module docstring."""
+
+
+class FileOps:
+    """Write-side filesystem operations, overridable per call site."""
+
+    def open(self, path: pathlib.Path, mode: str):
+        return open(path, mode)
+
+    def write(self, fh, data: bytes) -> None:
+        fh.write(data)
+
+    def flush(self, fh) -> None:
+        fh.flush()
+
+    def fsync(self, fh) -> None:
+        os.fsync(fh.fileno())
+
+    def replace(self, src: pathlib.Path, dst: pathlib.Path) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: pathlib.Path) -> None:
+        """fsync a directory so a just-renamed entry survives power loss.
+
+        Platforms that cannot open directories (Windows) silently skip —
+        the rename is still atomic there, just not power-loss durable.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+REAL_OPS = FileOps()
+
+
+class CountingOps(FileOps):
+    """Passthrough that counts durable bytes and rename operations.
+
+    ``byte_count`` advances on every :meth:`write` (log records and
+    checkpoint temp files alike); ``replace_count`` on every atomic
+    rename.  The fuzz harness runs a scenario once under this to learn
+    the crash-point space, then replays it under :class:`CrashingOps`
+    at every offset.  Counting starts at :meth:`arm` (so store creation
+    can be excluded from the fuzzed region).
+    """
+
+    def __init__(self) -> None:
+        self.byte_count = 0
+        self.replace_count = 0
+        self.fsync_count = 0
+        self.dir_fsync_count = 0
+        self._armed = False
+
+    def arm(self) -> None:
+        self._armed = True
+
+    def write(self, fh, data: bytes) -> None:
+        if self._armed:
+            self.byte_count += len(data)
+        super().write(fh, data)
+
+    def replace(self, src, dst) -> None:
+        if self._armed:
+            self.replace_count += 1
+        super().replace(src, dst)
+
+    def fsync(self, fh) -> None:
+        if self._armed:
+            self.fsync_count += 1
+        super().fsync(fh)
+
+    def fsync_dir(self, path) -> None:
+        if self._armed:
+            self.dir_fsync_count += 1
+        super().fsync_dir(path)
+
+
+class CrashingOps(FileOps):
+    """Die after exactly ``byte_budget`` durable bytes past :meth:`arm`.
+
+    The write that crosses the budget persists only its allowed prefix
+    (flushed, so it is really on disk) and then raises
+    :class:`SimulatedCrash`; every later operation raises too — a dead
+    process performs no further I/O.  ``crash_on_replace`` optionally
+    dies *instead* on the Nth (1-based) atomic rename after arming,
+    before the rename takes effect, which models a torn checkpoint:
+    temp file fully written, target never updated.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int | None = None,
+        *,
+        crash_on_replace: int | None = None,
+    ) -> None:
+        self._budget = byte_budget
+        self._replace_at = crash_on_replace
+        self._replaces = 0
+        self._armed = byte_budget is None and crash_on_replace is None
+        self.dead = False
+
+    def arm(self) -> None:
+        self._armed = True
+
+    def _check_dead(self) -> None:
+        if self.dead:
+            raise SimulatedCrash("operation after simulated crash")
+
+    def _die(self) -> None:
+        self.dead = True
+        raise SimulatedCrash("injected crash point reached")
+
+    def open(self, path, mode):
+        self._check_dead()
+        return super().open(path, mode)
+
+    def write(self, fh, data: bytes) -> None:
+        self._check_dead()
+        if not self._armed or self._budget is None:
+            return super().write(fh, data)
+        if len(data) > self._budget:
+            prefix = data[: self._budget]
+            if prefix:
+                fh.write(prefix)
+            fh.flush()  # the torn prefix really reached the disk
+            self._budget = 0
+            self._die()
+        self._budget -= len(data)
+        super().write(fh, data)
+
+    def flush(self, fh) -> None:
+        self._check_dead()
+        super().flush(fh)
+
+    def fsync(self, fh) -> None:
+        self._check_dead()
+        super().fsync(fh)
+
+    def replace(self, src, dst) -> None:
+        self._check_dead()
+        if self._armed and self._replace_at is not None:
+            self._replaces += 1
+            if self._replaces >= self._replace_at:
+                self._die()
+        super().replace(src, dst)
+
+    def fsync_dir(self, path) -> None:
+        self._check_dead()
+        super().fsync_dir(path)
+
+
+class FlakyOps(FileOps):
+    """Raise a transient ``OSError`` on the first ``failures`` write-side
+    calls (write/flush/fsync/replace), then behave normally.
+
+    Thread-safe: the failure budget is decremented under a lock so a
+    concurrent service exercising a flaky store sees exactly
+    ``failures`` errors in total.  ``armed=False`` defers injection
+    until :meth:`arm` (e.g. to let store creation through unharmed).
+    """
+
+    def __init__(
+        self, failures: int, errno_: int = 5, *, armed: bool = True
+    ) -> None:  # EIO
+        self._remaining = failures
+        self._errno = errno_
+        self._lock = threading.Lock()
+        self._armed = armed
+        self.raised = 0
+
+    def arm(self) -> None:
+        with self._lock:
+            self._armed = True
+
+    def _maybe_fail(self, op: str) -> None:
+        with self._lock:
+            if self._armed and self._remaining > 0:
+                self._remaining -= 1
+                self.raised += 1
+                raise OSError(self._errno, f"injected transient {op} error")
+
+    def write(self, fh, data: bytes) -> None:
+        self._maybe_fail("write")
+        super().write(fh, data)
+
+    def flush(self, fh) -> None:
+        self._maybe_fail("flush")
+        super().flush(fh)
+
+    def fsync(self, fh) -> None:
+        self._maybe_fail("fsync")
+        super().fsync(fh)
+
+    def replace(self, src, dst) -> None:
+        self._maybe_fail("replace")
+        super().replace(src, dst)
+
+
+class SlowOps(FileOps):
+    """Sleep ``delay`` seconds before every write-side operation."""
+
+    def __init__(self, delay: float) -> None:
+        self._delay = delay
+
+    def _stall(self) -> None:
+        time.sleep(self._delay)
+
+    def write(self, fh, data: bytes) -> None:
+        self._stall()
+        super().write(fh, data)
+
+    def flush(self, fh) -> None:
+        self._stall()
+        super().flush(fh)
+
+    def fsync(self, fh) -> None:
+        self._stall()
+        super().fsync(fh)
+
+    def replace(self, src, dst) -> None:
+        self._stall()
+        super().replace(src, dst)

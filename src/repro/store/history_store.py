@@ -23,6 +23,25 @@ mid-append leaves at most one partial trailing line, which
 truncates away, then discards any checkpoint deeper than the recovered
 log.  The store therefore reopens to the longest durable prefix of the
 history.
+
+Durability: with ``sync=True`` (the service default) the log file is
+fsynced after every append and the store directory is fsynced after
+every atomic checkpoint rename, so both the record and the rename
+survive power loss, not just process death.  ``sync=False`` keeps the
+crash-*consistency* guarantees (a torn tail is still truncated away)
+but trades power-loss durability for speed — right for tests and
+throwaway stores.
+
+Every write-side filesystem operation goes through an injectable
+:class:`~repro.store.faults.FileOps` seam (``ops=``), which is how the
+fault-injection suite proves these contracts instead of asserting them:
+see :mod:`repro.store.faults` and ``tests/test_store_faults.py``.
+
+Transient write errors (``OSError`` from a full or flaky disk) during
+:meth:`append` roll the log back to its pre-append length and surface a
+*retryable* :class:`StoreError`; the store stays open and consistent, so
+a client retry (the service pairs this with idempotency keys) can
+succeed once the condition clears.
 """
 
 from __future__ import annotations
@@ -46,6 +65,7 @@ from .codec import (
     encode_database,
     encode_statement,
 )
+from .faults import REAL_OPS, FileOps
 
 __all__ = ["HistoryStore", "StoreError", "DEFAULT_CHECKPOINT_INTERVAL"]
 
@@ -58,7 +78,16 @@ _CHECKPOINT_DIR = "checkpoints"
 
 
 class StoreError(Exception):
-    """Raised for invalid store operations or unreadable store layouts."""
+    """Raised for invalid store operations or unreadable store layouts.
+
+    ``retryable`` is True when the operation failed transiently (e.g. a
+    disk write error that was rolled back) and left the store consistent
+    — the caller may retry the same call.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
 
 
 def _checkpoint_name(version: int) -> str:
@@ -85,6 +114,7 @@ class HistoryStore:
         current: Database,
         checkpoint_versions: list[int],
         sync: bool,
+        ops: FileOps,
     ) -> None:
         self._path = path
         self._interval = checkpoint_interval
@@ -92,8 +122,10 @@ class HistoryStore:
         self._current = current
         self._checkpoint_versions = sorted(checkpoint_versions)
         self._sync = sync
-        self._log_fh = open(path / _LOG, "a", encoding="utf-8")
+        self._ops = ops
+        self._log_fh = ops.open(path / _LOG, "ab")
         self._closed = False
+        self._failed: str | None = None
 
     # -- lifecycle -----------------------------------------------------------
     @classmethod
@@ -104,6 +136,7 @@ class HistoryStore:
         *,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         sync: bool = False,
+        ops: FileOps = REAL_OPS,
     ) -> "HistoryStore":
         """Initialize a new store at ``path`` (must not already hold one)."""
         if checkpoint_interval < 1:
@@ -118,7 +151,12 @@ class HistoryStore:
             "version": FORMAT_VERSION,
             "checkpoint_interval": checkpoint_interval,
         }
-        _atomic_write(path / _META, json.dumps(meta, indent=2) + "\n")
+        _atomic_write(
+            path / _META,
+            (json.dumps(meta, indent=2) + "\n").encode("utf-8"),
+            sync=sync,
+            ops=ops,
+        )
         (path / _LOG).touch()
         store = cls(
             path,
@@ -127,13 +165,20 @@ class HistoryStore:
             current=initial,
             checkpoint_versions=[],
             sync=sync,
+            ops=ops,
         )
         store._write_checkpoint(0, initial)
+        if sync:
+            ops.fsync_dir(path)
         return store
 
     @classmethod
     def open(
-        cls, path: str | pathlib.Path, *, sync: bool = False
+        cls,
+        path: str | pathlib.Path,
+        *,
+        sync: bool = False,
+        ops: FileOps = REAL_OPS,
     ) -> "HistoryStore":
         """Open an existing store, recovering from a truncated log tail."""
         path = pathlib.Path(path)
@@ -182,6 +227,7 @@ class HistoryStore:
             current=None,  # type: ignore[arg-type]  # set below
             checkpoint_versions=checkpoint_versions,
             sync=sync,
+            ops=ops,
         )
         try:
             at = None
@@ -205,8 +251,15 @@ class HistoryStore:
 
     def close(self) -> None:
         if not self._closed:
-            self._log_fh.close()
-            self._closed = True
+            try:
+                self._log_fh.flush()
+                if self._sync:
+                    self._ops.fsync(self._log_fh)
+            except OSError:
+                pass  # closing a store on a failed disk must not raise
+            finally:
+                self._log_fh.close()
+                self._closed = True
 
     def __enter__(self) -> "HistoryStore":
         return self
@@ -283,9 +336,13 @@ class HistoryStore:
     ) -> Database:
         """Durably append one statement and return the new current state.
 
-        The log record is written (and flushed) *before* the in-memory
-        state advances, so a failure between the two leaves the store
-        recoverable to a consistent prefix either way.
+        The log record is written, flushed, and (with ``sync``) fsynced
+        *before* the in-memory state advances, so a failure between the
+        two leaves the store recoverable to a consistent prefix either
+        way.  A transient ``OSError`` rolls the log back to its
+        pre-append length and raises a retryable :class:`StoreError`;
+        if the roll-back itself fails the store is marked failed and
+        every later operation raises (reopen to recover).
 
         ``state`` optionally supplies the caller-certified result of
         ``stmt.apply(current)`` — callers that already validated the
@@ -298,16 +355,59 @@ class HistoryStore:
         new_state = state if state is not None else stmt.apply(self._current)
         record = {"i": len(self._statements) + 1,
                   "stmt": encode_statement(stmt)}
-        self._log_fh.write(json.dumps(record) + "\n")
-        self._log_fh.flush()
-        if self._sync:
-            os.fsync(self._log_fh.fileno())
+        data = (json.dumps(record) + "\n").encode("utf-8")
+        try:
+            self._ops.write(self._log_fh, data)
+            self._ops.flush(self._log_fh)
+            if self._sync:
+                self._ops.fsync(self._log_fh)
+        except OSError as exc:
+            self._rollback_log(exc)
+            raise StoreError(
+                f"append failed and was rolled back: {exc}", retryable=True
+            ) from None
         self._statements.append(stmt)
         self._current = new_state
         version = len(self._statements)
         if version % self._interval == 0:
-            self._write_checkpoint(version, new_state)
+            try:
+                self._write_checkpoint(version, new_state)
+            except OSError:
+                # The record is durable; the checkpoint is an
+                # optimization that open()/as_of() rebuild on demand.
+                pass
         return new_state
+
+    def _rollback_log(self, cause: OSError) -> None:
+        """Truncate the log back to its last durable record after a
+        failed append write, reopening the handle to drop any buffered
+        partial data.  Failure to roll back marks the store failed."""
+        expected = None
+        try:
+            self._log_fh.close()
+        except OSError:
+            pass
+        try:
+            # Re-derive the durable end: everything up to the last
+            # complete record of the first len(self._statements) lines.
+            with open(self._path / _LOG, "rb") as fh:
+                raw = fh.read()
+            end = 0
+            for _ in range(len(self._statements)):
+                newline = raw.find(b"\n", end)
+                if newline == -1:
+                    break
+                end = newline + 1
+            expected = end
+            with open(self._path / _LOG, "r+b") as fh:
+                fh.truncate(expected)
+            self._log_fh = self._ops.open(self._path / _LOG, "ab")
+        except OSError as exc:
+            self._failed = (
+                f"log roll-back after failed append also failed "
+                f"(append: {cause}; roll-back: {exc}); reopen the store"
+            )
+            self._closed = True
 
     def append_history(self, history: History) -> Database:
         """Append every statement of ``history`` in order."""
@@ -318,7 +418,10 @@ class HistoryStore:
     def _write_checkpoint(self, version: int, db: Database) -> None:
         target = self._path / _CHECKPOINT_DIR / _checkpoint_name(version)
         _atomic_write(
-            target, json.dumps(encode_database(db)) + "\n", sync=self._sync
+            target,
+            (json.dumps(encode_database(db)) + "\n").encode("utf-8"),
+            sync=self._sync,
+            ops=self._ops,
         )
         if version not in self._checkpoint_versions:
             self._checkpoint_versions.append(version)
@@ -332,6 +435,12 @@ class HistoryStore:
     @property
     def checkpoint_interval(self) -> int:
         return self._interval
+
+    @property
+    def sync(self) -> bool:
+        """Whether appends fsync the log and checkpoint renames fsync
+        the directory (power-loss durability, not just crash safety)."""
+        return self._sync
 
     @property
     def current(self) -> Database:
@@ -430,6 +539,8 @@ class HistoryStore:
             )
 
     def _check_open(self) -> None:
+        if self._failed is not None:
+            raise StoreError(f"store failed: {self._failed}")
         if self._closed:
             raise StoreError("store is closed")
 
@@ -456,13 +567,28 @@ def _load_checkpoint(path: pathlib.Path, version: int) -> Database:
 
 
 def _atomic_write(
-    target: pathlib.Path, text: str, *, sync: bool = False
+    target: pathlib.Path,
+    data: bytes,
+    *,
+    sync: bool = False,
+    ops: FileOps = REAL_OPS,
 ) -> None:
-    """Write via temp file + rename so the target is whole or absent."""
+    """Write via temp file + rename so the target is whole or absent.
+
+    With ``sync``, the temp file is fsynced before the rename (so the
+    renamed-in content is durable, not just the directory entry) and the
+    parent directory is fsynced after (so the rename itself survives
+    power loss).
+    """
     tmp = target.with_suffix(target.suffix + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(text)
-        fh.flush()
+    fh = ops.open(tmp, "wb")
+    try:
+        ops.write(fh, data)
+        ops.flush(fh)
         if sync:
-            os.fsync(fh.fileno())
-    os.replace(tmp, target)
+            ops.fsync(fh)
+    finally:
+        fh.close()
+    ops.replace(tmp, target)
+    if sync:
+        ops.fsync_dir(target.parent)
