@@ -1,21 +1,32 @@
-"""Sharded reenactment: 4 shards vs 1 on a large generated workload
-(see DESIGN.md, "Sharded execution").
+"""Sharded reenactment vs the adaptive planner on a large workload
+(see DESIGN.md, "Sharded execution" and "Adaptive planning").
 
 The workload is the interactive pattern sharding targets: a large
 relation, a history of range-predicate updates whose windows sit in a
 narrow key region, and a what-if replacing one of them.  Range
 partitioning on the condition column clusters the affected window into
 one shard, so skip routing proves the other shards untouched and drops
-them from reenactment entirely — the speedup source that holds even on
-a single core, with worker-pool parallelism stacking on top when the
-machine has cores to spare (``shard_workers`` rows are recorded either
-way, but only floored on multi-core hosts).
+them from reenactment entirely.
 
-Every sharded delta is asserted identical to the unsharded oracle's,
-and the headline floor — ≥ 1.5× for ``shards=4`` vs ``shards=1`` on the
-compiled backend, plain reenactment — is asserted whenever the workload
-is at least default scale (``ROWS >= 2000``; the CI shard-smoke job
-runs at default scale, so the floor is enforced there).
+Measured per method (R, R+DS, R+PS, R+PS+DS), all on the compiled
+backend, each timing the min of ``TRIALS`` runs:
+
+* the unsharded baseline (``shards=1``),
+* the static 4-shard configurations (serial and pooled) — the PR-5
+  rows, which this table shows are a *slowdown* on R+PS+DS,
+* ``shards="auto"`` — the cost-based planner's choice, recorded with
+  the shard/worker counts it picked.
+
+Every delta is asserted identical to the unsharded oracle's.  Two
+floors are enforced whenever the workload is at least default scale
+(``ROWS >= 2000``; the CI shard-smoke job runs at default scale):
+
+* the static floor — ≥ 1.5× for ``shards=4`` vs ``shards=1`` on plain
+  reenactment (the PR-5 headline, unchanged),
+* the planner floor — ``auto`` ≥ 1.0× the unsharded baseline on
+  *every* method, within ``NOISE_TOLERANCE`` (min-of-N timings on a
+  busy host still jitter a few percent; the tolerance is well below
+  the 19–34% regression the static 4-shard config shows on R+PS+DS).
 
 Results land in ``results.jsonl`` (experiment ``"shard"``) and
 ``BENCH_shard.json`` at the repo root.
@@ -41,6 +52,7 @@ from .common import record
 
 ROWS = int(os.environ.get("MAHIF_BENCH_SHARD_ROWS", "40000"))
 UPDATES = int(os.environ.get("MAHIF_BENCH_SHARD_UPDATES", "12"))
+TRIALS = int(os.environ.get("MAHIF_BENCH_SHARD_TRIALS", "5"))
 SHARDS = 4
 #: The affected key window: everything the history (and the what-if)
 #: touches lives in the lowest eighth of the key space, so range
@@ -52,6 +64,18 @@ WINDOW = ROWS // 8
 #: the history store's checkpoints either way).
 MOD_POSITION = 1
 SPEEDUP_FLOOR = 1.5
+#: The planner's promise is "never slower than shards=1"; min-of-N wall
+#: timings still jitter a few percent, so the floor carries a small
+#: documented tolerance instead of flaking.
+AUTO_FLOOR = 1.0
+NOISE_TOLERANCE = 0.08
+#: Sub-100ms methods (R+DS at default scale runs in ~25ms) jitter more
+#: than the ratio tolerance between runs even as a min-of-N; an
+#: absolute slack covers that scheduler noise without masking a real
+#: regression at scale — the static 4-shard R+PS+DS slowdown this gate
+#: exists to catch costs 60–200ms, far past it.
+ABS_NOISE_SECONDS = 0.02
+METHODS = (Method.R, Method.R_DS, Method.R_PS, Method.R_PS_DS)
 TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_shard.json"
 
 
@@ -104,42 +128,61 @@ def _cold_caches():
 
 
 def _timed_answer(query, method, config):
+    """Min-of-``TRIALS`` answer time (caches cold before the first
+    trial, so the min reports steady-state service latency)."""
     engine = Mahif(config)
-    start = time.perf_counter()
-    result = engine.answer(query, method)
-    return time.perf_counter() - start, result.delta
+    _cold_caches()
+    best, result = float("inf"), None
+    for _ in range(max(1, TRIALS)):
+        start = time.perf_counter()
+        result = engine.answer(query, method)
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
 def _shard_rows():
     query = _workload()
     out = []
-    for method in (Method.R, Method.R_PS_DS):
-        _cold_caches()
+    for method in METHODS:
         baseline_seconds, oracle = _timed_answer(
             query, method, MahifConfig(backend="compiled")
         )
-        for shards, workers in ((SHARDS, 0), (SHARDS, SHARDS)):
-            config = MahifConfig(
-                backend="compiled", shards=shards, shard_workers=workers
-            )
-            _cold_caches()
-            seconds, delta = _timed_answer(query, method, config)
-            assert delta == oracle, (
+
+        def row_for(label, config):
+            seconds, result = _timed_answer(query, method, config)
+            assert result.delta == oracle.delta, (
                 f"sharded delta differs from the unsharded oracle "
-                f"({method.value}, shards={shards}) — correctness bug"
+                f"({method.value}, shards={label}) — correctness bug"
             )
-            row = {
+            entry = {
                 "method": method.value,
                 "rows": ROWS,
                 "updates": UPDATES,
-                "shards": shards,
-                "shard_workers": workers,
+                "shards": label,
+                "shard_workers": config.shard_workers,
                 "unsharded_seconds": baseline_seconds,
                 "sharded_seconds": seconds,
                 "speedup": baseline_seconds / seconds,
             }
-            record("shard", row)
-            out.append(row)
+            choice = result.planner_choice
+            if choice is not None:
+                entry["chosen_shards"] = choice.shards
+                entry["chosen_workers"] = choice.shard_workers
+                entry["planner_reason"] = choice.reason
+            record("shard", entry)
+            out.append(entry)
+            return entry
+
+        for workers in (0, SHARDS):
+            row_for(
+                SHARDS,
+                MahifConfig(
+                    backend="compiled",
+                    shards=SHARDS,
+                    shard_workers=workers,
+                ),
+            )
+        row_for("auto", MahifConfig(backend="compiled", shards="auto"))
     return out
 
 
@@ -153,36 +196,46 @@ def test_sharded_vs_unsharded(benchmark):
         {
             "rows": ROWS,
             "updates": UPDATES,
+            "trials": TRIALS,
             "modified_position": MOD_POSITION,
             "shards": SHARDS,
             "backend": "compiled",
             "scheme": "range",
             "usable_cpus": usable_cpus,
             "speedup_floor": SPEEDUP_FLOOR,
+            "auto_floor": AUTO_FLOOR,
+            "noise_tolerance": NOISE_TOLERANCE,
             "floor_asserted": ROWS >= 2000,
-            "metric": "wall seconds: Mahif.answer at shards=1 vs "
-            "shards=4 (skip routing + optional worker pool)",
+            "metric": "min-of-trials wall seconds: Mahif.answer at "
+            "shards=1 vs static shards=4 and the adaptive planner "
+            "(shards=auto)",
         },
         configurations=rows,
     )
 
     print_series_table(
         f"Sharding — {ROWS} rows, U{UPDATES}, window {WINDOW}, "
-        f"{SHARDS} shards (compiled)",
-        ["method", "workers", "unsharded", "sharded", "speedup"],
+        f"static {SHARDS} shards vs auto (compiled, min of {TRIALS})",
+        ["method", "shards", "workers", "unsharded", "sharded",
+         "speedup"],
         [
-            [r["method"], r["shard_workers"], r["unsharded_seconds"],
-             r["sharded_seconds"], r["speedup"]]
+            [r["method"],
+             r.get("chosen_shards", r["shards"]),
+             r.get("chosen_workers", r["shard_workers"]),
+             r["unsharded_seconds"], r["sharded_seconds"],
+             r["speedup"]]
             for r in rows
         ],
-        note="range partitioning + skip routing; ≥ 1.5× floor on plain "
-        "reenactment at default scale",
+        note="range partitioning + skip routing; floors: static R "
+        f">= {SPEEDUP_FLOOR}x, auto >= {AUTO_FLOOR}x per method "
+        f"(-{NOISE_TOLERANCE} noise tolerance)",
     )
 
     if ROWS >= 2000:
         serial = [
             r for r in rows
-            if r["method"] == Method.R.value and r["shard_workers"] == 0
+            if r["method"] == Method.R.value
+            and r["shards"] == SHARDS and r["shard_workers"] == 0
         ][0]
         assert serial["speedup"] >= SPEEDUP_FLOOR, (
             "sharded reenactment no longer pays for itself on the "
@@ -193,9 +246,32 @@ def test_sharded_vs_unsharded(benchmark):
             pooled = [
                 r for r in rows
                 if r["method"] == Method.R.value
+                and r["shards"] == SHARDS
                 and r["shard_workers"] == SHARDS
             ][0]
             assert pooled["speedup"] >= SPEEDUP_FLOOR, (
                 "pooled sharded reenactment fell below the floor on a "
                 f"{usable_cpus}-core host: {pooled['speedup']:.2f}x"
+            )
+        # The bugfix floor this benchmark previously missed: the gate
+        # only watched plain R, so the 4-shard R+PS+DS slowdown
+        # shipped.  The planner must now hold every method at >= 1x
+        # the unsharded baseline.
+        for method in METHODS:
+            auto = [
+                r for r in rows
+                if r["method"] == method.value and r["shards"] == "auto"
+            ][0]
+            within_slack = (
+                auto["sharded_seconds"]
+                <= auto["unsharded_seconds"] + ABS_NOISE_SECONDS
+            )
+            assert (
+                auto["speedup"] >= AUTO_FLOOR - NOISE_TOLERANCE
+                or within_slack
+            ), (
+                f"shards=auto regressed {method.value}: "
+                f"{auto['speedup']:.2f}x < {AUTO_FLOOR}x (tolerance "
+                f"{NOISE_TOLERANCE}) — the planner picked "
+                f"{auto.get('chosen_shards')} shards"
             )

@@ -81,6 +81,17 @@ def _fail(message: str) -> "SystemExit":
     return SystemExit(f"repro.cli: error: {message}")
 
 
+def _shards_flag(text: str) -> "int | str":
+    """``--shards`` value: a positive count, ``0``, or ``auto``.
+
+    ``auto`` (and ``0``) select the cost-based planner; the engine and
+    service validate ranges, this only parses the shape.
+    """
+    if text.strip().lower() == "auto":
+        return "auto"
+    return int(text)  # ValueError -> argparse's invalid-value message
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -123,12 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
         "reference interpreter, or server-side SQL on in-memory sqlite",
     )
     whatif.add_argument(
-        "--shards", type=int, default=None, metavar="N",
+        "--shards", type=_shards_flag, default=None, metavar="N",
         help="shard-parallel reenactment: partition each relation into "
         "N shards, skip shards the modification provably cannot touch, "
-        "and merge the per-shard deltas (default: unsharded locally, "
-        "the server's default over --url; an explicit value always "
-        "wins, including --shards 1)",
+        "and merge the per-shard deltas; 'auto' (or 0) lets the "
+        "cost-based planner decide per query (default: unsharded "
+        "locally, the server's default over --url; an explicit value "
+        "always wins, including --shards 1)",
     )
     whatif.add_argument("--explain", action="store_true",
                         help="print why-provenance for delta tuples")
@@ -203,9 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="default worker pool for batched answers",
     )
     serve.add_argument(
-        "--shards", type=int, default=1, metavar="N",
-        help="default shard count for answers (requests can override "
-        "with a \"shards\" body field)",
+        "--shards", type=_shards_flag, default="auto", metavar="N",
+        help="default shard count for answers; 'auto' (the default) "
+        "lets the cost-based planner pick per query, so sharding only "
+        "happens where it wins (requests can override with a \"shards\" "
+        "body field — including \"auto\")",
     )
     serve.add_argument(
         "--name", help="preload: register this history name on startup"

@@ -443,7 +443,9 @@ def _answer_reenactment_batch(
 
     deltas: list[dict[str, RelationDelta]] = [{} for _ in queries]
     eval_seconds = [0.0] * len(queries)
-    if engine.config.shards > 1:
+    choices: list = [None] * len(queries)
+    auto = engine.config.shards_auto
+    if auto or engine.config.shards > 1:
         # Sharded execution: fan out at (query, relation, shard)
         # granularity through the same executor.  A shard call ships
         # only its own shard's database and an unshardable fallback
@@ -451,12 +453,33 @@ def _answer_reenactment_batch(
         # per-query grouping that bounds start-database pickling in the
         # unsharded process-pool path is unnecessary here.  Partition
         # lists are memoized across queries sharing a start database.
+        # Under ``shards="auto"`` the adaptive planner prices each plan
+        # *individually* — one batch can mix sharded and sequential
+        # members (a shards=1 choice becomes a single unsharded call).
         from .shard import evaluate_shard_works, plan_relation_shards
+
+        if auto:
+            from .planner import plan_execution
+
+            for index, plan in enumerate(plans):
+                choices[index] = plan_execution(
+                    plan, engine.config, backend=backend
+                )
 
         partitions: dict = {}
         owners: list[int] = []
         works = []
         for index, plan in enumerate(plans):
+            choice = choices[index]
+            shards = (
+                choice.shards if choice is not None
+                else engine.config.shards
+            )
+            scheme = (
+                choice.scheme if choice is not None
+                else engine.config.shard_scheme
+            )
+            hints = choice.estimates if choice is not None else None
             for relation in sorted(plan.affected):
                 owners.append(index)
                 works.append(
@@ -464,9 +487,10 @@ def _answer_reenactment_batch(
                         backend,
                         plan,
                         relation,
-                        engine.config.shards,
-                        engine.config.shard_scheme,
+                        shards,
+                        scheme,
                         partitions,
+                        hints,
                     )
                 )
         merged = evaluate_shard_works(works, executor)
@@ -532,6 +556,7 @@ def _answer_reenactment_batch(
             queries_original=plan.queries_h,
             queries_modified=plan.queries_m,
             base_database=plan.start_db,
+            planner_choice=choices[index],
         )
         for index, plan in enumerate(plans)
     ]

@@ -60,6 +60,7 @@ from .dependency import dependency_slice
 from .hwq import AlignedHistories, HistoricalWhatIfQuery
 from .insert_split import can_split, split_inserts
 from .naive import NaiveResult, naive_what_if
+from .planner import AUTO_SHARDS, ExecutionChoice
 from .program_slicing import (
     ProgramSlicingConfig,
     SliceResult,
@@ -131,6 +132,15 @@ class MahifConfig:
     ``shard_workers`` > 1 fans the shard evaluations over the same kind
     of pool as ``batch_workers`` (0 evaluates shards serially, which
     still benefits from skip routing).
+
+    ``shards="auto"`` (stored as the ``AUTO_SHARDS`` = 0 sentinel; the
+    literal ``0`` is accepted too) hands the decision to the cost-based
+    planner (see DESIGN.md, "Adaptive planning"): each reenactment plan
+    is priced from relation cardinalities, sampled routing selectivity
+    and shardability, and executes sharded only when the model predicts
+    a real win — ``shard_workers`` is then chosen by the planner as
+    well.  The naive method ignores ``shards`` entirely (it replays
+    statements, there is nothing to partition).
     """
 
     slicing_algorithm: str = "dependency"
@@ -142,7 +152,7 @@ class MahifConfig:
     backend: str = "compiled"
     batch_workers: int = 0
     batch_share_plans: bool = True
-    shards: int = 1
+    shards: int | str = 1
     shard_workers: int = 0
     shard_scheme: str = "range"
 
@@ -155,8 +165,17 @@ class MahifConfig:
             )
         if self.batch_workers < 0:
             raise ValueError("batch_workers must be >= 0")
-        if self.shards < 1:
-            raise ValueError("shards must be >= 1")
+        if isinstance(self.shards, str):
+            if self.shards.strip().lower() != "auto":
+                raise ValueError(
+                    f"shards must be >= 1, 'auto', or {AUTO_SHARDS} "
+                    f"(auto sentinel); got {self.shards!r}"
+                )
+            object.__setattr__(self, "shards", AUTO_SHARDS)
+        elif self.shards < AUTO_SHARDS:
+            raise ValueError(
+                "shards must be >= 1, or 'auto'/0 for planner-chosen"
+            )
         if self.shard_workers < 0:
             raise ValueError("shard_workers must be >= 0")
         if self.shard_scheme not in PARTITION_SCHEMES:
@@ -165,6 +184,17 @@ class MahifConfig:
                 f"of {PARTITION_SCHEMES}"
             )
         resolve_backend(self.backend)  # raises ValueError when unknown
+
+    @property
+    def shards_auto(self) -> bool:
+        """True when the adaptive planner chooses the shard count."""
+        return self.shards == AUTO_SHARDS
+
+    @property
+    def may_shard(self) -> bool:
+        """True when execution might shard (statically or via planner),
+        i.e. routing conditions must be computed at planning time."""
+        return self.shards == AUTO_SHARDS or self.shards > 1
 
 
 @dataclass(frozen=True)
@@ -189,6 +219,10 @@ class MahifResult:
     #: The (time-travelled) database the reenactment queries ran over;
     #: needed to re-evaluate them, e.g. for provenance explanations.
     base_database: Database | None = None
+    #: The adaptive planner's decision (``shards="auto"`` only): the
+    #: shard/worker counts this answer actually executed with, plus the
+    #: estimates it was based on.  ``None`` under static configuration.
+    planner_choice: ExecutionChoice | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -317,16 +351,17 @@ class Mahif:
         self._shard_executor = None
         self._shard_pool_lock = threading.Lock()
 
-    def _shard_pool(self):
-        if self.config.shards <= 1 or self.config.shard_workers <= 1:
+    def _shard_pool(self, config: MahifConfig | None = None):
+        config = config or self.config
+        if config.shards <= 1 or config.shard_workers <= 1:
             return None
         with self._shard_pool_lock:
             if self._shard_executor is None:
                 from .batch import _make_executor
 
                 executor = _make_executor(
-                    resolve_backend(self.config.backend),
-                    self.config.shard_workers,
+                    resolve_backend(config.backend),
+                    config.shard_workers,
                 )
                 if executor is not None:
                     weakref.finalize(
@@ -412,15 +447,34 @@ class Mahif:
         plan = self._plan_reenactment(query, method)
         t0 = time.perf_counter()
         deltas: dict[str, RelationDelta] = {}
-        if self.config.shards > 1:
+        choice: ExecutionChoice | None = None
+        effective = self.config
+        hints = None
+        if self.config.shards_auto:
+            from dataclasses import replace
+
+            from .planner import plan_execution
+
+            choice = plan_execution(
+                plan, self.config,
+                backend=resolve_backend(self.config.backend),
+            )
+            hints = choice.estimates
+            effective = replace(
+                self.config,
+                shards=choice.shards,
+                shard_workers=choice.shard_workers,
+            )
+        if effective.shards > 1:
             from .shard import evaluate_plan_sharded
 
             try:
                 deltas, _ = evaluate_plan_sharded(
                     plan,
-                    self.config,
-                    resolve_backend(self.config.backend),
-                    executor=self._shard_pool(),
+                    effective,
+                    resolve_backend(effective.backend),
+                    executor=self._shard_pool(effective),
+                    hints=hints,
                 )
             except BaseException:
                 # A failed task may have poisoned a process pool; build
@@ -452,6 +506,7 @@ class Mahif:
             queries_original=plan.queries_h,
             queries_modified=plan.queries_m,
             base_database=plan.start_db,
+            planner_choice=choice,
         )
 
     def _plan_reenactment(
@@ -519,9 +574,11 @@ class Mahif:
 
         t1 = time.perf_counter()
         # Sharded execution needs the slicing conditions for skip routing
-        # even when the method does not inject them into the queries.
+        # even when the method does not inject them into the queries —
+        # including ``shards="auto"``, where the planner also samples
+        # them for selectivity before any shard exists.
         needs_conditions = (
-            method.uses_data_slicing or self.config.shards > 1
+            method.uses_data_slicing or self.config.may_shard
         )
         insert_mod_relations: set[str] = set()
         if needs_conditions:
@@ -608,7 +665,7 @@ class Mahif:
                             if rel not in conditions.for_modified
                         },
                     )
-                if self.config.shards > 1:
+                if self.config.may_shard:
                     routing = conditions
                 if method.uses_data_slicing:
                     data_slicing = conditions

@@ -1,0 +1,561 @@
+"""Cost-based adaptive execution planning (DESIGN.md, "Adaptive planning").
+
+PR 5's sharded execution shipped with a foot-gun: 4-shard execution is a
+0.66–0.81x *slowdown* on R+PS+DS, because partitioning, routing scans
+and pool dispatch cost more than the tiny data-sliced inputs save.  This
+module decides *per query* whether sharding pays, from statistics that
+are already nearly free at planning time:
+
+* relation cardinalities — ``len(plan.start_db[relation])``,
+* routing-condition selectivity — estimated by evaluating the compiled
+  ``θ_H ∨ θ_{H[M]}`` predicate over a **bounded sample** of rows
+  (``DEFAULT_SAMPLE_LIMIT``), instead of the full O(n) parent-side scan
+  :func:`repro.core.shard.shard_keep_mask` performs; sampled matches are
+  kept as *witness* rows that later prove shards non-skippable without
+  rescanning them,
+* shardability — :func:`repro.core.shard.shardable` per query pair,
+* per-backend constant costs — calibrated once from
+  ``BENCH_backend.json``-style microbenchmarks
+  (:func:`calibrate_cost_model`), with defaults measured on the
+  ``benchmarks/bench_shard.py`` workload.
+
+The output is an :class:`ExecutionChoice` — shard count, worker count,
+partition scheme and backend — consumed by ``Mahif.answer`` /
+``answer_batch`` when ``MahifConfig(shards="auto")`` (stored as the
+``AUTO_SHARDS`` = 0 sentinel) and surfaced verbatim in service payloads.
+
+Soundness is never delegated to the estimates: a mispredicted
+selectivity can only cost time.  Witnesses only ever *keep* shards
+(skipping still requires :func:`shard_keep_mask`'s exhaustive
+error-conservative scan), and a choice of ``shards=1`` simply runs the
+sequential path that defines correctness.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from ..relational.algebra import operator_count
+from ..relational.expressions import TRUE
+
+__all__ = [
+    "AUTO_SHARDS",
+    "DEFAULT_SAMPLE_LIMIT",
+    "MAX_AUTO_SHARDS",
+    "SelectivityEstimate",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "calibrate_cost_model",
+    "ExecutionChoice",
+    "estimate_relation",
+    "plan_execution",
+]
+
+#: ``MahifConfig.shards`` sentinel for "let the planner decide".
+#: ``shards="auto"`` normalizes to this at config construction.
+AUTO_SHARDS = 0
+
+#: Rows sampled per relation when estimating routing selectivity.  The
+#: sample walks the relation at a fixed stride, so cost is bounded by
+#: the limit regardless of cardinality (~20µs at 256 rows).
+DEFAULT_SAMPLE_LIMIT = 256
+
+#: Witness rows retained per relation: enough to cover every shard the
+#: planner would create, cheap enough to probe per shard.
+MAX_WITNESSES = 32
+
+#: Largest shard count the planner will choose on its own.
+MAX_AUTO_SHARDS = 16
+
+#: Candidate shard counts evaluated by :func:`plan_execution`.
+_SHARD_CANDIDATES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class SelectivityEstimate:
+    """Sampled routing statistics for one affected relation.
+
+    ``trivial`` means the routing condition is ``TRUE`` (or could not be
+    compiled): no shard may skip, selectivity is pinned to 1 and there
+    are no witnesses.  ``witnesses`` are sampled rows that *satisfy* the
+    routing condition (rows the predicate errored on are included — the
+    same conservatism as ``shard_keep_mask``): any shard containing one
+    is provably non-skippable without scanning it.
+    """
+
+    relation: str
+    cardinality: int
+    sampled: int
+    matched: int
+    shardable: bool
+    trivial: bool
+    witnesses: tuple = ()
+
+    @property
+    def selectivity(self) -> float:
+        """Estimated fraction of rows the routing condition selects."""
+        if self.trivial:
+            return 1.0
+        if not self.sampled:
+            return 1.0 if self.cardinality else 0.0
+        return self.matched / self.sampled
+
+
+# Constants measured on the benchmarks/bench_shard.py workload (40k
+# rows, 12 updates, compiled backend): evaluating an unfiltered
+# reenactment pair costs ~4.7e-7 s per (row × operator); a data-sliced
+# pair is dominated by the injected selection's scan at ~1.2e-6 s per
+# row; range partitioning (sort + per-shard Relation rebuild) costs
+# ~1.8e-6 s per row — which is exactly why sharding loses on R+PS+DS:
+# partitioning 40k rows (~73ms) costs more than the whole sliced
+# evaluation (~45ms).  Interpreted scales from BENCH_backend.json's
+# hot-path ratio (~10x compiled); sqlite pays an extra per-row shard
+# ingest (every shard becomes its own server-side database).
+_DEFAULT_ROW_OP_COST = MappingProxyType({
+    "interpreted": 5.0e-6,
+    "compiled": 5.0e-7,
+    "sqlite": 6.0e-7,
+})
+_DEFAULT_DS_ROW_COST = MappingProxyType({
+    "interpreted": 1.2e-5,
+    "compiled": 1.2e-6,
+    "sqlite": 1.5e-6,
+})
+_DEFAULT_SHARD_ROW_COST = MappingProxyType({
+    "interpreted": 0.0,
+    "compiled": 0.0,
+    "sqlite": 2.5e-6,
+})
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-backend constants the planner prices candidate plans with.
+
+    All costs are seconds.  ``row_op_cost`` prices one (row × operator)
+    of unfiltered evaluation; ``ds_row_cost`` one scanned row of a
+    data-sliced pair (the injected selections make per-operator cost
+    negligible past the scan); ``shard_row_cost`` extra per-row cost a
+    backend pays per *evaluated* shard row (sqlite re-ingests each shard
+    as its own database).  ``min_benefit_seconds`` and ``min_speedup``
+    are the margins a sharded candidate must clear over the sequential
+    estimate before the planner risks it — estimates are coarse, and a
+    wrong ``shards>1`` costs real time while a wrong ``shards=1`` only
+    forgoes a speedup.
+    """
+
+    row_op_cost: Mapping[str, float] = field(
+        default_factory=lambda: _DEFAULT_ROW_OP_COST
+    )
+    ds_row_cost: Mapping[str, float] = field(
+        default_factory=lambda: _DEFAULT_DS_ROW_COST
+    )
+    shard_row_cost: Mapping[str, float] = field(
+        default_factory=lambda: _DEFAULT_SHARD_ROW_COST
+    )
+    partition_row_cost: float = 1.8e-6
+    keep_scan_row_cost: float = 7.5e-8
+    merge_row_cost: float = 3.0e-7
+    shard_fixed_cost: float = 3.0e-4
+    planning_cost: float = 1.0e-3
+    min_benefit_seconds: float = 0.010
+    min_speedup: float = 1.25
+    #: Parallel dispatch only pays past this much parallelizable work
+    #: (fork/pickle/IPC overhead; below it, serial shard evaluation with
+    #: skip routing is the faster "parallel" plan).
+    parallel_threshold_seconds: float = 0.5
+
+    def row_op(self, backend: str) -> float:
+        return self.row_op_cost.get(backend, _DEFAULT_ROW_OP_COST["compiled"])
+
+    def ds_row(self, backend: str) -> float:
+        return self.ds_row_cost.get(backend, _DEFAULT_DS_ROW_COST["compiled"])
+
+    def shard_row(self, backend: str) -> float:
+        return self.shard_row_cost.get(backend, 0.0)
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+def calibrate_cost_model(report: Mapping[str, Any]) -> CostModel:
+    """Derive a :class:`CostModel` from a ``BENCH_backend.json`` report.
+
+    Only backend *ratios* are taken from the report (its absolute
+    numbers measure a different workload): the compiled per-row-op
+    constant anchors the scale and each backend's hot-path exe time on
+    the largest measured size rescales it.  Malformed or partial reports
+    fall back to :data:`DEFAULT_COST_MODEL` — calibration must never be
+    able to break planning.
+    """
+    try:
+        rows = report["hot_path"]
+        largest = max(rows, key=lambda entry: entry["rows"])
+        compiled = float(largest["compiled_exe"])
+        if compiled <= 0:
+            return DEFAULT_COST_MODEL
+        base = _DEFAULT_ROW_OP_COST["compiled"]
+        ds_base = _DEFAULT_DS_ROW_COST["compiled"]
+        row_op: dict[str, float] = {}
+        ds_row: dict[str, float] = {}
+        for backend in ("interpreted", "compiled", "sqlite"):
+            exe = float(largest.get(f"{backend}_exe", 0.0))
+            if exe <= 0:
+                return DEFAULT_COST_MODEL
+            ratio = exe / compiled
+            row_op[backend] = base * ratio
+            ds_row[backend] = ds_base * ratio
+        return CostModel(
+            row_op_cost=MappingProxyType(row_op),
+            ds_row_cost=MappingProxyType(ds_row),
+        )
+    except (KeyError, TypeError, ValueError):
+        return DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class ExecutionChoice:
+    """The planner's verdict for one reenactment plan.
+
+    ``estimates`` carries the per-relation sampled statistics so the
+    shard layer can reuse the witnesses (keep-mask short-circuit) and so
+    tests/benchmarks can inspect what the decision was based on.
+    """
+
+    shards: int
+    shard_workers: int
+    scheme: str
+    backend: str
+    estimated_seconds: float
+    baseline_seconds: float
+    reason: str
+    estimates: Mapping[str, SelectivityEstimate] = field(
+        default_factory=dict
+    )
+
+    def payload(self) -> dict:
+        """JSON-safe summary recorded in service response payloads."""
+        return {
+            "shards": self.shards,
+            "shard_workers": self.shard_workers,
+            "scheme": self.scheme,
+            "backend": self.backend,
+            "estimated_seconds": round(self.estimated_seconds, 6),
+            "baseline_seconds": round(self.baseline_seconds, 6),
+            "reason": self.reason,
+        }
+
+
+def _rows_of(relation) -> Any:
+    """Row container of a set or bag relation (distinct rows for bags)."""
+    tuples = getattr(relation, "tuples", None)
+    if tuples is not None:
+        return tuples
+    return getattr(relation, "multiplicities", ())
+
+
+def estimate_relation(
+    plan,
+    relation: str,
+    *,
+    sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    max_witnesses: int = MAX_WITNESSES,
+) -> SelectivityEstimate:
+    """Sample one relation's routing selectivity (bounded, never O(n)).
+
+    Walks the relation's rows at a fixed stride so at most
+    ``sample_limit`` predicate evaluations happen however large the
+    relation is.  Rows the predicate errors on count as matches *and*
+    witnesses — mirroring ``shard_keep_mask``'s never-skip-on-error
+    rule, so a witness is always a row the exhaustive scan would also
+    have kept its shard for.
+    """
+    from .shard import routing_condition, shardable
+
+    rel = plan.start_db[relation]
+    cardinality = len(rel)
+    is_shardable = shardable(plan.queries_h[relation], relation) and (
+        shardable(plan.queries_m[relation], relation)
+    )
+    condition = routing_condition(plan.routing, relation)
+    if condition == TRUE or cardinality == 0:
+        return SelectivityEstimate(
+            relation, cardinality, 0, 0, is_shardable, True
+        )
+    from ..relational.exec import compile_predicate
+
+    try:
+        predicate = compile_predicate(condition, rel.schema)
+    except Exception:
+        return SelectivityEstimate(
+            relation, cardinality, 0, 0, is_shardable, True
+        )
+    rows = _rows_of(rel)
+    stride = max(1, len(rows) // max(1, sample_limit))
+    sampled = matched = 0
+    witnesses: list = []
+    for index, row in enumerate(rows):
+        if index % stride:
+            continue
+        sampled += 1
+        try:
+            hit = bool(predicate(row))
+        except Exception:
+            hit = True  # conservative: mirrors shard_keep_mask
+        if hit:
+            matched += 1
+            if len(witnesses) < max_witnesses:
+                witnesses.append(row)
+        if sampled >= sample_limit:
+            break
+    return SelectivityEstimate(
+        relation,
+        cardinality,
+        sampled,
+        matched,
+        is_shardable,
+        False,
+        tuple(witnesses),
+    )
+
+
+def _evaluated_shards(
+    estimate: SelectivityEstimate,
+    shards: int,
+    scheme: str,
+    has_singleton: bool,
+) -> int:
+    """Expected number of shards the keep mask retains.
+
+    Range partitioning clusters the (key-correlated) routing matches
+    into contiguous shards, so roughly ``ceil(selectivity × shards)``
+    survive — plus one shard of slack for imperfect clustering and the
+    protected first shard singletons pin.  Hash partitioning scatters
+    matches uniformly: any real selectivity touches essentially every
+    shard, so skipping is only modelled for an exactly-zero sample.
+    """
+    if estimate.trivial:
+        return shards
+    selectivity = estimate.selectivity
+    if scheme != "range":
+        return shards if selectivity > 0 else 1
+    base = math.ceil(selectivity * shards)
+    slack = 1 if (has_singleton or 0 < selectivity) else 0
+    return max(1, min(shards, base + slack))
+
+
+def _relation_cost(
+    model: CostModel,
+    backend: str,
+    estimate: SelectivityEstimate,
+    ops: int,
+    filtered: bool,
+    shards: int,
+    scheme: str,
+    has_singleton: bool,
+) -> float:
+    """Predicted seconds to evaluate one relation's delta at ``shards``.
+
+    ``filtered`` marks DS methods, whose injected selections make the
+    pair's cost scan-dominated: ``card × ds_row + s × card × ops ×
+    row_op``.  Unfiltered pairs stream every row through every
+    operator: ``card × ops × row_op``.  Sharded plans add partitioning,
+    the keep-mask scan, per-shard merge and fixed costs, and only
+    evaluate the kept fraction of rows.
+    """
+    card = estimate.cardinality
+    selectivity = estimate.selectivity
+
+    def pair_cost(rows: float) -> float:
+        if filtered:
+            return rows * model.ds_row(backend) + (
+                selectivity * card * ops * model.row_op(backend)
+            )
+        return rows * ops * model.row_op(backend)
+
+    if shards <= 1 or not estimate.shardable:
+        return pair_cost(card)
+    evaluated = _evaluated_shards(estimate, shards, scheme, has_singleton)
+    fraction = evaluated / shards
+    cost = card * model.partition_row_cost
+    if not estimate.trivial:
+        cost += card * model.keep_scan_row_cost
+    cost += pair_cost(fraction * card)
+    cost += fraction * card * (
+        model.merge_row_cost + model.shard_row(backend)
+    )
+    cost += evaluated * model.shard_fixed_cost
+    return cost
+
+
+def plan_execution(
+    plan,
+    config,
+    *,
+    backend: str | None = None,
+    cost_model: CostModel | None = None,
+    sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    max_shards: int = MAX_AUTO_SHARDS,
+    cpu_count: int | None = None,
+) -> ExecutionChoice:
+    """Choose an execution configuration for one reenactment plan.
+
+    Prices the plan at shards ∈ {1} ∪ ``_SHARD_CANDIDATES`` (bounded by
+    ``max_shards``) under the cost model and keeps the cheapest — but
+    only commits to sharding when it clears both safety margins
+    (``min_benefit_seconds`` absolute and ``min_speedup`` relative),
+    because an over-eager shard choice re-creates exactly the regression
+    this planner exists to fix.  Workers are enabled only when at least
+    two shards will actually be evaluated *and* the parallelizable
+    evaluation work dwarfs pool dispatch overhead.
+    """
+    from ..relational.exec.backend import resolve_backend
+    from .shard import _contains_singleton
+
+    from .shard import shardable
+
+    backend = backend or resolve_backend(config.backend)
+    model = cost_model or DEFAULT_COST_MODEL
+    scheme = config.shard_scheme
+    filtered = plan.method.uses_data_slicing
+
+    ops: dict[str, int] = {}
+    singleton: dict[str, bool] = {}
+    cheap: dict[str, SelectivityEstimate] = {}
+    for relation in sorted(plan.affected):
+        ops[relation] = operator_count(
+            plan.queries_h[relation]
+        ) + operator_count(plan.queries_m[relation])
+        singleton[relation] = _contains_singleton(
+            plan.queries_h[relation]
+        ) or _contains_singleton(plan.queries_m[relation])
+        # Statistics that cost nothing: cardinality and shardability.
+        # Selectivity optimistically 0 (matched=0 over a nonzero
+        # sample) — the benefit of sharding is maximal there, which is
+        # what the quick-reject bound below needs.
+        cheap[relation] = SelectivityEstimate(
+            relation,
+            len(plan.start_db[relation]),
+            1,
+            0,
+            shardable(plan.queries_h[relation], relation)
+            and shardable(plan.queries_m[relation], relation),
+            False,
+        )
+
+    def total_with(
+        estimates: Mapping[str, SelectivityEstimate], shards: int
+    ) -> float:
+        return sum(
+            _relation_cost(
+                model, backend, estimates[rel], ops[rel], filtered,
+                shards, scheme, singleton[rel],
+            )
+            for rel in estimates
+        )
+
+    # Quick reject, before compiling or sampling any routing predicate:
+    # both the sequential and the sharded cost are non-decreasing in
+    # selectivity and the sharded side rises at least as fast (more
+    # shards survive the keep mask), so the benefit of sharding is
+    # largest at selectivity 0.  If even that optimistic bound cannot
+    # clear the margins, planning ends here — the planner's own
+    # overhead on sub-threshold inputs is exactly the kind of
+    # regression it exists to prevent.
+    cheap_baseline = total_with(cheap, 1)
+    optimistic = min(
+        (
+            total_with(cheap, shards)
+            for shards in _SHARD_CANDIDATES
+            if shards <= max_shards
+        ),
+        default=cheap_baseline,
+    )
+    if (
+        cheap_baseline - optimistic < model.min_benefit_seconds
+        or cheap_baseline < model.min_speedup * optimistic
+    ):
+        return ExecutionChoice(
+            shards=1,
+            shard_workers=0,
+            scheme=scheme,
+            backend=backend,
+            estimated_seconds=cheap_baseline,
+            baseline_seconds=cheap_baseline,
+            reason=(
+                f"sequential: est {cheap_baseline:.4f}s; sharding cannot "
+                f"clear the margin even at selectivity 0"
+            ),
+            estimates=cheap,
+        )
+
+    estimates: dict[str, SelectivityEstimate] = {
+        relation: estimate_relation(
+            plan, relation, sample_limit=sample_limit
+        )
+        for relation in sorted(plan.affected)
+    }
+
+    baseline = total_with(estimates, 1)
+    best_shards, best_cost = 1, baseline
+    for shards in _SHARD_CANDIDATES:
+        if shards > max_shards:
+            continue
+        cost = total_with(estimates, shards) + model.planning_cost
+        if cost < best_cost:
+            best_shards, best_cost = shards, cost
+
+    if best_shards > 1 and (
+        baseline - best_cost < model.min_benefit_seconds
+        or baseline < model.min_speedup * best_cost
+    ):
+        best_shards, best_cost = 1, baseline
+
+    workers = 0
+    reason = (
+        f"sequential: est {baseline:.4f}s; sharding clears no margin"
+    )
+    if best_shards > 1:
+        evaluated_total = sum(
+            _evaluated_shards(
+                estimates[rel], best_shards, scheme, singleton[rel]
+            )
+            for rel in estimates
+            if estimates[rel].shardable
+        )
+        parallel_work = sum(
+            _relation_cost(
+                model, backend, estimates[rel], ops[rel], filtered,
+                best_shards, scheme, singleton[rel],
+            )
+            for rel in estimates
+            if estimates[rel].shardable
+        )
+        if (
+            evaluated_total >= 2
+            and parallel_work >= model.parallel_threshold_seconds
+        ):
+            cpus = cpu_count if cpu_count is not None else (
+                os.cpu_count() or 1
+            )
+            workers = max(0, min(evaluated_total, best_shards, cpus))
+            if workers < 2:
+                workers = 0
+        reason = (
+            f"sharded x{best_shards}: est {best_cost:.4f}s vs "
+            f"{baseline:.4f}s sequential"
+        )
+    return ExecutionChoice(
+        shards=best_shards,
+        shard_workers=workers,
+        scheme=scheme,
+        backend=backend,
+        estimated_seconds=best_cost,
+        baseline_seconds=baseline,
+        reason=reason,
+        estimates=estimates,
+    )

@@ -135,6 +135,7 @@ def shard_keep_mask(
     condition: Expr,
     *,
     protect_first: bool = False,
+    witnesses: Sequence[tuple] = (),
 ) -> list[bool]:
     """Which shards must be evaluated under ``condition``.
 
@@ -144,6 +145,15 @@ def shard_keep_mask(
     have surfaced an evaluation error for.  ``protect_first`` pins the
     first shard (reenactment singletons — inserted tuples — are
     evaluated per shard and must survive in at least one).
+
+    ``witnesses`` are rows the adaptive planner already observed to
+    satisfy the condition (or error under it — the same conservatism as
+    the scan below): a shard containing one is *proven* non-skippable by
+    a handful of O(1) membership probes, short-circuiting the exhaustive
+    scan.  Soundness is one-sided by construction — witnesses only ever
+    keep shards; the full error-conservative scan still runs wherever a
+    skip remains possible, so the mask can never skip a shard the
+    witness-free mask would have kept.
     """
     if condition == TRUE:
         return [True] * len(parts)
@@ -153,6 +163,9 @@ def shard_keep_mask(
     keep = []
     for index, part in enumerate(parts):
         if index == 0 and protect_first:
+            keep.append(True)
+            continue
+        if witnesses and any(row in part.tuples for row in witnesses):
             keep.append(True)
             continue
         matched = False
@@ -223,13 +236,18 @@ def plan_relation_shards(
     shards: int,
     scheme: str,
     partitions: dict | None = None,
+    hints: Mapping | None = None,
 ) -> RelationShardWork:
     """Plan one relation's delta evaluation under ``shards`` partitions.
 
     ``plan`` is the engine's :class:`~repro.core.engine._ReenactmentPlan`;
     ``partitions`` optionally memoizes partition lists across queries of
     a batch that share the same start database (keyed by database
-    identity — safe because databases are immutable).
+    identity — safe because databases are immutable).  ``hints`` maps
+    relation names to the adaptive planner's
+    :class:`~repro.core.planner.SelectivityEstimate`: its witness rows
+    let :func:`shard_keep_mask` prove shards non-skippable without
+    scanning them.
     """
     query_h = plan.queries_h[relation]
     query_m = plan.queries_m[relation]
@@ -292,7 +310,11 @@ def plan_relation_shards(
     protect_first = _contains_singleton(query_h) or _contains_singleton(
         query_m
     )
-    keep = shard_keep_mask(parts, condition, protect_first=protect_first)
+    hint = hints.get(relation) if hints is not None else None
+    witnesses = getattr(hint, "witnesses", ())
+    keep = shard_keep_mask(
+        parts, condition, protect_first=protect_first, witnesses=witnesses
+    )
     calls = tuple(
         (backend, query_h, query_m, shard_db, None, None)
         for shard_db, kept in zip(shard_dbs, keep)
@@ -393,6 +415,7 @@ def evaluate_plan_sharded(
     config,
     backend: str,
     executor=None,
+    hints: Mapping | None = None,
 ) -> tuple[dict[str, RelationDelta], dict[str, dict]]:
     """Evaluate a reenactment plan's deltas shard-parallel.
 
@@ -412,7 +435,7 @@ def evaluate_plan_sharded(
     works = [
         plan_relation_shards(
             backend, plan, relation, config.shards, config.shard_scheme,
-            partitions,
+            partitions, hints,
         )
         for relation in sorted(plan.affected)
     ]

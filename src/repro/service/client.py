@@ -309,8 +309,12 @@ class ServiceClient:
         *,
         method: str | None = None,
         backend: str | None = None,
-        shards: int | None = None,
+        shards: int | str | None = None,
     ) -> dict:
+        """One what-if answer.  ``shards`` accepts a positive count, or
+        ``"auto"``/``0`` for the server-side cost-based planner (the
+        response then carries the ``planner`` decision and its
+        ``shards`` field reports the chosen count)."""
         body: dict[str, Any] = {"modifications": modifications}
         if method is not None:
             body["method"] = method
@@ -328,7 +332,7 @@ class ServiceClient:
         method: str | None = None,
         backend: str | None = None,
         workers: int | None = None,
-        shards: int | None = None,
+        shards: int | str | None = None,
     ) -> list[dict]:
         body: dict[str, Any] = {"queries": list(queries)}
         if method is not None:

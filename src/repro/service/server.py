@@ -73,10 +73,12 @@ from .resilience import (
     ServiceError,
     resilience_snapshot,
 )
+from ..core.planner import AUTO_SHARDS
 from .wire import (
     METHODS,
     SpecError,
     modifications_from_spec,
+    normalize_shards,
     result_payload,
 )
 
@@ -114,6 +116,11 @@ class _HistoryHandle:
     #: (history length, fingerprint) -> entry; all live keys carry the
     #: current length (entries are re-keyed or dropped on append).
     cache: dict[tuple, _CacheEntry] = field(default_factory=dict)
+    #: fingerprint -> the shard count the adaptive planner last chose
+    #: for it, so ``shards="auto"`` requests resolve to the *chosen*
+    #: count's cache key and share entries with explicit requests that
+    #: match it (see DESIGN.md, "Adaptive planning").
+    auto_choices: dict[tuple, int] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
     #: idempotency key -> recorded append response (bounded LRU), so a
@@ -139,7 +146,7 @@ class WhatIfService:
         default_method: str = Method.R_PS_DS.value,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         batch_workers: int = 0,
-        default_shards: int = 1,
+        default_shards: int | str = 1,
         sync: bool = True,
     ) -> None:
         import pathlib
@@ -152,9 +159,14 @@ class WhatIfService:
             raise ServiceError("checkpoint_interval must be >= 1")
         if batch_workers < 0:
             raise ServiceError("batch_workers must be >= 0")
-        if not 1 <= default_shards <= MAX_SHARDS:
+        try:
+            default_shards = normalize_shards(default_shards)
+        except SpecError as exc:
+            raise ServiceError(str(exc)) from None
+        if default_shards is None or default_shards > MAX_SHARDS:
             raise ServiceError(
-                f"default_shards must be between 1 and {MAX_SHARDS}"
+                f"default_shards must be between 1 and {MAX_SHARDS}, "
+                f'0, or "auto"'
             )
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -412,11 +424,14 @@ class WhatIfService:
                         accessed |= stmt.accessed_relations()
                     new_length = len(handle.store)
                     retained: dict[tuple, _CacheEntry] = {}
-                    for (_, fingerprint), entry in handle.cache.items():
+                    for key, entry in handle.cache.items():
+                        _, shards, fingerprint = key
                         if entry.delta_relations & accessed:
                             dropped += 1
                         else:
-                            retained[(new_length, fingerprint)] = entry
+                            retained[
+                                (new_length, shards, fingerprint)
+                            ] = entry
                     handle.cache = retained
                     retained_count = len(retained)
             response = {
@@ -441,14 +456,17 @@ class WhatIfService:
             return engine
 
     @staticmethod
-    def _fingerprint(
-        method: Method, backend: str, shards: int, modifications
-    ) -> tuple:
-        # The shard count is part of the key: sharded and unsharded
-        # answers are proved (and differentially tested) identical, but
-        # the cached payload records the configuration it was computed
-        # under — serving a shards=4 payload to a shards=1 request would
-        # misreport it, so the cache never crosses shard counts.
+    def _fingerprint(method: Method, backend: str, modifications) -> tuple:
+        # The shard count is *not* part of this base key — it joins the
+        # cache key alongside the history length, always as the
+        # *effective* count an answer executed with.  Sharded and
+        # unsharded answers are proved (and differentially tested)
+        # identical, but the cached payload records the configuration it
+        # was computed under — serving a shards=4 payload to a shards=1
+        # request would misreport it, so the cache never crosses
+        # *effective* shard counts; ``shards="auto"`` requests resolve
+        # through ``handle.auto_choices`` to the planner's chosen count
+        # and thereby share entries with matching explicit requests.
         parts = []
         for mod in modifications:
             stmt = getattr(mod, "statement", None)
@@ -459,7 +477,7 @@ class WhatIfService:
                     _statement_share_key(stmt) if stmt is not None else None,
                 )
             )
-        key = (method.value, backend, shards, tuple(parts))
+        key = (method.value, backend, tuple(parts))
         try:
             hash(key)
         except TypeError:  # unhashable constant: bypass the cache
@@ -474,7 +492,7 @@ class WhatIfService:
         method: str | None = None,
         backend: str | None = None,
         workers: int | None = None,
-        shards: int | None = None,
+        shards: int | str | None = None,
         deadline: Deadline | None = None,
     ) -> list[dict]:
         """Answer one spec per entry over the named stored history.
@@ -483,7 +501,11 @@ class WhatIfService:
         ``answer_batch`` call (shared time travel + shared plans across
         the missing queries) with each start version reconstructed from
         the store's nearest checkpoint.  ``shards`` > 1 answers through
-        the sharded execution path (DESIGN.md, "Sharded execution").
+        the sharded execution path (DESIGN.md, "Sharded execution");
+        ``shards="auto"``/``0`` lets the cost-based planner decide per
+        query — each response then records the ``planner`` decision and
+        its ``shards`` field reports the *chosen* count, under which the
+        answer is also cached.
 
         ``deadline`` bounds the miss computation server-side: on expiry
         the call raises :class:`~repro.service.resilience.
@@ -501,12 +523,17 @@ class WhatIfService:
             raise ServiceError(f"unknown method {method!r}") from None
         if workers is None:
             workers = self.batch_workers
+        try:
+            shards = normalize_shards(shards)
+        except SpecError as exc:
+            raise ServiceError(str(exc)) from None
         if shards is None:
             shards = self.default_shards
-        if not 1 <= shards <= MAX_SHARDS:
+        if shards > MAX_SHARDS:
             raise ServiceError(
-                f"shards must be between 1 and {MAX_SHARDS}"
+                f'shards must be between 1 and {MAX_SHARDS}, 0, or "auto"'
             )
+        auto = shards == AUTO_SHARDS
         handle = self._handle(name)
 
         try:
@@ -529,15 +556,21 @@ class WhatIfService:
                     )
                 except Exception as exc:
                     raise ServiceError(str(exc)) from None
-                fingerprint = self._fingerprint(
-                    method_enum, backend, shards, mods
-                )
-                key = (length, fingerprint)
-                entry = (
-                    handle.cache.get(key)
-                    if fingerprint is not None
-                    else None
-                )
+                fingerprint = self._fingerprint(method_enum, backend, mods)
+                entry = None
+                if fingerprint is not None:
+                    # Auto requests resolve through the planner's last
+                    # chosen count for this fingerprint; no choice on
+                    # record means a guaranteed miss (the planner runs).
+                    resolved = (
+                        handle.auto_choices.get(fingerprint)
+                        if auto
+                        else shards
+                    )
+                    if resolved is not None:
+                        entry = handle.cache.get(
+                            (length, resolved, fingerprint)
+                        )
                 if entry is not None:
                     handle.hits += 1
                     # history_length reflects the length the entry is
@@ -591,17 +624,29 @@ class WhatIfService:
                         if query is None:
                             continue
                         result = next(fresh)
+                        choice = result.planner_choice
+                        # The payload's "shards" is the *effective*
+                        # count the answer executed with — the planner's
+                        # choice under auto, the request's otherwise —
+                        # and the count the entry is cached under.
+                        effective = (
+                            choice.shards if choice is not None else shards
+                        )
                         payload = {
                             **result_payload(result),
                             "history_length": length,
                             "method": method_enum.value,
                             "backend": used_backend,
-                            "shards": shards,
+                            "shards": effective,
                         }
+                        if choice is not None:
+                            payload["planner"] = choice.payload()
                         if degraded_from is not None:
                             payload["degraded_from"] = degraded_from
                         outcomes[index] = {**payload, "cached": False}
                         fingerprint = fingerprints[index]
+                        if fingerprint is not None and auto:
+                            handle.auto_choices[fingerprint] = effective
                         if (
                             fingerprint is not None
                             and current_length == length
@@ -612,9 +657,9 @@ class WhatIfService:
                                 in result.delta.relations.items()
                                 if delta.added or delta.removed
                             )
-                            handle.cache[(length, fingerprint)] = (
-                                _CacheEntry(payload, delta_relations)
-                            )
+                            handle.cache[
+                                (length, effective, fingerprint)
+                            ] = _CacheEntry(payload, delta_relations)
 
             if deadline is not None:
                 try:
@@ -904,7 +949,7 @@ class _Handler(BaseHTTPRequestHandler):
                 [body["modifications"]],
                 method=body.get("method"),
                 backend=body.get("backend"),
-                shards=_int_of(body, "shards"),
+                shards=_shards_of(body),
                 deadline=self._deadline(),
             )
             return results[0], 200
@@ -922,11 +967,19 @@ class _Handler(BaseHTTPRequestHandler):
                 method=body.get("method"),
                 backend=body.get("backend"),
                 workers=_int_of(body, "workers"),
-                shards=_int_of(body, "shards"),
+                shards=_shards_of(body),
                 deadline=self._deadline(),
             )
             return {"results": results}, 200
         raise ServiceError(f"no such route POST {path}", status=404)
+
+
+def _shards_of(body: Mapping) -> int | None:
+    """The optional "shards" body field: positive int, 0, or "auto"."""
+    try:
+        return normalize_shards(body.get("shards"))
+    except SpecError as exc:
+        raise ServiceError(str(exc)) from None
 
 
 def _int_of(body: Mapping, key: str) -> int | None:

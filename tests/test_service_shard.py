@@ -97,7 +97,9 @@ class TestShardedAnswering:
         from repro.service import ServiceClientError
 
         with pytest.raises(ServiceClientError):
-            client.whatif("orders", spec_for(60), shards=0)
+            client.whatif("orders", spec_for(60), shards=-1)
+        with pytest.raises(ServiceClientError):
+            client.whatif("orders", spec_for(60), shards="many")
         # the engine map is keyed per shard count, so client-supplied
         # counts are capped (MAX_SHARDS) instead of growing it unbounded
         with pytest.raises(ServiceClientError):
@@ -235,7 +237,20 @@ class TestShardedServiceConfig:
         from repro.service import ServiceError
 
         with pytest.raises(ServiceError):
-            WhatIfService(tmp_path / "s", default_shards=0)
+            WhatIfService(tmp_path / "s", default_shards=-1)
+        with pytest.raises(ServiceError):
+            WhatIfService(tmp_path / "s", default_shards=65)
+        with pytest.raises(ServiceError):
+            WhatIfService(tmp_path / "s", default_shards="sixteen")
+
+    def test_auto_default_shards_accepted(self, tmp_path):
+        from repro.core.planner import AUTO_SHARDS
+
+        service = WhatIfService(tmp_path / "s", default_shards="auto")
+        try:
+            assert service.default_shards == AUTO_SHARDS
+        finally:
+            service.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

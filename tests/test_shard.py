@@ -273,11 +273,22 @@ class TestEngineSharded:
 class TestConfigValidation:
     def test_bad_values_rejected(self):
         with pytest.raises(ValueError):
-            MahifConfig(shards=0)
+            MahifConfig(shards=-1)
+        with pytest.raises(ValueError):
+            MahifConfig(shards="many")
         with pytest.raises(ValueError):
             MahifConfig(shard_workers=-1)
         with pytest.raises(ValueError):
             MahifConfig(shard_scheme="zigzag")
+
+    def test_auto_sentinel_accepted(self):
+        from repro.core.planner import AUTO_SHARDS
+
+        assert MahifConfig(shards="auto").shards == AUTO_SHARDS
+        assert MahifConfig(shards=0).shards_auto
+        assert MahifConfig(shards="auto").may_shard
+        assert not MahifConfig(shards=1).may_shard
+        assert MahifConfig(shards=4).may_shard
 
     def test_cli_flag_parses(self):
         from repro.cli import _engine_config, build_parser
