@@ -10,6 +10,7 @@ was produced this way).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -30,12 +31,15 @@ __all__ = [
     "record_result",
 ]
 
-#: Process-wide registry of (experiment, row-dict) pairs.
+#: Process-wide registry of (experiment, row-dict) pairs, guarded by
+#: ``_RESULTS_LOCK`` (benchmarks may record from pool callbacks).
 RESULTS: list[tuple[str, dict[str, Any]]] = []
+_RESULTS_LOCK = threading.Lock()
 
 
 def record_result(experiment: str, row: dict[str, Any]) -> None:
-    RESULTS.append((experiment, dict(row)))
+    with _RESULTS_LOCK:
+        RESULTS.append((experiment, dict(row)))
 
 
 @dataclass(frozen=True)

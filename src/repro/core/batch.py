@@ -13,7 +13,10 @@ sequential ``answer`` loop repeats per query:
 2. **Reenactment planning** — queries whose (sliced) statement pairs are
    structurally identical share finished operator trees, data-slicing
    conditions and optimized plans through a keyed cache one level above
-   the compiled-plan cache (``engine._plan_reenactment``).
+   the compiled-plan cache (``engine._plan_reenactment``).  Static plan
+   verification (``MahifConfig(verify_plans=True)``, see DESIGN.md
+   "Static analysis") rides the same hook: fresh plans are verified and
+   their optimizer rewrites certified once, cache hits skip the check.
 3. **Delta evaluation** — per-(query, relation) evaluations fan out over
    a ``concurrent.futures`` pool: a *process* pool for the in-process
    backends (pure-Python evaluation does not parallelize under the GIL;

@@ -30,6 +30,7 @@ empty delta and are skipped outright.
 from __future__ import annotations
 
 import enum
+import os
 import threading
 import time
 import weakref
@@ -133,6 +134,20 @@ class MahifConfig:
     of pool as ``batch_workers`` (0 evaluates shards serially, which
     still benefits from skip routing).
 
+    ``verify_plans`` runs the static soundness layer (see DESIGN.md,
+    "Static analysis") over every reenactment plan the engine builds:
+    :func:`~repro.static_analysis.verify_plan` checks attribute
+    resolution, schema compatibility and NULL-aware typing with
+    operator-path diagnostics, and — when ``optimize_queries`` is on —
+    :func:`~repro.static_analysis.check_rewrite` certifies the
+    optimizer's output against its input, statically rejecting the PR-2
+    class of NULL-unsound rewrites.  ``None`` (the default) resolves
+    from the ``MAHIF_VERIFY_PLANS`` environment variable, which the
+    test/fuzz harness sets to ``1`` so every suite run verifies every
+    plan it builds; production calls default off.  Verification happens
+    at plan-build time only — shared-plan cache hits reuse the already
+    certified trees.
+
     ``shards="auto"`` (stored as the ``AUTO_SHARDS`` = 0 sentinel; the
     literal ``0`` is accepted too) hands the decision to the cost-based
     planner (see DESIGN.md, "Adaptive planning"): each reenactment plan
@@ -155,10 +170,16 @@ class MahifConfig:
     shards: int | str = 1
     shard_workers: int = 0
     shard_scheme: str = "range"
+    verify_plans: bool | None = None
 
     def __post_init__(self) -> None:
         from ..relational.partition import PARTITION_SCHEMES
 
+        if self.verify_plans is None:
+            env = os.environ.get("MAHIF_VERIFY_PLANS", "").strip().lower()
+            object.__setattr__(
+                self, "verify_plans", env in ("1", "true", "on", "yes")
+            )
         if self.slicing_algorithm not in ("dependency", "greedy"):
             raise ValueError(
                 f"unknown slicing algorithm {self.slicing_algorithm!r}"
@@ -682,7 +703,10 @@ class Mahif:
                         for name, op in queries_m.items()
                     }
 
+            pre_opt_h: Mapping[str, Operator] | None = None
+            pre_opt_m: Mapping[str, Operator] | None = None
             if self.config.optimize_queries:
+                pre_opt_h, pre_opt_m = queries_h, queries_m
                 queries_h = {
                     name: optimize(op, self.config.optimizer)
                     for name, op in queries_h.items()
@@ -691,6 +715,22 @@ class Mahif:
                     name: optimize(op, self.config.optimizer)
                     for name, op in queries_m.items()
                 }
+
+            if self.config.verify_plans:
+                # Static soundness layer (DESIGN.md, "Static analysis"):
+                # every freshly built plan is schema/type-verified, and
+                # the optimizer's rewrite is certified NULL-sound against
+                # the unoptimized tree.  Cache hits skip this — the
+                # cached trees were certified when first built.
+                from ..static_analysis import verify_reenactment_plans
+
+                verify_reenactment_plans(
+                    schemas,
+                    queries_h,
+                    queries_m,
+                    before_original=pre_opt_h,
+                    before_modified=pre_opt_m,
+                )
 
             if share_key is not None:
                 shared[share_key] = (

@@ -37,10 +37,13 @@ import math
 import os
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..relational.algebra import operator_count
 from ..relational.expressions import TRUE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import MahifConfig, _ReenactmentPlan
 
 __all__ = [
     "AUTO_SHARDS",
@@ -93,7 +96,7 @@ class SelectivityEstimate:
     matched: int
     shardable: bool
     trivial: bool
-    witnesses: tuple = ()
+    witnesses: tuple[tuple[Any, ...], ...] = ()
 
     @property
     def selectivity(self) -> float:
@@ -237,7 +240,7 @@ class ExecutionChoice:
         default_factory=dict
     )
 
-    def payload(self) -> dict:
+    def payload(self) -> dict[str, Any]:
         """JSON-safe summary recorded in service response payloads."""
         return {
             "shards": self.shards,
@@ -250,7 +253,7 @@ class ExecutionChoice:
         }
 
 
-def _rows_of(relation) -> Any:
+def _rows_of(relation: Any) -> Any:
     """Row container of a set or bag relation (distinct rows for bags)."""
     tuples = getattr(relation, "tuples", None)
     if tuples is not None:
@@ -259,7 +262,7 @@ def _rows_of(relation) -> Any:
 
 
 def estimate_relation(
-    plan,
+    plan: "_ReenactmentPlan",
     relation: str,
     *,
     sample_limit: int = DEFAULT_SAMPLE_LIMIT,
@@ -290,6 +293,7 @@ def estimate_relation(
 
     try:
         predicate = compile_predicate(condition, rel.schema)
+    # repro-lint: allow[broad-swallow] -- uncompilable condition degrades to all-match, costs only speed
     except Exception:
         return SelectivityEstimate(
             relation, cardinality, 0, 0, is_shardable, True
@@ -297,15 +301,16 @@ def estimate_relation(
     rows = _rows_of(rel)
     stride = max(1, len(rows) // max(1, sample_limit))
     sampled = matched = 0
-    witnesses: list = []
+    witnesses: list[tuple[Any, ...]] = []
     for index, row in enumerate(rows):
         if index % stride:
             continue
         sampled += 1
         try:
             hit = bool(predicate(row))
+        # repro-lint: allow[broad-swallow] -- mirrors shard_keep_mask: erroring rows must match
         except Exception:
-            hit = True  # conservative: mirrors shard_keep_mask
+            hit = True
         if hit:
             matched += 1
             if len(witnesses) < max_witnesses:
@@ -393,8 +398,8 @@ def _relation_cost(
 
 
 def plan_execution(
-    plan,
-    config,
+    plan: "_ReenactmentPlan",
+    config: "MahifConfig",
     *,
     backend: str | None = None,
     cost_model: CostModel | None = None,

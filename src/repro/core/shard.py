@@ -174,8 +174,9 @@ def shard_keep_mask(
                 if predicate(row):
                     matched = True
                     break
+            # repro-lint: allow[broad-swallow] -- erroring rows must keep their shard, never skip
             except Exception:
-                matched = True  # conservative: never skip on error
+                matched = True
                 break
         keep.append(matched)
     return keep

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, TypeGuard
 
 __all__ = [
     "Expr",
@@ -479,7 +479,7 @@ def rename_attributes(expr: Expr, mapping: Mapping[str, str]) -> Expr:
 
 # -- simplification --------------------------------------------------------
 
-def _is_const(expr: Expr) -> bool:
+def _is_const(expr: Expr) -> TypeGuard[Const]:
     return isinstance(expr, Const)
 
 
@@ -571,7 +571,7 @@ def _simplify_node(expr: Expr) -> Expr | None:
 
 def simplify(expr: Expr) -> Expr:
     """Simplify an expression to a fixpoint of the local rules."""
-    previous = None
+    previous: Expr | None = None
     current = expr
     while current != previous:
         previous = current

@@ -25,6 +25,10 @@ class Schema:
 
     attributes: tuple[str, ...]
     types: tuple[str, ...] = field(default=())
+    #: Cached attribute->position map, built in ``__post_init__``.
+    _index: dict[str, int] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         attrs = tuple(self.attributes)

@@ -153,7 +153,10 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8"))["error"]
-            except Exception:
+            except (OSError, ValueError, KeyError, TypeError):
+                # Body unreadable, not JSON, or not {"error": ...}-shaped
+                # (e.g. a proxy's HTML error page): fall back to the
+                # status line.
                 message = str(exc)
             raise ServiceClientError(
                 message,

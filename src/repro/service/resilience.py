@@ -173,7 +173,8 @@ class Deadline:
         def _worker() -> None:
             try:
                 outcome[0] = fn()
-            except BaseException as exc:  # delivered to the waiter
+            # repro-lint: allow[swallow-baseexception] -- captured only to re-raise in the waiter
+            except BaseException as exc:
                 outcome[1] = exc
             finally:
                 done.set()

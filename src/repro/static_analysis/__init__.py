@@ -1,0 +1,75 @@
+"""Static soundness layer: IR plan/rewrite verification.
+
+Two entry points (DESIGN.md, "Static analysis"):
+
+* :func:`verify_plan` — schema/attribute resolution and NULL-aware
+  lattice typing over an operator tree; returns provable
+  :class:`Violation`\\ s with operator-path diagnostics.  Wired into the
+  engine behind ``MahifConfig(verify_plans=True)`` (default on under the
+  test/fuzz harness via ``MAHIF_VERIFY_PLANS=1``).
+* :func:`check_rewrite` / :func:`check_expr_rewrite` — NULL-soundness
+  certification of optimizer rewrites: a lattice filter plus a
+  deterministic witness differential that always probes the all-NULL
+  state, statically rejecting the PR-2 class of bugs (``x = x -> TRUE``,
+  ``x * 0 -> 0``, NOT-comparison flips).
+
+The repo-invariant half of the layer lives in ``tools/repro_lint.py``.
+"""
+
+from .lattice import (
+    ALL_KINDS,
+    BOOL,
+    FLOAT,
+    INT,
+    NULL_TYPE,
+    NUMERIC_KINDS,
+    STR,
+    TOP,
+    AbstractType,
+    abstract_of_type_tag,
+    abstract_of_value,
+    is_condition_like,
+    join,
+)
+from .rewrite_check import (
+    RewriteUnsoundError,
+    certify_optimizer_rules,
+    check_expr_rewrite,
+    check_rewrite,
+)
+from .verifier import (
+    PlanVerificationError,
+    Violation,
+    infer_expr_type,
+    verify_condition,
+    verify_plan,
+    verify_plan_or_raise,
+    verify_reenactment_plans,
+)
+
+__all__ = [
+    "AbstractType",
+    "ALL_KINDS",
+    "NUMERIC_KINDS",
+    "TOP",
+    "NULL_TYPE",
+    "BOOL",
+    "INT",
+    "FLOAT",
+    "STR",
+    "join",
+    "abstract_of_value",
+    "abstract_of_type_tag",
+    "is_condition_like",
+    "Violation",
+    "PlanVerificationError",
+    "infer_expr_type",
+    "verify_condition",
+    "verify_plan",
+    "verify_plan_or_raise",
+    "verify_reenactment_plans",
+    "RewriteUnsoundError",
+    "check_expr_rewrite",
+    "check_rewrite",
+    "certify_optimizer_rules",
+]

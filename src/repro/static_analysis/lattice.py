@@ -1,0 +1,217 @@
+"""NULL-aware abstract type lattice for the expression IR.
+
+The runtime value domain of the expression language
+(:mod:`repro.relational.expressions`) is ``None | bool | int | float |
+str`` with two-valued logic: a NULL operand makes every comparison
+evaluate to ``False`` and propagates through arithmetic as ``None``.
+The static verifier abstracts a value as a point of the lattice
+
+    ``AbstractType(kinds, nullable)``
+
+where ``kinds`` is the set of *possible non-NULL runtime kinds* (a
+subset of ``{"int", "float", "bool", "str"}``) and ``nullable`` records
+whether the value may be NULL — the "third value" of the three-valued
+lattice.  ``TOP`` (all kinds, nullable) abstracts a value nothing is
+known about; ``NULL_TYPE`` (no kinds, nullable) abstracts a value that
+is provably NULL.  The partial order is componentwise: ``a <= b`` iff
+``a.kinds <= b.kinds`` and ``a.nullable <= b.nullable``; ``join`` is the
+least upper bound.
+
+The verifier only rejects *provable* errors: an operand is flagged for
+arithmetic only when its possible kinds are non-empty and disjoint from
+the numeric kinds, an ordered comparison only when the two sides'
+possible kinds provably belong to incomparable groups.  Schemas in this
+codebase carry advisory type tags that default to ``"any"`` (= ``TOP``),
+so anything more eager would reject working plans.
+
+Nullability is what makes the lattice catch the PR-2 rewrite bugs
+statically: ``x * 0`` has a *nullable* abstract type (NULL·0 = NULL)
+while the replacement ``0`` is non-nullable, so the fold is rejected on
+the lattice alone — see :mod:`repro.static_analysis.rewrite_check`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..relational.expressions import (
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Expr,
+    If,
+    IsNull,
+    Logic,
+    Not,
+    Var,
+)
+
+__all__ = [
+    "AbstractType",
+    "ALL_KINDS",
+    "NUMERIC_KINDS",
+    "TOP",
+    "NULL_TYPE",
+    "BOOL",
+    "INT",
+    "FLOAT",
+    "STR",
+    "join",
+    "abstract_of_value",
+    "abstract_of_type_tag",
+    "is_condition_like",
+    "TypeEnv",
+]
+
+#: Every concrete non-NULL runtime kind of the value domain.
+ALL_KINDS: frozenset[str] = frozenset({"int", "float", "bool", "str"})
+
+#: Kinds legal as arithmetic operands (``bool`` coerces: True + 1 == 2,
+#: matching both the interpreter and sqlite's integer affinity).
+NUMERIC_KINDS: frozenset[str] = frozenset({"int", "float", "bool"})
+
+#: Schema type tags understood by :func:`abstract_of_type_tag`.  Tags
+#: outside this table (including the default ``"any"``) map to ``TOP``.
+_TAG_KINDS: dict[str, frozenset[str]] = {
+    "int": frozenset({"int"}),
+    "float": frozenset({"float"}),
+    "num": frozenset({"int", "float"}),
+    "bool": frozenset({"bool"}),
+    "str": frozenset({"str"}),
+}
+
+
+@dataclass(frozen=True)
+class AbstractType:
+    """One point of the lattice: possible kinds plus a nullability bit.
+
+    ``maybe_zero`` is a refinement used only for division: a denominator
+    that provably cannot be zero (a non-zero constant) keeps constant
+    folding of ``c1 / c2`` certifiable, because ``x / 0`` evaluates to
+    NULL at runtime and would otherwise force every division nullable.
+    It does not participate in the partial order.
+    """
+
+    kinds: frozenset[str]
+    nullable: bool
+    maybe_zero: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        unknown = self.kinds - ALL_KINDS
+        if unknown:
+            raise ValueError(f"unknown kinds {sorted(unknown)}")
+
+    # -- lattice structure -------------------------------------------------
+    def leq(self, other: "AbstractType") -> bool:
+        """Partial order: componentwise containment."""
+        return self.kinds <= other.kinds and self.nullable <= other.nullable
+
+    @property
+    def is_definitely_null(self) -> bool:
+        return not self.kinds and self.nullable
+
+    def maybe(self, kind: str) -> bool:
+        """May this value hold a non-NULL value of ``kind`` at runtime?"""
+        return kind in self.kinds
+
+    def maybe_numeric(self) -> bool:
+        """May this value be a non-NULL arithmetic operand?"""
+        return bool(self.kinds & NUMERIC_KINDS)
+
+    def provably_non_numeric(self) -> bool:
+        """True when every possible non-NULL kind is non-numeric.
+
+        A definitely-NULL value is *not* provably non-numeric: NULL is a
+        legal arithmetic operand (the result is NULL, never an error).
+        """
+        return bool(self.kinds) and not self.kinds & NUMERIC_KINDS
+
+
+TOP = AbstractType(ALL_KINDS, True)
+NULL_TYPE = AbstractType(frozenset(), True)
+BOOL = AbstractType(frozenset({"bool"}), False)
+INT = AbstractType(frozenset({"int"}), False)
+FLOAT = AbstractType(frozenset({"float"}), False)
+STR = AbstractType(frozenset({"str"}), False)
+
+#: Attribute-name -> abstract-type environment for one operator's input.
+TypeEnv = dict[str, AbstractType]
+
+
+def join(left: AbstractType, right: AbstractType) -> AbstractType:
+    """Least upper bound of two lattice points."""
+    return AbstractType(
+        left.kinds | right.kinds,
+        left.nullable or right.nullable,
+        maybe_zero=left.maybe_zero or right.maybe_zero,
+    )
+
+
+def abstract_of_value(value: Any) -> AbstractType | None:
+    """Abstract a concrete constant; ``None`` when the value lies outside
+    the domain (the verifier reports those as violations)."""
+    if value is None:
+        return NULL_TYPE
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return AbstractType(
+            frozenset({"bool"}), False, maybe_zero=not value
+        )
+    if isinstance(value, int):
+        return AbstractType(
+            frozenset({"int"}), False, maybe_zero=value == 0
+        )
+    if isinstance(value, float):
+        return AbstractType(
+            frozenset({"float"}), False, maybe_zero=value == 0.0
+        )
+    if isinstance(value, str):
+        return STR
+    return None
+
+
+def abstract_of_type_tag(tag: str) -> AbstractType:
+    """Abstract a schema type tag.  Tags are advisory (columns may hold
+    NULL regardless), so every tag is nullable; unknown tags and the
+    default ``"any"`` are ``TOP``."""
+    kinds = _TAG_KINDS.get(tag, ALL_KINDS)
+    return AbstractType(kinds, True)
+
+
+def ordered_comparable(left: AbstractType, right: AbstractType) -> bool:
+    """May ``left < right`` evaluate without a runtime type error?
+
+    Runtime raises on e.g. ``1 < "a"``; a NULL operand short-circuits to
+    ``False`` first, so a definitely-NULL side is always comparable.
+    Kinds are comparable within the numeric group and within ``str``.
+    """
+    if not left.kinds or not right.kinds:
+        return True  # a provably-NULL side never reaches the comparison
+    if left.kinds & NUMERIC_KINDS and right.kinds & NUMERIC_KINDS:
+        return True
+    return "str" in left.kinds and "str" in right.kinds
+
+
+def is_condition_like(expr: Expr) -> bool:
+    """Structural check that an expression can serve as a condition.
+
+    Stricter than :func:`repro.relational.expressions.is_condition` in
+    that it recurses, but still permissive at leaves: an ``Attr``/``Var``
+    may be bound to a boolean at runtime, so only shapes that *provably*
+    produce a non-boolean (bare arithmetic, non-boolean constants) are
+    rejected.
+    """
+    if isinstance(expr, (Cmp, Logic, Not, IsNull)):
+        return True
+    if isinstance(expr, Const):
+        return isinstance(expr.value, bool) or expr.value is None
+    if isinstance(expr, (Attr, Var)):
+        return True
+    if isinstance(expr, If):
+        return is_condition_like(expr.then) and is_condition_like(
+            expr.orelse
+        )
+    if isinstance(expr, Arith):
+        return False
+    return False

@@ -1,0 +1,320 @@
+"""NULL-soundness certification of expression and plan rewrites.
+
+``check_expr_rewrite(before, after)`` certifies that an optimizer's
+expression rewrite preserves semantics, and ``check_rewrite(before,
+after, schemas)`` does the same for whole operator trees.  Both combine
+two passes:
+
+1. **Lattice filter** — infer the abstract types of both sides on the
+   NULL-aware lattice (:mod:`repro.static_analysis.lattice`).  A rewrite
+   whose result kinds are provably disjoint from the original's, or that
+   replaces a *nullable* expression with a provably non-NULL one, is
+   rejected outright.  This alone kills ``x * 0 -> 0``: the left side is
+   nullable (``NULL * 0`` is ``NULL``) while the literal ``0`` is not.
+2. **Witness differential** — evaluate both sides under a small,
+   deterministic family of witness bindings drawn from the value domain,
+   **always including the all-NULL binding** (the two-valued logic makes
+   it total: comparisons go ``False``, arithmetic goes ``NULL``, so NULL
+   soundness is always exercised even when typed witnesses error out on
+   mixed-kind comparisons).  Any observable difference rejects the
+   rewrite; bindings on which either side raises are skipped (optimizers
+   may legitimately change *error* behavior — e.g. constant-fold an
+   expression a pathological tuple would have crashed — and the runtime
+   differential fuzzers own error parity).  ``x = x -> TRUE`` and
+   ``NOT (a < b) -> a >= b`` both fall to the all-NULL witness:
+   ``NULL = NULL`` is ``False``, not ``True``, and ``NOT (NULL < b)`` is
+   ``True`` while ``NULL >= b`` is ``False``.
+
+This is a *bounded refutation procedure*, not a proof of equivalence: a
+rejection is always justified (a concrete witness or a lattice
+contradiction), an acceptance means "no difference found on the lattice
+or the witness family".  The runtime differential fuzz suites remain the
+completeness backstop.
+
+Certification results are memoized on the structural identity of the
+``(before, after)`` pair — expression and operator trees are frozen
+dataclasses, hence hashable — so the engine's per-answer certification
+of its (cached, highly repetitive) reenactment plans stays cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterator, Mapping
+
+from ..relational.algebra import (
+    Operator,
+    base_relations,
+    evaluate_query_interpreted,
+    output_schema,
+)
+from ..relational.database import Database
+from ..relational.expressions import (
+    EvaluationError,
+    Expr,
+    attributes_of,
+    evaluate,
+)
+from ..relational.relation import Relation
+from ..relational.schema import Schema, SchemaError
+from .lattice import TypeEnv, abstract_of_type_tag
+from .verifier import Violation, infer_expr_type
+
+__all__ = [
+    "RewriteUnsoundError",
+    "check_expr_rewrite",
+    "check_rewrite",
+    "certify_optimizer_rules",
+]
+
+#: Witness values for typed bindings: every kind of the domain, both
+#: truthinesses, zero/non-zero, empty/non-empty.
+_NUMERIC_WITNESSES: tuple[Any, ...] = (None, 0, 1, -1, 2, True, 2.5)
+_TEXT_WITNESSES: tuple[Any, ...] = (None, "", "a", "b")
+
+#: Beyond this many free attributes the full witness product explodes;
+#: fall back to a deterministic diagonal sample of this many bindings.
+_MAX_PRODUCT_ATTRS = 3
+_SAMPLE_BINDINGS = 64
+
+_CACHE_LIMIT = 4096
+_cache_lock = threading.Lock()
+_expr_cache: dict[tuple[Expr, Expr], str | None] = {}
+_plan_cache: dict[Any, str | None] = {}
+
+
+class RewriteUnsoundError(Exception):
+    """A rewrite changed observable semantics; the message names the
+    witness binding (or lattice contradiction) that refutes it."""
+
+
+def _bounded_put(cache: dict, key: Any, value: str | None) -> None:
+    with _cache_lock:
+        if len(cache) >= _CACHE_LIMIT:
+            cache.clear()
+        cache[key] = value
+
+
+def _witness_bindings(names: tuple[str, ...]) -> Iterator[dict[str, Any]]:
+    """Deterministic witness bindings over ``names``.
+
+    Always starts with the all-NULL binding (total under two-valued
+    logic), then enumerates the numeric and text pools — the full
+    product for small attribute counts, a seedless diagonal stripe
+    otherwise (determinism keeps certification reproducible and
+    memoizable).
+    """
+    yield {name: None for name in names}
+    if not names:
+        return
+    for pool in (_NUMERIC_WITNESSES, _TEXT_WITNESSES):
+        if len(names) <= _MAX_PRODUCT_ATTRS:
+            for values in itertools.product(pool, repeat=len(names)):
+                yield dict(zip(names, values))
+        else:
+            for offset in range(_SAMPLE_BINDINGS):
+                yield {
+                    name: pool[(offset + 3 * i) % len(pool)]
+                    for i, name in enumerate(names)
+                }
+
+
+def _lattice_filter(
+    before: Expr, after: Expr, env: TypeEnv
+) -> str | None:
+    """Reject on a provable lattice contradiction; ``None`` = pass."""
+    sink: list[Violation] = []
+    t_before = infer_expr_type(before, env, sink, "$", allow_vars=True)
+    t_after = infer_expr_type(after, env, sink, "$", allow_vars=True)
+    if (
+        t_before.kinds
+        and t_after.kinds
+        and not t_before.kinds & t_after.kinds
+        and not (t_before.nullable and t_after.nullable)
+    ):
+        return (
+            f"result kinds changed from {sorted(t_before.kinds)} to "
+            f"{sorted(t_after.kinds)} with no overlap"
+        )
+    if t_before.nullable and not t_after.nullable:
+        return (
+            "rewrite replaces a nullable expression with a provably "
+            "non-NULL one (e.g. the unsound x * 0 -> 0: NULL * 0 is "
+            "NULL, not 0)"
+        )
+    return None
+
+
+def check_expr_rewrite(
+    before: Expr,
+    after: Expr,
+    env: TypeEnv | None = None,
+) -> None:
+    """Certify an expression rewrite; raises :class:`RewriteUnsoundError`.
+
+    ``env`` optionally narrows the free attributes' abstract types for
+    the lattice filter (defaults to ``TOP`` for every free attribute).
+    """
+    key = (before, after)
+    try:
+        with _cache_lock:
+            cached = _expr_cache.get(key, False)
+    except TypeError:  # unhashable constant embedded in a tree
+        cached = False
+        key = None
+    if cached is not False:
+        if cached is not None:
+            raise RewriteUnsoundError(cached)
+        return
+    failure = _check_expr_rewrite_uncached(before, after, env)
+    if key is not None:
+        _bounded_put(_expr_cache, key, failure)
+    if failure is not None:
+        raise RewriteUnsoundError(failure)
+
+
+def _check_expr_rewrite_uncached(
+    before: Expr, after: Expr, env: TypeEnv | None
+) -> str | None:
+    names = tuple(sorted(attributes_of(before) | attributes_of(after)))
+    if env is None:
+        env = {}
+    full_env = {
+        name: env.get(name, abstract_of_type_tag("any")) for name in names
+    }
+    failure = _lattice_filter(before, after, full_env)
+    if failure is not None:
+        return f"expression rewrite {before} -> {after} rejected: {failure}"
+    for binding in _witness_bindings(names):
+        try:
+            got_before = evaluate(before, binding)
+        except (EvaluationError, ArithmeticError, TypeError):
+            continue
+        try:
+            got_after = evaluate(after, binding)
+        except (EvaluationError, ArithmeticError, TypeError):
+            continue
+        if got_before != got_after:
+            return (
+                f"expression rewrite {before} -> {after} is unsound: "
+                f"under {binding!r} the original evaluates to "
+                f"{got_before!r} but the rewrite to {got_after!r}"
+            )
+    return None
+
+
+# -- operator-tree rewrites --------------------------------------------------
+
+def _witness_database(
+    schemas: Mapping[str, Schema], relations: frozenset[str]
+) -> list[Database]:
+    """Three tiny databases over ``relations``: all-NULL rows (total
+    under two-valued logic — the guaranteed NULL-soundness probe), then
+    numeric-valued and text-valued rows."""
+    databases = []
+    for pool in ((None,), _NUMERIC_WITNESSES, _TEXT_WITNESSES):
+        contents = {}
+        for name in sorted(relations):
+            schema = schemas[name]
+            rows = {
+                tuple(
+                    pool[(offset + i) % len(pool)]
+                    for i in range(schema.arity)
+                )
+                for offset in range(len(pool) + 1)
+            }
+            contents[name] = Relation(schema, frozenset(rows))
+        databases.append(Database(contents))
+    return databases
+
+
+def _plan_key(
+    before: Operator, after: Operator, schemas: Mapping[str, Schema]
+) -> Any:
+    return (before, after, tuple(sorted(schemas.items())))
+
+
+def check_rewrite(
+    before: Operator,
+    after: Operator,
+    schemas: Mapping[str, Schema],
+) -> None:
+    """Certify an operator-tree rewrite (e.g. one optimizer run) sound.
+
+    Requires the rewritten tree to keep the output schema of the
+    original, then differentially evaluates both trees (reference
+    interpreter, set semantics) over deterministic witness databases —
+    always including an all-NULL one, so every NULL-propagation bug in a
+    rewrite rule is observable.  Raises :class:`RewriteUnsoundError`
+    with the refuting database; memoized structurally.
+    """
+    key: Any = _plan_key(before, after, schemas)
+    try:
+        with _cache_lock:
+            cached = _plan_cache.get(key, False)
+    except TypeError:
+        cached = False
+        key = None
+    if cached is not False:
+        if cached is not None:
+            raise RewriteUnsoundError(cached)
+        return
+    failure = _check_rewrite_uncached(before, after, schemas)
+    if key is not None:
+        _bounded_put(_plan_cache, key, failure)
+    if failure is not None:
+        raise RewriteUnsoundError(failure)
+
+
+def _check_rewrite_uncached(
+    before: Operator, after: Operator, schemas: Mapping[str, Schema]
+) -> str | None:
+    db_schemas = dict(schemas)
+    try:
+        schema_before = output_schema(before, db_schemas)
+        schema_after = output_schema(after, db_schemas)
+    except (SchemaError, TypeError) as exc:
+        return f"plan rewrite is not schema-checkable: {exc}"
+    if schema_before.attributes != schema_after.attributes:
+        return (
+            f"plan rewrite changed the output schema from "
+            f"{schema_before.attributes} to {schema_after.attributes}"
+        )
+    relations = frozenset(
+        base_relations(before) | base_relations(after)
+    ) & frozenset(db_schemas)
+    for db in _witness_database(db_schemas, relations):
+        try:
+            got_before = evaluate_query_interpreted(before, db)
+        except (EvaluationError, ArithmeticError, TypeError, SchemaError):
+            continue
+        try:
+            got_after = evaluate_query_interpreted(after, db)
+        except (EvaluationError, ArithmeticError, TypeError, SchemaError):
+            continue
+        if got_before.tuples != got_after.tuples:
+            only_before = got_before.tuples - got_after.tuples
+            only_after = got_after.tuples - got_before.tuples
+            return (
+                "plan rewrite is unsound on a witness database: "
+                f"rows only in the original: {sorted(only_before, key=repr)[:3]!r}; "
+                f"rows only in the rewrite: {sorted(only_after, key=repr)[:3]!r} "
+                f"(over {sorted(relations)})"
+            )
+    return None
+
+
+def certify_optimizer_rules(
+    op: Operator,
+    schemas: Mapping[str, Schema],
+    optimizer_config: Any = None,
+) -> Operator:
+    """Run the optimizer on ``op`` and certify its output; returns the
+    optimized tree.  A convenience used by the test harness to sweep the
+    rule catalogue over generated plans."""
+    from ..relational.optimizer import optimize
+
+    optimized = optimize(op, optimizer_config)
+    check_rewrite(op, optimized, schemas)
+    return optimized

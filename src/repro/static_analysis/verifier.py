@@ -1,0 +1,540 @@
+"""Static plan verifier: schema resolution + lattice typing over operator trees.
+
+:func:`verify_plan` walks a :class:`~repro.relational.algebra.Operator`
+tree once, threading a schema and an attribute -> :class:`~repro.
+static_analysis.lattice.AbstractType` environment through every
+operator, and returns the list of :class:`Violation`\\ s it can *prove*
+— it never rejects a plan merely because types are unknown (schemas in
+this codebase default every column to the advisory tag ``"any"``).
+
+Checked rules (IDs appear in diagnostics and DESIGN.md):
+
+``unknown-relation``     a ``RelScan`` of a relation absent from the database
+``unresolved-attribute`` an ``Attr`` not bound by the operator's input schema
+``unbound-variable``     a symbolic ``Var`` in an executable plan
+``bad-constant``         a ``Const``/``Singleton`` value outside the domain
+``duplicate-output``     duplicate output names in a projection
+``arity-mismatch``       union/difference sides of different arity
+``name-mismatch``        union/difference sides with different attribute names
+``join-name-clash``      join sides sharing attribute names
+``non-condition``        a select/join/``If`` condition that provably cannot
+                         be boolean (e.g. bare arithmetic)
+``bad-arith-operand``    arithmetic over a provably non-numeric operand
+``incomparable``         an ordered comparison between provably
+                         incomparable kinds (e.g. ``1 < 'a'``)
+``reserved-attribute``   an attribute colliding with the bag encoding's
+                         hidden multiplicity column (bag semantics, and
+                         the sqlite backend under either semantics)
+
+Every violation carries an *operator path* from the root — e.g.
+``Union.left.Select.condition`` — so a failing reenactment plan pinpoints
+the offending node without dumping the whole tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..relational.algebra import (
+    Difference,
+    Join,
+    Operator,
+    Project,
+    RelScan,
+    Select,
+    Singleton,
+    Union,
+)
+from ..relational.expressions import (
+    Arith,
+    Attr,
+    Cmp,
+    Const,
+    Expr,
+    If,
+    IsNull,
+    Logic,
+    Not,
+    Var,
+)
+from ..relational.schema import Schema, SchemaError
+from .lattice import (
+    AbstractType,
+    NULL_TYPE,
+    TOP,
+    TypeEnv,
+    abstract_of_type_tag,
+    abstract_of_value,
+    is_condition_like,
+    join,
+    ordered_comparable,
+)
+
+__all__ = [
+    "Violation",
+    "PlanVerificationError",
+    "infer_expr_type",
+    "verify_condition",
+    "verify_plan",
+    "verify_plan_or_raise",
+    "verify_reenactment_plans",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One provable defect, anchored to an operator/expression path."""
+
+    rule: str
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] at {self.path}: {self.message}"
+
+
+class PlanVerificationError(Exception):
+    """Raised by the ``*_or_raise`` entry points; carries the violations."""
+
+    def __init__(self, violations: list[Violation], context: str = "") -> None:
+        self.violations = tuple(violations)
+        lines = [f"plan verification failed ({len(violations)} violation(s))"]
+        if context:
+            lines[0] += f" for {context}"
+        lines.extend(f"  - {v}" for v in violations)
+        super().__init__("\n".join(lines))
+
+
+# -- expression typing -------------------------------------------------------
+
+def infer_expr_type(
+    expr: Expr,
+    env: TypeEnv,
+    violations: list[Violation],
+    path: str,
+    *,
+    allow_vars: bool = False,
+) -> AbstractType:
+    """Infer the abstract type of ``expr`` under ``env``, appending any
+    provable defects to ``violations``.  Always returns a type (``TOP``
+    after an unrecoverable leaf error) so one bad leaf yields one
+    violation, not a cascade."""
+    if isinstance(expr, Const):
+        abstract = abstract_of_value(expr.value)
+        if abstract is None:
+            violations.append(
+                Violation(
+                    "bad-constant",
+                    path,
+                    f"constant {expr.value!r} of type "
+                    f"{type(expr.value).__name__} is outside the value "
+                    "domain (None | bool | int | float | str)",
+                )
+            )
+            return TOP
+        return abstract
+    if isinstance(expr, Attr):
+        abstract = env.get(expr.name)
+        if abstract is None:
+            known = ", ".join(sorted(env)) or "<empty schema>"
+            violations.append(
+                Violation(
+                    "unresolved-attribute",
+                    path,
+                    f"attribute {expr.name!r} is not produced by the "
+                    f"input (available: {known})",
+                )
+            )
+            return TOP
+        return abstract
+    if isinstance(expr, Var):
+        if not allow_vars:
+            violations.append(
+                Violation(
+                    "unbound-variable",
+                    path,
+                    f"symbolic variable ${expr.name} in an executable "
+                    "plan (Vars are only legal during symbolic "
+                    "execution)",
+                )
+            )
+        return TOP
+    if isinstance(expr, Arith):
+        left = infer_expr_type(
+            expr.left, env, violations, f"{path}.left",
+            allow_vars=allow_vars,
+        )
+        right = infer_expr_type(
+            expr.right, env, violations, f"{path}.right",
+            allow_vars=allow_vars,
+        )
+        for side, abstract in (("left", left), ("right", right)):
+            if abstract.provably_non_numeric():
+                violations.append(
+                    Violation(
+                        "bad-arith-operand",
+                        f"{path}.{side}",
+                        f"{side} operand of {expr.op!r} can only be "
+                        f"{sorted(abstract.kinds)} — arithmetic needs a "
+                        "numeric (or NULL) operand",
+                    )
+                )
+        if left.is_definitely_null or right.is_definitely_null:
+            return NULL_TYPE
+        nullable = left.nullable or right.nullable
+        if expr.op == "/":
+            # x / 0 evaluates to NULL, so a division is nullable unless
+            # the denominator provably is a non-zero non-NULL constant.
+            nullable = nullable or right.maybe_zero
+            kinds = frozenset({"float"})
+        else:
+            kinds = frozenset({"int", "float"})
+        return AbstractType(kinds, nullable)
+    if isinstance(expr, Cmp):
+        left = infer_expr_type(
+            expr.left, env, violations, f"{path}.left",
+            allow_vars=allow_vars,
+        )
+        right = infer_expr_type(
+            expr.right, env, violations, f"{path}.right",
+            allow_vars=allow_vars,
+        )
+        if expr.op not in ("=", "!=") and not ordered_comparable(left, right):
+            violations.append(
+                Violation(
+                    "incomparable",
+                    path,
+                    f"ordered comparison {expr.op!r} between kinds "
+                    f"{sorted(left.kinds)} and {sorted(right.kinds)} "
+                    "always raises at runtime",
+                )
+            )
+        # Two-valued logic: comparisons never yield NULL (a NULL operand
+        # makes them False), so the result is a non-nullable bool.
+        return AbstractType(frozenset({"bool"}), False)
+    if isinstance(expr, Logic):
+        infer_expr_type(
+            expr.left, env, violations, f"{path}.left",
+            allow_vars=allow_vars,
+        )
+        infer_expr_type(
+            expr.right, env, violations, f"{path}.right",
+            allow_vars=allow_vars,
+        )
+        return AbstractType(frozenset({"bool"}), False)
+    if isinstance(expr, Not):
+        infer_expr_type(
+            expr.operand, env, violations, f"{path}.operand",
+            allow_vars=allow_vars,
+        )
+        return AbstractType(frozenset({"bool"}), False)
+    if isinstance(expr, IsNull):
+        infer_expr_type(
+            expr.operand, env, violations, f"{path}.operand",
+            allow_vars=allow_vars,
+        )
+        return AbstractType(frozenset({"bool"}), False)
+    if isinstance(expr, If):
+        verify_condition(
+            expr.cond, env, violations, f"{path}.cond",
+            allow_vars=allow_vars,
+        )
+        then = infer_expr_type(
+            expr.then, env, violations, f"{path}.then",
+            allow_vars=allow_vars,
+        )
+        orelse = infer_expr_type(
+            expr.orelse, env, violations, f"{path}.orelse",
+            allow_vars=allow_vars,
+        )
+        return join(then, orelse)
+    violations.append(
+        Violation(
+            "bad-constant", path, f"unknown expression node {expr!r}"
+        )
+    )
+    return TOP
+
+
+def verify_condition(
+    cond: Expr,
+    env: TypeEnv,
+    violations: list[Violation],
+    path: str,
+    *,
+    allow_vars: bool = False,
+) -> None:
+    """Type-check ``cond`` and require it to be condition-shaped."""
+    if not is_condition_like(cond):
+        violations.append(
+            Violation(
+                "non-condition",
+                path,
+                f"expression {cond} provably cannot be boolean-valued",
+            )
+        )
+    infer_expr_type(cond, env, violations, path, allow_vars=allow_vars)
+
+
+# -- plan verification -------------------------------------------------------
+
+def _env_of_schema(schema: Schema) -> TypeEnv:
+    return {
+        name: abstract_of_type_tag(schema.type_of(name))
+        for name in schema.attributes
+    }
+
+
+def _reserved_columns() -> frozenset[str]:
+    from ..relational.exec.sqlite_sql import RESERVED_COLUMNS
+
+    return RESERVED_COLUMNS
+
+
+def verify_plan(
+    op: Operator,
+    schemas: Mapping[str, Schema],
+    *,
+    semantics: str = "set",
+    allow_vars: bool = False,
+) -> list[Violation]:
+    """Statically verify an operator tree against base-relation schemas.
+
+    ``semantics`` is ``"set"`` or ``"bag"``: under bag semantics the
+    encoding threads a hidden multiplicity column through every operator
+    (see DESIGN.md, "Execution backends"), so attribute names colliding
+    with it are additionally illegal (``reserved-attribute``).
+    ``allow_vars`` permits symbolic :class:`Var` leaves (symbolic
+    execution verifies against its own binding discipline).
+
+    Returns all provable violations; an empty list certifies the plan
+    well-formed on the lattice.
+    """
+    if semantics not in ("set", "bag"):
+        raise ValueError(f"unknown semantics {semantics!r}")
+    violations: list[Violation] = []
+    reserved = _reserved_columns() if semantics == "bag" else frozenset()
+
+    def check_schema(schema: Schema, path: str) -> None:
+        clashes = reserved.intersection(schema.attributes)
+        if clashes:
+            violations.append(
+                Violation(
+                    "reserved-attribute",
+                    path,
+                    f"attribute(s) {sorted(clashes)} collide with the "
+                    "bag encoding's hidden multiplicity column",
+                )
+            )
+
+    def visit(node: Operator, path: str) -> tuple[Schema, TypeEnv] | None:
+        """Returns (schema, env) of the node's output, or ``None`` when
+        a structural error below makes them unknowable."""
+        if isinstance(node, RelScan):
+            schema = schemas.get(node.name)
+            if schema is None:
+                known = ", ".join(sorted(schemas)) or "<none>"
+                violations.append(
+                    Violation(
+                        "unknown-relation",
+                        path,
+                        f"relation {node.name!r} does not exist "
+                        f"(known: {known})",
+                    )
+                )
+                return None
+            check_schema(schema, path)
+            return schema, _env_of_schema(schema)
+        if isinstance(node, Singleton):
+            check_schema(node.schema, path)
+            env: TypeEnv = {}
+            for name, value in zip(node.schema.attributes, node.row):
+                abstract = abstract_of_value(value)
+                if abstract is None:
+                    violations.append(
+                        Violation(
+                            "bad-constant",
+                            f"{path}.row[{name}]",
+                            f"singleton value {value!r} of type "
+                            f"{type(value).__name__} is outside the "
+                            "value domain",
+                        )
+                    )
+                    abstract = TOP
+                env[name] = abstract
+            return node.schema, env
+        if isinstance(node, Project):
+            below = visit(node.input, f"{path}.Project.input")
+            names = tuple(name for _, name in node.outputs)
+            if len(set(names)) != len(names):
+                violations.append(
+                    Violation(
+                        "duplicate-output",
+                        f"{path}.Project",
+                        f"duplicate output names: {list(names)}",
+                    )
+                )
+                return None
+            out_env: TypeEnv = {}
+            if below is not None:
+                _, env = below
+                for expr, name in node.outputs:
+                    out_env[name] = infer_expr_type(
+                        expr,
+                        env,
+                        violations,
+                        f"{path}.Project[{name}]",
+                        allow_vars=allow_vars,
+                    )
+            else:
+                out_env = {name: TOP for name in names}
+            out_schema = Schema(names)
+            check_schema(out_schema, f"{path}.Project")
+            return out_schema, out_env
+        if isinstance(node, Select):
+            below = visit(node.input, f"{path}.Select.input")
+            if below is None:
+                return None
+            schema, env = below
+            verify_condition(
+                node.condition,
+                env,
+                violations,
+                f"{path}.Select.condition",
+                allow_vars=allow_vars,
+            )
+            return schema, env
+        if isinstance(node, (Union, Difference)):
+            kind = "Union" if isinstance(node, Union) else "Difference"
+            left = visit(node.left, f"{path}.{kind}.left")
+            right = visit(node.right, f"{path}.{kind}.right")
+            if left is None or right is None:
+                return None
+            (ls, le), (rs, re) = left, right
+            if ls.arity != rs.arity:
+                violations.append(
+                    Violation(
+                        "arity-mismatch",
+                        f"{path}.{kind}",
+                        f"left arity {ls.arity} != right arity {rs.arity}",
+                    )
+                )
+                return None
+            if ls.attributes != rs.attributes:
+                violations.append(
+                    Violation(
+                        "name-mismatch",
+                        f"{path}.{kind}",
+                        f"left attributes {ls.attributes} != right "
+                        f"attributes {rs.attributes}",
+                    )
+                )
+                return None
+            env = {name: join(le[name], re[name]) for name in ls.attributes}
+            return ls, env
+        if isinstance(node, Join):
+            left = visit(node.left, f"{path}.Join.left")
+            right = visit(node.right, f"{path}.Join.right")
+            if left is None or right is None:
+                return None
+            (ls, le), (rs, re) = left, right
+            clashes = set(ls.attributes) & set(rs.attributes)
+            if clashes:
+                violations.append(
+                    Violation(
+                        "join-name-clash",
+                        f"{path}.Join",
+                        f"sides share attribute name(s) {sorted(clashes)}",
+                    )
+                )
+                return None
+            try:
+                schema = ls.concat(rs)
+            except SchemaError as exc:
+                violations.append(
+                    Violation("join-name-clash", f"{path}.Join", str(exc))
+                )
+                return None
+            env = dict(le)
+            env.update(re)
+            verify_condition(
+                node.condition,
+                env,
+                violations,
+                f"{path}.Join.condition",
+                allow_vars=allow_vars,
+            )
+            return schema, env
+        violations.append(
+            Violation(
+                "unknown-relation", path, f"unknown operator {node!r}"
+            )
+        )
+        return None
+
+    visit(op, "$")
+    return violations
+
+
+def verify_plan_or_raise(
+    op: Operator,
+    schemas: Mapping[str, Schema],
+    *,
+    semantics: str = "set",
+    allow_vars: bool = False,
+    context: str = "",
+) -> None:
+    """:func:`verify_plan`, raising :class:`PlanVerificationError`."""
+    violations = verify_plan(
+        op, schemas, semantics=semantics, allow_vars=allow_vars
+    )
+    if violations:
+        raise PlanVerificationError(violations, context)
+
+
+def verify_reenactment_plans(
+    schemas: Mapping[str, Schema],
+    queries_original: Mapping[str, Operator],
+    queries_modified: Mapping[str, Operator],
+    *,
+    before_original: Mapping[str, Operator] | None = None,
+    before_modified: Mapping[str, Operator] | None = None,
+    semantics: str = "set",
+) -> None:
+    """Engine hook: verify every reenactment query of an answer, and —
+    when the pre-optimization trees are supplied — certify the optimizer
+    output equivalent to its input (:func:`~repro.static_analysis.
+    rewrite_check.check_rewrite`).
+
+    Raises :class:`PlanVerificationError` naming the relation and side
+    (``original``/``modified``) of the first offending plan.
+    """
+    from .rewrite_check import RewriteUnsoundError, check_rewrite
+
+    for side, queries, before in (
+        ("original", queries_original, before_original),
+        ("modified", queries_modified, before_modified),
+    ):
+        for relation, plan in queries.items():
+            verify_plan_or_raise(
+                plan,
+                schemas,
+                semantics=semantics,
+                context=f"reenactment of {relation!r} ({side} history)",
+            )
+            if before is not None and relation in before:
+                try:
+                    check_rewrite(before[relation], plan, schemas)
+                except RewriteUnsoundError as exc:
+                    raise PlanVerificationError(
+                        [
+                            Violation(
+                                "unsound-rewrite",
+                                "$",
+                                str(exc),
+                            )
+                        ],
+                        f"optimized reenactment of {relation!r} "
+                        f"({side} history)",
+                    ) from exc

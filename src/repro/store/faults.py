@@ -1,7 +1,8 @@
 """Injectable filesystem operations — the store's fault-injection seam.
 
 :class:`HistoryStore` routes every write-side filesystem operation
-(open, write, flush, fsync, atomic rename, directory fsync) through a
+(open, write, flush, truncate, fsync, atomic rename, directory fsync)
+through a
 :class:`FileOps` instance.  Production uses :data:`REAL_OPS`, a direct
 passthrough; tests substitute fault injectors to *prove* the recovery
 contracts instead of trusting them:
@@ -58,6 +59,9 @@ class FileOps:
 
     def flush(self, fh) -> None:
         fh.flush()
+
+    def truncate(self, fh, size: int) -> None:
+        fh.truncate(size)
 
     def fsync(self, fh) -> None:
         os.fsync(fh.fileno())
@@ -182,6 +186,10 @@ class CrashingOps(FileOps):
     def flush(self, fh) -> None:
         self._check_dead()
         super().flush(fh)
+
+    def truncate(self, fh, size: int) -> None:
+        self._check_dead()
+        super().truncate(fh, size)
 
     def fsync(self, fh) -> None:
         self._check_dead()

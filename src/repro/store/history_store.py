@@ -206,7 +206,7 @@ class HistoryStore:
                 f"{interval}"
             )
 
-        statements = cls._recover_log(path / _LOG)
+        statements = cls._recover_log(path / _LOG, ops)
         named = cls._scan_checkpoints(path, len(statements))
         if 0 not in named:
             raise StoreError(f"store at {path} lost its base checkpoint")
@@ -269,7 +269,9 @@ class HistoryStore:
 
     # -- recovery helpers ----------------------------------------------------
     @staticmethod
-    def _recover_log(log_path: pathlib.Path) -> list[Statement]:
+    def _recover_log(
+        log_path: pathlib.Path, ops: FileOps = REAL_OPS
+    ) -> list[Statement]:
         """Parse the statement log, truncating a partial/corrupt tail.
 
         Every record must be one complete, newline-terminated JSON line;
@@ -280,7 +282,7 @@ class HistoryStore:
         statements: list[Statement] = []
         good_end = 0
         try:
-            with open(log_path, "rb") as fh:
+            with ops.open(log_path, "rb") as fh:
                 raw = fh.read()
         except OSError as exc:
             # e.g. a crash in create() between the META write and the
@@ -306,8 +308,8 @@ class HistoryStore:
             good_end = newline + 1
             offset = newline + 1
         if good_end < len(raw):
-            with open(log_path, "r+b") as fh:
-                fh.truncate(good_end)
+            with ops.open(log_path, "r+b") as fh:
+                ops.truncate(fh, good_end)
         return statements
 
     @staticmethod
@@ -390,7 +392,7 @@ class HistoryStore:
         try:
             # Re-derive the durable end: everything up to the last
             # complete record of the first len(self._statements) lines.
-            with open(self._path / _LOG, "rb") as fh:
+            with self._ops.open(self._path / _LOG, "rb") as fh:
                 raw = fh.read()
             end = 0
             for _ in range(len(self._statements)):
@@ -399,8 +401,8 @@ class HistoryStore:
                     break
                 end = newline + 1
             expected = end
-            with open(self._path / _LOG, "r+b") as fh:
-                fh.truncate(expected)
+            with self._ops.open(self._path / _LOG, "r+b") as fh:
+                self._ops.truncate(fh, expected)
             self._log_fh = self._ops.open(self._path / _LOG, "ab")
         except OSError as exc:
             self._failed = (

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 import sys
 
@@ -9,6 +10,12 @@ import sys
 _SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# The static soundness layer is on for every test run: each reenactment
+# plan the engine builds is schema/type-verified and each optimizer
+# rewrite certified NULL-sound (setdefault, so a run can still opt out
+# with MAHIF_VERIFY_PLANS=0 to measure raw planning cost).
+os.environ.setdefault("MAHIF_VERIFY_PLANS", "1")
 
 import pytest
 

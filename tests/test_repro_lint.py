@@ -1,0 +1,295 @@
+"""Tests for tools/repro_lint.py: every rule proven on known-good and
+known-bad fixtures, pragma handling, and the whole-tree-clean gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "repro_lint", REPO / "tools" / "repro_lint.py"
+)
+repro_lint = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("repro_lint", repro_lint)
+_SPEC.loader.exec_module(repro_lint)
+
+STORE_PATH = "src/repro/store/history_store.py"
+
+
+def lint(source: str, path: str = "src/repro/some_module.py"):
+    return repro_lint.lint_source(textwrap.dedent(source), path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# rule: fileops-seam
+# ---------------------------------------------------------------------------
+
+class TestFileopsSeam:
+    BAD = """
+        import os
+
+        def recover(path):
+            with open(path, "rb") as fh:
+                data = fh.read()
+            os.replace(path, path)
+            os.fsync(3)
+            return data
+    """
+
+    def test_known_bad_in_store(self):
+        findings = lint(self.BAD, STORE_PATH)
+        assert rules_of(findings) == ["fileops-seam"] * 3
+
+    def test_known_good_routed_through_seam(self):
+        good = """
+            def recover(path, ops):
+                with ops.open(path, "rb") as fh:
+                    data = fh.read()
+                ops.replace(path, path)
+                return data
+        """
+        assert lint(good, STORE_PATH) == []
+
+    def test_scope_is_store_only(self):
+        # the same raw calls are fine outside store/
+        assert lint(self.BAD, "src/repro/core/engine.py") == []
+
+    def test_faults_py_and_tests_are_exempt(self):
+        assert lint(self.BAD, "src/repro/store/faults.py") == []
+        assert lint(self.BAD, "tests/store/test_x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# rules: swallow-baseexception / broad-swallow
+# ---------------------------------------------------------------------------
+
+class TestSwallows:
+    def test_bare_except_is_flagged(self):
+        bad = """
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+        """
+        assert rules_of(lint(bad)) == ["swallow-baseexception"]
+
+    def test_baseexception_without_reraise_is_flagged(self):
+        bad = """
+            def f():
+                try:
+                    work()
+                except BaseException as exc:
+                    log(exc)
+        """
+        assert rules_of(lint(bad)) == ["swallow-baseexception"]
+
+    def test_baseexception_with_reraise_is_clean(self):
+        good = """
+            def f():
+                try:
+                    work()
+                except BaseException:
+                    cleanup()
+                    raise
+        """
+        assert lint(good) == []
+
+    def test_broad_swallow_is_flagged(self):
+        bad = """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    fallback()
+        """
+        assert rules_of(lint(bad)) == ["broad-swallow"]
+
+    def test_binding_the_exception_is_clean(self):
+        good = """
+            def f():
+                try:
+                    work()
+                except Exception as exc:
+                    record(exc)
+        """
+        assert lint(good) == []
+
+    def test_narrow_types_are_clean(self):
+        good = """
+            def f():
+                try:
+                    work()
+                except (OSError, ValueError):
+                    fallback()
+        """
+        assert lint(good) == []
+
+
+# ---------------------------------------------------------------------------
+# rule: unlocked-module-state
+# ---------------------------------------------------------------------------
+
+class TestUnlockedModuleState:
+    def test_unlocked_mutation_is_flagged(self):
+        bad = """
+            _CACHE = {}
+
+            def put(key, value):
+                _CACHE[key] = value
+        """
+        assert rules_of(lint(bad)) == ["unlocked-module-state"]
+
+    def test_mutation_under_module_lock_is_clean(self):
+        good = """
+            import threading
+
+            _CACHE = {}
+            _LOCK = threading.Lock()
+
+            def put(key, value):
+                with _LOCK:
+                    _CACHE[key] = value
+        """
+        assert lint(good) == []
+
+    def test_method_mutations_and_factories_are_seen(self):
+        bad = """
+            from collections import OrderedDict
+
+            _ENTRIES = OrderedDict()
+
+            def remember(x):
+                _ENTRIES.setdefault(x, 0)
+        """
+        assert rules_of(lint(bad)) == ["unlocked-module-state"]
+
+    def test_module_level_init_is_clean(self):
+        # populating at import time (not inside a function) is fine
+        good = """
+            _TABLE = {}
+            _TABLE["x"] = 1
+        """
+        assert lint(good) == []
+
+    def test_local_shadow_is_clean(self):
+        good = """
+            def f():
+                cache = {}
+                cache["x"] = 1
+                return cache
+        """
+        assert lint(good) == []
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except Exception:  # repro-lint: allow[broad-swallow] -- degrades safely
+                    fallback()
+        """
+        assert lint(src) == []
+
+    def test_preceding_line_pragma_suppresses(self):
+        src = """
+            def f():
+                try:
+                    work()
+                # repro-lint: allow[broad-swallow] -- degrades safely
+                except Exception:
+                    fallback()
+        """
+        assert lint(src) == []
+
+    def test_pragma_requires_a_reason(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except Exception:  # repro-lint: allow[broad-swallow]
+                    fallback()
+        """
+        assert rules_of(lint(src)) == ["broad-swallow"]
+
+    def test_pragma_rule_id_must_match(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except Exception:  # repro-lint: allow[fileops-seam] -- wrong rule
+                    fallback()
+        """
+        assert rules_of(lint(src)) == ["broad-swallow"]
+
+    def test_pragma_two_lines_above_does_not_apply(self):
+        src = """
+            def f():
+                try:
+                    work()
+                # repro-lint: allow[broad-swallow] -- too far away
+                # an interposed comment line breaks adjacency
+                except Exception:
+                    fallback()
+        """
+        assert rules_of(lint(src)) == ["broad-swallow"]
+
+    def test_multiple_rules_in_one_pragma(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except Exception:  # repro-lint: allow[broad-swallow, fileops-seam] -- both
+                    fallback()
+        """
+        assert lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+class TestDriver:
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = repro_lint.lint_source("def broken(:", "x.py")
+        assert rules_of(findings) == ["syntax-error"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert repro_lint.main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+        dirty = tmp_path / "store" / "dirty.py"
+        dirty.parent.mkdir()
+        dirty.write_text("def f(p):\n    return open(p)\n")
+        assert repro_lint.main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "fileops-seam" in out and "1 finding(s)" in out
+
+    def test_list_rules(self, capsys):
+        assert repro_lint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in repro_lint.RULES:
+            assert rule in out
+
+    def test_whole_tree_is_clean(self):
+        """The acceptance gate: zero findings across the shipped tree."""
+        findings = repro_lint.lint_paths(
+            [REPO / "src", REPO / "tools", REPO / "benchmarks"]
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)
