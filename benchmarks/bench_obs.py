@@ -1,0 +1,179 @@
+"""Observability overhead benchmark (see DESIGN.md "Observability").
+
+Measures what the tracing instrumentation costs on the engine's hot
+path — the bench_backend smoke workload answered with R+PS+DS — in
+three configurations, best of ``TRIALS`` each:
+
+* **stubbed** — every ``trace.span`` / ``trace.record_span`` /
+  ``trace.start_trace`` call site is monkeypatched to a do-nothing
+  stub: the closest approximation to the uninstrumented engine without
+  maintaining a second copy of the code,
+* **dormant** — the shipped default: real instrumentation, no sink
+  configured, so every call site takes the thread-local-read fast
+  path.  This is the configuration the ≤5% bound is about, and the
+  benchmark **asserts** it: ``dormant ≤ stubbed × MAHIF_OBS_GATE``
+  (default 1.05) plus a small absolute slack for scheduler noise,
+* **traced** — sample=1.0 with a discard sink: the full price of span
+  construction and root-close serialization, reported but not gated
+  (operators opt into it per deployment).
+
+The run also emits ``benchmarks/trace_sample.jsonl`` — one fully
+sampled request's span tree, written through the real file sink — which
+CI uploads as an artifact so a reviewer can eyeball the taxonomy
+without running anything.  Results land in ``results.jsonl``
+(experiment ``"obs"``) and ``BENCH_obs.json`` at the repo root.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.bench import print_series_table, run_method, write_bench_report
+from repro.core import MahifConfig, Method
+from repro.obs import trace
+from repro.workloads import WorkloadSpec, build_workload
+
+from .common import SMALL_ROWS, record
+
+TRIALS = 5
+UPDATES = 20
+#: Relative overhead gate for the dormant path (CI asserts this).
+GATE = float(os.environ.get("MAHIF_OBS_GATE", "1.05"))
+#: Absolute slack absorbing scheduler jitter on sub-second workloads.
+SLACK_SECONDS = float(os.environ.get("MAHIF_OBS_SLACK", "0.02"))
+TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+SAMPLE_PATH = pathlib.Path(__file__).with_name("trace_sample.jsonl")
+
+
+def _best_of(fn, trials=TRIALS):
+    best = None
+    result = None
+    for _ in range(trials):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _answer(workload):
+    return run_method(
+        workload.query, Method.R_PS_DS, MahifConfig()
+    ).result
+
+
+def _stubbed(fn):
+    """Run ``fn`` with every tracing entry point replaced by a no-op."""
+    saved = (trace.span, trace.record_span, trace.start_trace)
+    trace.span = lambda name, **attrs: trace._NOOP
+    trace.record_span = lambda name, seconds, **attrs: None
+    trace.start_trace = lambda name, trace_id=None, **attrs: trace._NOOP
+    try:
+        return fn()
+    finally:
+        trace.span, trace.record_span, trace.start_trace = saved
+
+
+def _overhead_row():
+    workload = build_workload(
+        WorkloadSpec(dataset="taxi", rows=SMALL_ROWS, updates=UPDATES, seed=7)
+    )
+    trace.configure_tracing(None)
+    stub_best, stub_result = _stubbed(
+        lambda: _best_of(lambda: _answer(workload))
+    )
+    dormant_best, dormant_result = _best_of(lambda: _answer(workload))
+    assert dormant_result.delta == stub_result.delta, (
+        "instrumentation changed the answer — correctness bug"
+    )
+    trace.configure_tracing(lambda line: None, sample=1.0)
+    try:
+        def traced_answer():
+            with trace.start_trace("request", route="bench"):
+                return _answer(workload)
+
+        traced_best, _ = _best_of(traced_answer)
+    finally:
+        trace.configure_tracing(None)
+    row = {
+        "rows": SMALL_ROWS,
+        "updates": UPDATES,
+        "stubbed": stub_best,
+        "dormant": dormant_best,
+        "traced": traced_best,
+        "dormant_overhead": dormant_best / stub_best,
+        "traced_overhead": traced_best / stub_best,
+        "gate": GATE,
+    }
+    record("obs", row)
+    assert dormant_best <= stub_best * GATE + SLACK_SECONDS, (
+        f"dormant tracing overhead {row['dormant_overhead']:.3f}x exceeds "
+        f"the {GATE}x gate (stubbed {stub_best:.4f}s, "
+        f"dormant {dormant_best:.4f}s)"
+    )
+    return row
+
+
+def _emit_trace_sample(workload):
+    """One fully sampled request through the real file sink."""
+    SAMPLE_PATH.unlink(missing_ok=True)
+    trace.configure_tracing(str(SAMPLE_PATH), sample=1.0)
+    try:
+        with trace.start_trace("request", route="bench") as root:
+            root.set_attribute("dataset", "taxi")
+            _answer(workload)
+    finally:
+        trace.configure_tracing(None)
+    spans = [
+        json.loads(line)
+        for line in SAMPLE_PATH.read_text().splitlines()
+    ]
+    names = {span["name"] for span in spans}
+    assert {"request", "plan", "execute"} <= names, names
+    assert len({span["trace_id"] for span in spans}) == 1
+    return {"spans": len(spans), "names": sorted(names)}
+
+
+def test_tracing_overhead_is_bounded(benchmark):
+    workload = build_workload(
+        WorkloadSpec(dataset="taxi", rows=SMALL_ROWS, updates=UPDATES, seed=7)
+    )
+
+    def run():
+        return {
+            "overhead": _overhead_row(),
+            "trace_sample": _emit_trace_sample(workload),
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    write_bench_report(
+        TARGET,
+        "obs",
+        {
+            "dataset": "taxi",
+            "rows": SMALL_ROWS,
+            "updates": UPDATES,
+            "method": Method.R_PS_DS.value,
+            "trials": TRIALS,
+            "gate": GATE,
+            "metric": "answer wall seconds, best of trials",
+        },
+        overhead=data["overhead"],
+        trace_sample=data["trace_sample"],
+    )
+
+    row = data["overhead"]
+    print_series_table(
+        "Observability — dormant tracing overhead (taxi, U20)",
+        ["rows", "stubbed", "dormant", "traced", "dorm_ovh", "trc_ovh"],
+        [
+            [
+                row["rows"], row["stubbed"], row["dormant"], row["traced"],
+                row["dormant_overhead"], row["traced_overhead"],
+            ]
+        ],
+        note=f"dormant ≤ {GATE}x stubbed asserted; traced (sample=1.0) "
+        "reported — operators opt in per deployment",
+    )

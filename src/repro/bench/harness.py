@@ -170,10 +170,14 @@ def print_series_table(
     import sys
 
     out = file if file is not None else sys.__stdout__
+    # repro-lint: allow[no-print] -- benchmark tables are the deliverable
     print(file=out)
+    # repro-lint: allow[no-print] -- benchmark tables are the deliverable
     print(f"### {title}", file=out)
+    # repro-lint: allow[no-print] -- benchmark tables are the deliverable
     print(format_table(headers, rows), file=out)
     if note:
+        # repro-lint: allow[no-print] -- benchmark tables are the deliverable
         print(f"(paper shape: {note})", file=out)
     out.flush()
 

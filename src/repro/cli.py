@@ -76,6 +76,17 @@ __all__ = ["main", "build_parser"]
 _METHODS = {m.value: m for m in Method}
 
 
+def _print(*values: object, **kwargs: object) -> None:
+    """The CLI's output funnel — deltas, tables, status lines.
+
+    The repro-lint ``no-print`` rule keeps ``src/repro`` free of bare
+    ``print()``; user-facing CLI output is the sanctioned exception,
+    concentrated here behind one pragma.
+    """
+    # repro-lint: allow[no-print] -- the CLI's user-facing output funnel
+    print(*values, **kwargs)
+
+
 def _fail(message: str) -> "SystemExit":
     """One-line error to stderr, nonzero exit — never a traceback."""
     return SystemExit(f"repro.cli: error: {message}")
@@ -142,16 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
         "locally, the server's default over --url; an explicit value "
         "always wins, including --shards 1)",
     )
-    whatif.add_argument("--explain", action="store_true",
-                        help="print why-provenance for delta tuples")
+    whatif.add_argument(
+        "--explain", action="store_true",
+        help="EXPLAIN ANALYZE: print the per-operator time/row profile "
+        "of both reenactment queries (and, for a single local query, "
+        "why-provenance for delta tuples); with --batch or --url the "
+        "JSON answers gain a \"profile\" tree instead",
+    )
     whatif.add_argument("--out", help="write the delta as CSV")
     whatif.add_argument("--quiet", action="store_true")
     whatif.add_argument(
         "--batch", metavar="SPEC.JSON",
         help="answer a JSON array of modification specs over the shared "
         "history in one batched call, emitting JSON-lines deltas "
-        "(--replace/--delete-stmt/--insert-stmt are then ignored, "
-        "--explain is rejected; --out redirects the JSON lines)",
+        "(--replace/--delete-stmt/--insert-stmt are then ignored; "
+        "--out redirects the JSON lines)",
     )
     whatif.add_argument(
         "--batch-workers", type=int, default=0, metavar="N",
@@ -263,6 +279,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="log one line per HTTP request to stderr",
     )
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the GET /metrics Prometheus text endpoint "
+        "(enabled by default; metrics are still collected in-process)",
+    )
+    serve.add_argument(
+        "--trace-sink", metavar="PATH",
+        help="append per-request trace trees as JSON lines to PATH "
+        "(tracing is off without this flag)",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="FRACTION",
+        help="fraction of requests to trace when --trace-sink is set, "
+        "0..1 (default 1.0: every request; ids still propagate when "
+        "a request is unsampled)",
+    )
     return parser
 
 
@@ -365,26 +397,42 @@ def _delta_json(result) -> dict:
     return result_payload(result, include_empty=True)
 
 
+def _print_profile(profile, *, file=None) -> None:
+    """Render EXPLAIN ANALYZE trees: per affected relation, the
+    per-operator time/row profile of both reenactment queries.
+
+    Accepts both in-process :class:`~repro.obs.profile.OperatorProfile`
+    values (the local path) and their JSON payloads (over ``--url``).
+    """
+    from .obs.profile import OperatorProfile
+
+    for relation in sorted(profile):
+        for side in ("original", "modified"):
+            prof = profile[relation].get(side)
+            if prof is None:
+                continue
+            if not isinstance(prof, OperatorProfile):
+                prof = OperatorProfile.from_payload(prof)
+            _print(f"\nEXPLAIN ANALYZE {relation} ({side} history):",
+                  file=file)
+            _print(prof.pretty(1), file=file)
+
+
 def _emit_json_lines(lines: list[str], args: argparse.Namespace) -> None:
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n".join(lines) + "\n")
         if not args.quiet:
-            print(f"{len(lines)} deltas written to {args.out}")
+            _print(f"{len(lines)} deltas written to {args.out}")
     else:
         for line in lines:
-            print(line)
+            _print(line)
 
 
 def _cmd_whatif_remote(args: argparse.Namespace) -> int:
     """Remote-execute --replace/--batch against a running service."""
     from .service import ServiceClient, ServiceClientError
 
-    if args.explain:
-        raise SystemExit(
-            "--explain is not supported with --url (provenance needs the "
-            "in-process result; run without --url)"
-        )
     if not args.name:
         raise _fail("--url requires --name (the stored history to query)")
     # Validate all local inputs *before* any server-side effect, so a
@@ -429,7 +477,7 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
                 # Status lines go to stderr: stdout carries only the
                 # JSONL answers, like the local --batch path.
                 if not args.quiet:
-                    print(
+                    _print(
                         f"history {args.name!r} already exists on the "
                         "server; querying the stored history "
                         "(--data/--history ignored)",
@@ -437,7 +485,7 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
                     )
             else:
                 if not args.quiet:
-                    print(
+                    _print(
                         f"registered history {args.name!r} "
                         f"({len(history)} statements)",
                         file=sys.stderr,
@@ -447,6 +495,7 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
                 args.name, specs, method=args.method, backend=args.backend,
                 workers=args.batch_workers or None,
                 shards=args.shards,
+                explain=args.explain,
             )
         else:
             results = [
@@ -454,6 +503,7 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
                     args.name, single_spec,
                     method=args.method, backend=args.backend,
                     shards=args.shards,
+                    explain=args.explain,
                 )
             ]
     except ServiceClientError as exc:
@@ -463,15 +513,17 @@ def _cmd_whatif_remote(args: argparse.Namespace) -> int:
         for index, result in enumerate(results)
     ]
     _emit_json_lines(lines, args)
+    if args.explain and not args.quiet and specs is None:
+        # The JSON answer above carries the raw profile payload; also
+        # render the tree for a human, like the local path (stderr, so
+        # stdout stays machine-parseable JSONL).
+        profile = results[0].get("profile")
+        if profile:
+            _print_profile(profile, file=sys.stderr)
     return 0
 
 
 def _cmd_whatif_batch(args: argparse.Namespace) -> int:
-    if args.explain:
-        raise SystemExit(
-            "--explain is not supported with --batch (provenance is "
-            "per-query; run the query of interest without --batch)"
-        )
     database = _load_database(args.data)
     history = _load_history(args.history)
     queries = [
@@ -479,7 +531,9 @@ def _cmd_whatif_batch(args: argparse.Namespace) -> int:
         for modifications in _parse_batch_spec(args.batch)
     ]
     config = _engine_config(args, batch_workers=args.batch_workers)
-    results = Mahif(config).answer_batch(queries, _METHODS[args.method])
+    results = Mahif(config).answer_batch(
+        queries, _METHODS[args.method], explain=args.explain
+    )
     lines = [
         json.dumps({"query": index, **_delta_json(result)})
         for index, result in enumerate(results)
@@ -522,26 +576,31 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     modifications = _build_modifications(args)
     query = HistoricalWhatIfQuery(history, database, modifications)
     config = _engine_config(args)
-    result = Mahif(config).answer(query, _METHODS[args.method])
+    result = Mahif(config).answer(
+        query, _METHODS[args.method], explain=args.explain
+    )
 
     if not args.quiet:
-        print(result.delta.pretty())
-        print()
-        print(
+        _print(result.delta.pretty())
+        _print()
+        _print(
             f"method={args.method} "
             f"ps={result.ps_seconds:.3f}s exe={result.exe_seconds:.3f}s"
         )
         if result.slice_result:
             s = result.slice_result
-            print(
+            _print(
                 f"slice: kept {len(s.kept_positions)}/{s.total_positions} "
                 f"statements ({s.solver_calls} solver calls)"
             )
 
+    if args.explain and result.profile is not None:
+        _print_profile(result.profile)
+
     if args.explain and result.queries_original is not None:
         for relation in sorted(result.delta.relations):
             explanation = explain_delta(result, relation)
-            print(f"\nprovenance for Δ {relation}:")
+            _print(f"\nprovenance for Δ {relation}:")
             for row, witnesses in sorted(
                 explanation.items(), key=lambda kv: repr(kv[0])
             ):
@@ -550,7 +609,7 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
                         witnesses, key=lambda s: repr(s.row)
                     )
                 ) or "(query-generated)"
-                print(f"  {row} <- {sources}")
+                _print(f"  {row} <- {sources}")
 
     if args.out:
         with open(args.out, "w", newline="") as fh:
@@ -565,7 +624,7 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
                         [relation, sign, *[format_value(v) for v in row]]
                     )
         if not args.quiet:
-            print(f"\ndelta written to {args.out}")
+            _print(f"\ndelta written to {args.out}")
     return 0
 
 
@@ -597,6 +656,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except (ServiceError, OSError) as exc:
         raise _fail(f"cannot start service: {exc}") from None
+    if args.trace_sample < 0.0 or args.trace_sample > 1.0:
+        raise _fail("--trace-sample must be between 0 and 1")
+    if args.trace_sink:
+        from .obs.trace import configure_tracing
+
+        try:
+            # The sink reopens per flush; probe now so an unwritable
+            # path fails at startup instead of silently dropping traces.
+            with open(args.trace_sink, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise _fail(
+                f"cannot open --trace-sink {args.trace_sink!r}: {exc}"
+            ) from None
+        configure_tracing(args.trace_sink, sample=args.trace_sample)
     if args.name and args.name not in service.history_names():
         if not (args.data and args.history):
             raise _fail(
@@ -608,12 +682,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.register(args.name, database, history)
         except ServiceError as exc:
             raise _fail(f"cannot register {args.name!r}: {exc}") from None
-        print(
+        _print(
             f"registered history {args.name!r} ({len(history)} statements)",
             flush=True,
         )
     elif args.name and (args.data or args.history):
-        print(
+        _print(
             f"history {args.name!r} already exists under {args.root}; "
             "serving the persisted history (--data/--history ignored — "
             "append via the API to evolve it)",
@@ -621,13 +695,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     server = WhatIfServer(
         service, host=args.host, port=args.port, quiet=not args.verbose,
-        resilience=resilience,
+        resilience=resilience, metrics=not args.no_metrics,
     )
     host, port = server.address
-    print(
+    observability = "metrics=off" if args.no_metrics else "metrics=/metrics"
+    if args.trace_sink:
+        observability += (
+            f", tracing {args.trace_sample:g} of requests "
+            f"to {args.trace_sink}"
+        )
+    _print(
         f"serving what-if queries on http://{host}:{port} "
         f"(root={args.root}, backend={args.backend}, "
-        f"histories={service.history_names()})",
+        f"histories={service.history_names()}, {observability})",
         flush=True,
     )
     try:
@@ -645,12 +725,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     final = history.execute(database)
     names = [args.relation] if args.relation else final.relation_names()
     for name in names:
-        print(f"== {name} ==")
-        print(final[name].pretty())
+        _print(f"== {name} ==")
+        _print(final[name].pretty())
     if args.out:
         target = args.relation or names[0]
         relation_to_csv(final[target], args.out)
-        print(f"\n{target} written to {args.out}")
+        _print(f"\n{target} written to {args.out}")
     return 0
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -47,6 +48,7 @@ from concurrent.futures import (
 )
 from typing import Callable, Sequence
 
+from ..obs import trace
 from ..relational.database import Database
 from ..relational.exec.backend import BACKEND_SQLITE, resolve_backend
 from ..relational.statements import Statement
@@ -350,6 +352,8 @@ def answer_batch_with(
     method: Method,
     workers: int | None = None,
     start_databases: Sequence[Database] | None = None,
+    *,
+    explain: bool = False,
 ) -> list[MahifResult]:
     """Answer ``queries`` with ``method``; the worker behind
     :meth:`Mahif.answer_batch` (which scopes the configured backend).
@@ -359,6 +363,12 @@ def answer_batch_with(
     passes versions reconstructed from a :class:`~repro.store.
     HistoryStore` checkpoint (nearest checkpoint + bounded replay)
     instead of replaying the whole prefix here.
+
+    ``explain=True`` attaches EXPLAIN ANALYZE per-operator profiles to
+    every result; profiled evaluation runs serially in-process (per-node
+    materialization is a diagnostic mode — the pool and shard fan-outs
+    are bypassed), though plan construction still shares work across
+    the batch.
     """
     if not queries:
         return []
@@ -386,7 +396,8 @@ def answer_batch_with(
                 for naive in naives
             ]
         return _answer_reenactment_batch(
-            engine, backend, queries, method, executor, start_databases
+            engine, backend, queries, method, executor, start_databases,
+            explain=explain,
         )
     finally:
         if executor is not None:
@@ -402,6 +413,7 @@ def _answer_reenactment_batch(
     method: Method,
     executor: Executor | None,
     start_databases: Sequence[Database] | None = None,
+    explain: bool = False,
 ) -> list[MahifResult]:
     start_dbs = (
         list(start_databases)
@@ -409,30 +421,44 @@ def _answer_reenactment_batch(
         else shared_start_databases(queries)
     )
     shared: dict | None = {} if engine.config.batch_share_plans else None
-    if executor is None:
-        plans = [
-            engine._plan_reenactment(
-                query, method, start_db=start_db, shared=shared
+    with trace.span(
+        "plan", method=method.value, queries=len(queries)
+    ) as plan_span:
+        if executor is None:
+            plans = [
+                engine._plan_reenactment(
+                    query, method, start_db=start_db, shared=shared
+                )
+                for query, start_db in zip(queries, start_dbs)
+            ]
+        else:
+            # Only thread pools can mutate the shared cache in place.
+            shared_arg = (
+                shared if _executor_kind(executor) == "thread" else None
             )
-            for query, start_db in zip(queries, start_dbs)
-        ]
-    else:
-        # Only thread pools can mutate the shared cache in place.
-        shared_arg = shared if _executor_kind(executor) == "thread" else None
-        plans = [
-            dataclasses.replace(plan, start_db=start_db)
-            for plan, start_db in zip(
-                _run_tasks(
-                    executor,
-                    _plan_task,
-                    [
-                        (engine.config, query, method, start_db, shared_arg)
-                        for query, start_db in zip(queries, start_dbs)
-                    ],
-                ),
-                start_dbs,
-            )
-        ]
+            plans = [
+                dataclasses.replace(plan, start_db=start_db)
+                for plan, start_db in zip(
+                    _run_tasks(
+                        executor,
+                        _plan_task,
+                        [
+                            (
+                                engine.config, query, method,
+                                start_db, shared_arg,
+                            )
+                            for query, start_db in zip(queries, start_dbs)
+                        ],
+                    ),
+                    start_dbs,
+                )
+            ]
+        plan_span.set_attributes(
+            {
+                "affected": sum(len(p.affected) for p in plans),
+                "ps_seconds": sum(p.ps_seconds for p in plans),
+            }
+        )
 
     def _extras(plan, relation):
         return (
@@ -447,8 +473,46 @@ def _answer_reenactment_batch(
     deltas: list[dict[str, RelationDelta]] = [{} for _ in queries]
     eval_seconds = [0.0] * len(queries)
     choices: list = [None] * len(queries)
+    profiles: list[dict | None] = [None] * len(queries)
     auto = engine.config.shards_auto
-    if auto or engine.config.shards > 1:
+    if explain:
+        # EXPLAIN ANALYZE: serial in-process profiled evaluation (plan
+        # construction above still shared the batch's common work).
+        from ..obs.profile import profile_query
+
+        with trace.span("execute", mode="profiled", queries=len(plans)):
+            for index, plan in enumerate(plans):
+                query_profiles: dict[str, dict] = {}
+                for relation in sorted(plan.affected):
+                    t0 = time.perf_counter()
+                    result_h, prof_h = profile_query(
+                        plan.queries_h[relation], plan.start_db,
+                        backend=backend,
+                    )
+                    result_m, prof_m = profile_query(
+                        plan.queries_m[relation], plan.start_db,
+                        backend=backend,
+                    )
+                    extra_h, extra_m = _extras(plan, relation)
+                    if extra_h is not None:
+                        result_h = result_h.union(extra_h)
+                    if extra_m is not None:
+                        result_m = result_m.union(extra_m)
+                    deltas[index][relation] = RelationDelta.between(
+                        result_h, result_m
+                    )
+                    seconds = time.perf_counter() - t0
+                    eval_seconds[index] += seconds
+                    trace.record_span(
+                        "relation", seconds,
+                        relation=relation, query=index, profiled=True,
+                    )
+                    query_profiles[relation] = {
+                        "original": prof_h,
+                        "modified": prof_m,
+                    }
+                profiles[index] = query_profiles
+    elif auto or engine.config.shards > 1:
         # Sharded execution: fan out at (query, relation, shard)
         # granularity through the same executor.  A shard call ships
         # only its own shard's database and an unshardable fallback
@@ -472,21 +536,21 @@ def _answer_reenactment_batch(
         partitions: dict = {}
         owners: list[int] = []
         works = []
-        for index, plan in enumerate(plans):
-            choice = choices[index]
-            shards = (
-                choice.shards if choice is not None
-                else engine.config.shards
-            )
-            scheme = (
-                choice.scheme if choice is not None
-                else engine.config.shard_scheme
-            )
-            hints = choice.estimates if choice is not None else None
-            for relation in sorted(plan.affected):
-                owners.append(index)
-                works.append(
-                    plan_relation_shards(
+        with trace.span("partition", queries=len(plans)) as part_span:
+            for index, plan in enumerate(plans):
+                choice = choices[index]
+                shards = (
+                    choice.shards if choice is not None
+                    else engine.config.shards
+                )
+                scheme = (
+                    choice.scheme if choice is not None
+                    else engine.config.shard_scheme
+                )
+                hints = choice.estimates if choice is not None else None
+                for relation in sorted(plan.affected):
+                    owners.append(index)
+                    work = plan_relation_shards(
                         backend,
                         plan,
                         relation,
@@ -495,37 +559,51 @@ def _answer_reenactment_batch(
                         partitions,
                         hints,
                     )
-                )
-        merged = evaluate_shard_works(works, executor)
+                    works.append(work)
+                    part_span.add_event(
+                        "route",
+                        relation=work.relation,
+                        query=index,
+                        shards=work.shard_count,
+                        evaluated=len(work.calls),
+                        skipped=work.skipped,
+                        sharded=work.sharded,
+                    )
+        with trace.span("execute", mode="sharded", relations=len(works)):
+            merged = evaluate_shard_works(works, executor)
         for index, work, (delta, seconds) in zip(owners, works, merged):
             deltas[index][work.relation] = delta
             eval_seconds[index] += seconds
     elif _executor_kind(executor) == "process":
         # Grouped per query: the start database pickles once per query.
-        grouped = _run_tasks(
-            executor,
-            _query_deltas_task,
-            [
-                (
-                    backend,
-                    plan.start_db,
-                    [
-                        (
-                            relation,
-                            plan.queries_h[relation],
-                            plan.queries_m[relation],
-                            *_extras(plan, relation),
-                        )
-                        for relation in sorted(plan.affected)
-                    ],
-                )
-                for plan in plans
-            ],
-        )
-        for index, query_outcomes in enumerate(grouped):
-            for relation, delta, seconds in query_outcomes:
-                deltas[index][relation] = delta
-                eval_seconds[index] += seconds
+        with trace.span("execute", mode="process-pool", queries=len(plans)):
+            grouped = _run_tasks(
+                executor,
+                _query_deltas_task,
+                [
+                    (
+                        backend,
+                        plan.start_db,
+                        [
+                            (
+                                relation,
+                                plan.queries_h[relation],
+                                plan.queries_m[relation],
+                                *_extras(plan, relation),
+                            )
+                            for relation in sorted(plan.affected)
+                        ],
+                    )
+                    for plan in plans
+                ],
+            )
+            for index, query_outcomes in enumerate(grouped):
+                for relation, delta, seconds in query_outcomes:
+                    deltas[index][relation] = delta
+                    eval_seconds[index] += seconds
+                    trace.record_span(
+                        "relation", seconds, relation=relation, query=index
+                    )
     else:
         # In-process (serial) or thread pool: no pickling, so fan out at
         # per-(query, relation) granularity for maximum overlap.
@@ -543,10 +621,17 @@ def _answer_reenactment_batch(
                     )
                 )
                 owners.append((index, relation))
-        outcomes = _run_tasks(executor, _relation_delta_task, calls)
-        for (index, relation), (delta, seconds) in zip(owners, outcomes):
-            deltas[index][relation] = delta
-            eval_seconds[index] += seconds
+        mode = "thread-pool" if executor is not None else "serial"
+        with trace.span("execute", mode=mode, relations=len(calls)):
+            outcomes = _run_tasks(executor, _relation_delta_task, calls)
+            for (index, relation), (delta, seconds) in zip(
+                owners, outcomes
+            ):
+                deltas[index][relation] = delta
+                eval_seconds[index] += seconds
+                trace.record_span(
+                    "relation", seconds, relation=relation, query=index
+                )
 
     return [
         MahifResult(
@@ -560,6 +645,7 @@ def _answer_reenactment_batch(
             queries_modified=plan.queries_m,
             base_database=plan.start_db,
             planner_choice=choices[index],
+            profile=profiles[index],
         )
         for index, plan in enumerate(plans)
     ]

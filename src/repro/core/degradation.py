@@ -9,19 +9,22 @@ nobody notices.  Each fallback records itself here; the what-if
 service's ``/health`` endpoint exposes the snapshot, and the resilience
 tests assert on exact counts.
 
-The registry is process-global (one flat counter per event kind) rather
-than per-engine because degradation happens in layers that do not know
-which service owns them — a shard fallback deep inside
-``core/shard.py`` runs three frames below the request handler.  Counts
-are monotonic; :func:`reset_degradation` exists for tests.
+The counters live in the process-global metrics registry
+(:func:`repro.obs.metrics.global_registry`) as the single
+``mahif_degradation_total{kind=...}`` family — one source of truth
+shared by ``/health`` (this module's snapshot) and ``/metrics`` (the
+Prometheus scrape).  They are process-global rather than per-engine
+because degradation happens in layers that do not know which service
+owns them — a shard fallback deep inside ``core/shard.py`` runs three
+frames below the request handler.  Counts are monotonic;
+:func:`reset_degradation` exists for tests.
 """
 
 from __future__ import annotations
 
-import threading
+from ..obs.metrics import global_registry
 
 __all__ = [
-    "DegradationStats",
     "record_degradation",
     "degradation_snapshot",
     "reset_degradation",
@@ -35,37 +38,21 @@ __all__ = [
 #: * ``shard_fallback`` — a per-shard failure re-ran one relation unsharded
 #: * ``sqlite_fallback``— a sqlite-backend error re-answered on compiled
 
-
-class DegradationStats:
-    """Thread-safe monotonic counters keyed by event kind."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts: dict[str, int] = {}
-
-    def record(self, kind: str, count: int = 1) -> None:
-        with self._lock:
-            self._counts[kind] = self._counts.get(kind, 0) + count
-
-    def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._counts)
-
-    def reset(self) -> None:
-        with self._lock:
-            self._counts.clear()
-
-
-_GLOBAL = DegradationStats()
+_COUNTER = global_registry().counter(
+    "mahif_degradation_total",
+    "Graceful-degradation events by kind (pool_rebuild, pool_serial, "
+    "shard_fallback, sqlite_fallback).",
+    ("kind",),
+)
 
 
 def record_degradation(kind: str, count: int = 1) -> None:
-    _GLOBAL.record(kind, count)
+    _COUNTER.inc(count, kind=kind)
 
 
 def degradation_snapshot() -> dict[str, int]:
-    return _GLOBAL.snapshot()
+    return {key[0]: int(value) for key, value in _COUNTER.series().items()}
 
 
 def reset_degradation() -> None:
-    _GLOBAL.reset()
+    _COUNTER.reset()

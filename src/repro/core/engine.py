@@ -55,6 +55,7 @@ from ..relational.statements import (
     InsertTuple,
     UpdateStatement,
 )
+from ..obs import trace
 from .data_slicing import DataSlicingConditions, compute_data_slicing
 from .delta import DatabaseDelta, RelationDelta
 from .dependency import dependency_slice
@@ -148,6 +149,14 @@ class MahifConfig:
     at plan-build time only — shared-plan cache hits reuse the already
     certified trees.
 
+    ``profile`` turns every answer into an EXPLAIN ANALYZE run: each
+    reenactment query is evaluated with per-operator wall time and row
+    counts (:func:`repro.obs.profile.profile_query`), attached to the
+    result as :attr:`MahifResult.profile`.  Profiled answers execute
+    the serial unsharded path — per-node materialization is a
+    diagnostic mode, not the hot path.  ``Mahif.answer(...,
+    explain=True)`` requests the same per call.
+
     ``shards="auto"`` (stored as the ``AUTO_SHARDS`` = 0 sentinel; the
     literal ``0`` is accepted too) hands the decision to the cost-based
     planner (see DESIGN.md, "Adaptive planning"): each reenactment plan
@@ -171,6 +180,7 @@ class MahifConfig:
     shard_workers: int = 0
     shard_scheme: str = "range"
     verify_plans: bool | None = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         from ..relational.partition import PARTITION_SCHEMES
@@ -244,6 +254,13 @@ class MahifResult:
     #: shard/worker counts this answer actually executed with, plus the
     #: estimates it was based on.  ``None`` under static configuration.
     planner_choice: ExecutionChoice | None = None
+    #: EXPLAIN ANALYZE output (``explain=True`` / ``config.profile``):
+    #: per affected relation, ``{"original": OperatorProfile,
+    #: "modified": OperatorProfile}`` — per-operator wall time and row
+    #: counts for both reenactment queries.  ``None`` otherwise (and
+    #: always for NAIVE, which replays statements instead of building
+    #: operator trees).
+    profile: Mapping[str, Mapping[str, object]] | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -404,13 +421,22 @@ class Mahif:
         query: HistoricalWhatIfQuery,
         method: Method = Method.R_PS_DS,
         current_state: Database | None = None,
+        *,
+        explain: bool = False,
     ) -> MahifResult:
         """Answer a HWQ with the selected method.
 
         The configured execution backend is scoped around the whole
         pipeline, so statement replay (naive), reenactment queries and
         the delta all run through it.
+
+        ``explain=True`` (or ``config.profile``) runs EXPLAIN ANALYZE:
+        the answer carries a per-operator time/row-count
+        :attr:`MahifResult.profile` and executes the serial unsharded
+        path.  NAIVE has no operator trees to profile and returns
+        ``profile=None``.
         """
+        profiled = explain or self.config.profile
         with use_backend(self.config.backend):
             if method is Method.NAIVE:
                 naive = naive_what_if(query, current_state=current_state)
@@ -420,7 +446,9 @@ class Mahif:
                     exe_seconds=naive.total_seconds,
                     naive_breakdown=naive,
                 )
-            return self._answer_reenactment(query, method)
+            return self._answer_reenactment(
+                query, method, profiled=profiled
+            )
 
     def answer_batch(
         self,
@@ -429,6 +457,7 @@ class Mahif:
         *,
         workers: int | None = None,
         start_databases: Sequence[Database] | None = None,
+        explain: bool = False,
     ) -> list[MahifResult]:
         """Answer several HWQs over a shared history in one call.
 
@@ -458,64 +487,92 @@ class Mahif:
 
         with use_backend(self.config.backend):
             return answer_batch_with(
-                self, list(queries), method, workers, start_databases
+                self, list(queries), method, workers, start_databases,
+                explain=explain or self.config.profile,
             )
 
     # -- reenactment pipeline ----------------------------------------------
     def _answer_reenactment(
-        self, query: HistoricalWhatIfQuery, method: Method
+        self,
+        query: HistoricalWhatIfQuery,
+        method: Method,
+        *,
+        profiled: bool = False,
     ) -> MahifResult:
-        plan = self._plan_reenactment(query, method)
+        with trace.span("plan", method=method.value) as plan_span:
+            plan = self._plan_reenactment(query, method)
+            plan_span.set_attributes(
+                {
+                    "affected": len(plan.affected),
+                    "ps_seconds": plan.ps_seconds,
+                    "build_seconds": plan.build_seconds,
+                }
+            )
         t0 = time.perf_counter()
         deltas: dict[str, RelationDelta] = {}
+        profiles: dict[str, dict] | None = None
         choice: ExecutionChoice | None = None
         effective = self.config
         hints = None
-        if self.config.shards_auto:
-            from dataclasses import replace
-
-            from .planner import plan_execution
-
-            choice = plan_execution(
-                plan, self.config,
-                backend=resolve_backend(self.config.backend),
-            )
-            hints = choice.estimates
-            effective = replace(
-                self.config,
-                shards=choice.shards,
-                shard_workers=choice.shard_workers,
-            )
-        if effective.shards > 1:
-            from .shard import evaluate_plan_sharded
-
-            try:
-                deltas, _ = evaluate_plan_sharded(
-                    plan,
-                    effective,
-                    resolve_backend(effective.backend),
-                    executor=self._shard_pool(effective),
-                    hints=hints,
-                )
-            except BaseException:
-                # A failed task may have poisoned a process pool; build
-                # a fresh one on the next call.
-                self._reset_shard_pool()
-                raise
+        if profiled:
+            # EXPLAIN ANALYZE: per-operator instrumentation on the
+            # serial unsharded path (the per-node materialization makes
+            # timings meaningful; sharded/planned execution would
+            # profile partitions, not the plan the user asked about).
+            profiles = self._evaluate_profiled(plan, deltas)
         else:
-            for relation in sorted(plan.affected):
-                deltas[relation], _ = _relation_delta_task(
-                    None,  # ambient backend: `answer` scoped it
-                    plan.queries_h[relation],
-                    plan.queries_m[relation],
-                    plan.start_db,
-                    plan.inserted_original[relation]
-                    if plan.inserted_original is not None
-                    else None,
-                    plan.inserted_modified[relation]
-                    if plan.inserted_modified is not None
-                    else None,
+            if self.config.shards_auto:
+                from dataclasses import replace
+
+                from .planner import plan_execution
+
+                choice = plan_execution(
+                    plan, self.config,
+                    backend=resolve_backend(self.config.backend),
                 )
+                hints = choice.estimates
+                effective = replace(
+                    self.config,
+                    shards=choice.shards,
+                    shard_workers=choice.shard_workers,
+                )
+            if effective.shards > 1:
+                from .shard import evaluate_plan_sharded
+
+                try:
+                    deltas, _ = evaluate_plan_sharded(
+                        plan,
+                        effective,
+                        resolve_backend(effective.backend),
+                        executor=self._shard_pool(effective),
+                        hints=hints,
+                    )
+                except BaseException:
+                    # A failed task may have poisoned a process pool;
+                    # build a fresh one on the next call.
+                    self._reset_shard_pool()
+                    raise
+            else:
+                with trace.span("execute", mode="serial") as exec_span:
+                    for relation in sorted(plan.affected):
+                        deltas[relation], seconds = _relation_delta_task(
+                            None,  # ambient backend: `answer` scoped it
+                            plan.queries_h[relation],
+                            plan.queries_m[relation],
+                            plan.start_db,
+                            plan.inserted_original[relation]
+                            if plan.inserted_original is not None
+                            else None,
+                            plan.inserted_modified[relation]
+                            if plan.inserted_modified is not None
+                            else None,
+                        )
+                        trace.record_span(
+                            "relation", seconds, relation=relation
+                        )
+                    exec_span.set_attribute(
+                        "relations", len(plan.affected)
+                    )
         exe_seconds = plan.build_seconds + (time.perf_counter() - t0)
         return MahifResult(
             delta=DatabaseDelta(deltas),
@@ -528,7 +585,49 @@ class Mahif:
             queries_modified=plan.queries_m,
             base_database=plan.start_db,
             planner_choice=choice,
+            profile=profiles,
         )
+
+    def _evaluate_profiled(
+        self, plan: "_ReenactmentPlan", deltas: dict[str, RelationDelta]
+    ) -> dict[str, dict]:
+        """EXPLAIN ANALYZE evaluation: per-operator profiles for both
+        reenactment queries of every affected relation, deltas computed
+        from the profiled results (equal to plain evaluation — the
+        profiler materializes bottom-up through the same backends)."""
+        from ..obs.profile import profile_query
+
+        profiles: dict[str, dict] = {}
+        with trace.span("execute", mode="profiled") as exec_span:
+            for relation in sorted(plan.affected):
+                t0 = time.perf_counter()
+                result_h, prof_h = profile_query(
+                    plan.queries_h[relation], plan.start_db
+                )
+                result_m, prof_m = profile_query(
+                    plan.queries_m[relation], plan.start_db
+                )
+                if plan.inserted_original is not None:
+                    result_h = result_h.union(
+                        plan.inserted_original[relation]
+                    )
+                if plan.inserted_modified is not None:
+                    result_m = result_m.union(
+                        plan.inserted_modified[relation]
+                    )
+                deltas[relation] = RelationDelta.between(result_h, result_m)
+                profiles[relation] = {
+                    "original": prof_h,
+                    "modified": prof_m,
+                }
+                trace.record_span(
+                    "relation",
+                    time.perf_counter() - t0,
+                    relation=relation,
+                    profiled=True,
+                )
+            exec_span.set_attribute("relations", len(plan.affected))
+        return profiles
 
     def _plan_reenactment(
         self,
@@ -724,13 +823,14 @@ class Mahif:
                 # cached trees were certified when first built.
                 from ..static_analysis import verify_reenactment_plans
 
-                verify_reenactment_plans(
-                    schemas,
-                    queries_h,
-                    queries_m,
-                    before_original=pre_opt_h,
-                    before_modified=pre_opt_m,
-                )
+                with trace.span("verify", plans=len(queries_h)):
+                    verify_reenactment_plans(
+                        schemas,
+                        queries_h,
+                        queries_m,
+                        before_original=pre_opt_h,
+                        before_modified=pre_opt_m,
+                    )
 
             if share_key is not None:
                 shared[share_key] = (

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import TYPE_CHECKING, Any, Mapping
 
+from ..obs import trace
+from ..obs.metrics import global_registry
 from ..relational.algebra import operator_count
 from ..relational.expressions import TRUE
 
@@ -397,7 +399,59 @@ def _relation_cost(
     return cost
 
 
+#: Planner decisions by outcome (process-global: the planner runs deep
+#: inside engines that do not know which service owns them).
+_PLANNER_CHOICES = global_registry().counter(
+    "mahif_planner_choice_total",
+    "Adaptive-planner execution choices by decision "
+    "(sharded, sequential).",
+    ("decision",),
+)
+
+
 def plan_execution(
+    plan: "_ReenactmentPlan",
+    config: "MahifConfig",
+    *,
+    backend: str | None = None,
+    cost_model: CostModel | None = None,
+    sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    max_shards: int = MAX_AUTO_SHARDS,
+    cpu_count: int | None = None,
+) -> ExecutionChoice:
+    """Choose an execution configuration for one reenactment plan,
+    recording the decision (counter + trace span) on the way out.
+
+    See :func:`_plan_execution_inner` for the costing itself.
+    """
+    with trace.span("planner") as span_:
+        choice = _plan_execution_inner(
+            plan,
+            config,
+            backend=backend,
+            cost_model=cost_model,
+            sample_limit=sample_limit,
+            max_shards=max_shards,
+            cpu_count=cpu_count,
+        )
+        span_.set_attributes(
+            {
+                "shards": choice.shards,
+                "shard_workers": choice.shard_workers,
+                "scheme": choice.scheme,
+                "backend": choice.backend,
+                "estimated_seconds": choice.estimated_seconds,
+                "baseline_seconds": choice.baseline_seconds,
+                "reason": choice.reason,
+            }
+        )
+    _PLANNER_CHOICES.inc(
+        decision="sharded" if choice.shards > 1 else "sequential"
+    )
+    return choice
+
+
+def _plan_execution_inner(
     plan: "_ReenactmentPlan",
     config: "MahifConfig",
     *,

@@ -53,6 +53,7 @@ from ..relational.partition import (
     partition_relation,
     shard_delta,
 )
+from ..obs import trace
 from ..relational.relation import Relation
 from .data_slicing import DataSlicingConditions
 from .delta import RelationDelta
@@ -394,17 +395,29 @@ def evaluate_shard_works(
         cursor += len(work.calls)
         failures = [value for ok, value in slice_ if not ok]
         if not failures:
-            results.append(
-                merge_relation_shards(
+            for shard_index, (_, value) in enumerate(slice_):
+                # Pool workers see no active trace; their timings come
+                # back with the results and are attached here.
+                trace.record_span(
+                    "shard",
+                    value[1],
+                    relation=work.relation,
+                    shard=shard_index,
+                )
+            with trace.span("merge", relation=work.relation):
+                merged_pair = merge_relation_shards(
                     work, [value for _, value in slice_]
                 )
-            )
+            results.append(merged_pair)
             continue
         if work.fallback_call is None:
             # Already unsharded: nothing gentler to degrade to.
             raise failures[0]
         record_degradation("shard_fallback")
         triple, seconds = shard_pair_task(*work.fallback_call)
+        trace.record_span(
+            "shard", seconds, relation=work.relation, fallback=True
+        )
         results.append(
             (merge_shard_deltas([triple], schema=work.schema), seconds)
         )
@@ -433,18 +446,31 @@ def evaluate_plan_sharded(
     from .batch import _make_executor
 
     partitions: dict = {}
-    works = [
-        plan_relation_shards(
-            backend, plan, relation, config.shards, config.shard_scheme,
-            partitions, hints,
-        )
-        for relation in sorted(plan.affected)
-    ]
+    with trace.span("partition", shards=config.shards) as part_span:
+        works = [
+            plan_relation_shards(
+                backend, plan, relation, config.shards,
+                config.shard_scheme, partitions, hints,
+            )
+            for relation in sorted(plan.affected)
+        ]
+        for work in works:
+            part_span.add_event(
+                "route",
+                relation=work.relation,
+                shards=work.shard_count,
+                evaluated=len(work.calls),
+                skipped=work.skipped,
+                sharded=work.sharded,
+            )
     owned = None
     if executor is None:
         executor = owned = _make_executor(backend, config.shard_workers)
     try:
-        merged = evaluate_shard_works(works, executor)
+        with trace.span(
+            "execute", mode="sharded", relations=len(works)
+        ):
+            merged = evaluate_shard_works(works, executor)
     finally:
         if owned is not None:
             owned.shutdown(cancel_futures=True)

@@ -194,6 +194,7 @@ _connections: "OrderedDict[tuple[int, int], _CacheEntry]" = OrderedDict()
 _generations = itertools.count()
 _cache_hits = 0
 _cache_misses = 0
+_generation_drops = 0
 _max_connections = 32
 
 
@@ -235,11 +236,13 @@ def _acquire(db, bag: bool) -> _CacheEntry:
         generation = next(_generations)
 
         def _drop(_ref, key=key, generation=generation) -> None:
+            global _generation_drops
             with _lock:
                 stale = _connections.get(key)
                 if stale is not None and stale.generation == generation:
                     del _connections[key]
                     _retire(stale)
+                    _generation_drops += 1
 
         entry = _CacheEntry(weakref.ref(db, _drop), conn, bag, generation)
         entry.in_use = 1
@@ -303,7 +306,43 @@ def sqlite_cache_info() -> dict[str, int]:
             "misses": _cache_misses,
             "connections": len(_connections),
             "max_connections": _max_connections,
+            "generation_drops": _generation_drops,
         }
+
+
+def _register_cache_metrics() -> None:
+    """Expose the connection-cache state as callback gauges on the
+    process-global registry: the scrape reads this module's truth
+    directly, so the PR 3 lifetime behavior (bounded size, generation-
+    guarded weakref drops) is observable without a second copy."""
+    from ...obs.metrics import global_registry
+
+    registry = global_registry()
+    for suffix, help_text in (
+        ("connections", "Live cached sqlite connections."),
+        ("connections_max", "Connection-cache bound."),
+        ("cache_hits", "Connection-cache lookups served from cache."),
+        ("cache_misses", "Connection-cache lookups that loaded a database."),
+        (
+            "generation_drops",
+            "Entries dropped by generation-guarded weakref callbacks.",
+        ),
+    ):
+        info_key = {
+            "connections": "connections",
+            "connections_max": "max_connections",
+            "cache_hits": "hits",
+            "cache_misses": "misses",
+            "generation_drops": "generation_drops",
+        }[suffix]
+        registry.gauge(
+            f"mahif_sqlite_{suffix}",
+            help_text,
+            callback=lambda key=info_key: sqlite_cache_info()[key],
+        )
+
+
+_register_cache_metrics()
 
 
 # -- query evaluation -------------------------------------------------------

@@ -19,6 +19,9 @@ client now implements the client half of the resilience contract
 * **Deadline propagation**: a per-call deadline budget caps total time
   across attempts and travels to the server as ``X-Mahif-Deadline-Ms``
   so it can stop computing an answer nobody is waiting for.
+* **Trace propagation**: every logical call mints one trace id and
+  sends it as ``X-Mahif-Trace`` on *every* attempt, so server-side
+  traces stitch retries of one request into a single story.
 
 Raises :class:`ServiceClientError` carrying the server's one-line error
 message (or the transport failure), the HTTP status, a machine-readable
@@ -41,6 +44,7 @@ import urllib.request
 import uuid
 from typing import Any, Callable, Sequence
 
+from ..obs.trace import new_trace_id
 from ..relational.database import Database
 from ..relational.history import History
 from ..store import encode_database, encode_statement
@@ -131,12 +135,15 @@ class ServiceClient:
         body: dict | None,
         timeout: float,
         deadline_ms: float | None,
+        trace_id: str | None = None,
     ) -> dict:
         """One HTTP round trip; failures raise :class:`ServiceClientError`
         with ``retryable``/``retry_after`` set."""
         headers = {"Content-Type": "application/json"}
         if deadline_ms is not None:
             headers["X-Mahif-Deadline-Ms"] = f"{deadline_ms:.0f}"
+        if trace_id is not None:
+            headers["X-Mahif-Trace"] = trace_id
         request = urllib.request.Request(
             f"{self.url}{path}",
             method=method,
@@ -196,6 +203,9 @@ class ServiceClient:
             if self.deadline is not None
             else None
         )
+        # One trace id for the whole logical call: retries reuse it, so
+        # the server sees each attempt as part of the same request.
+        trace_id = new_trace_id()
         attempt = 0
         while True:
             remaining = (
@@ -220,6 +230,7 @@ class ServiceClient:
                     body,
                     timeout,
                     remaining * 1000.0 if remaining is not None else None,
+                    trace_id,
                 )
             except ServiceClientError as exc:
                 transport = exc.status == 0
@@ -249,6 +260,29 @@ class ServiceClient:
     # -- API ---------------------------------------------------------------
     def health(self) -> dict:
         return self._call("GET", "/health")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition, verbatim.
+
+        ``/metrics`` replies ``text/plain`` rather than JSON, so this
+        bypasses :meth:`_call` — a single unretried GET (scrapes are
+        periodic; the next one covers a lost reply).
+        """
+        request = urllib.request.Request(
+            f"{self.url}/metrics", method="GET"
+        )
+        try:
+            with self._opener(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceClientError(
+                str(exc), status=exc.code
+            ) from None
+        except (urllib.error.URLError, TimeoutError) as exc:
+            raise ServiceClientError(
+                f"service unreachable at {self.url}: {exc}",
+                retryable=True,
+            ) from None
 
     def histories(self) -> list[dict]:
         return self._call("GET", "/histories")["histories"]
@@ -313,11 +347,14 @@ class ServiceClient:
         method: str | None = None,
         backend: str | None = None,
         shards: int | str | None = None,
+        explain: bool = False,
     ) -> dict:
         """One what-if answer.  ``shards`` accepts a positive count, or
         ``"auto"``/``0`` for the server-side cost-based planner (the
         response then carries the ``planner`` decision and its
-        ``shards`` field reports the chosen count)."""
+        ``shards`` field reports the chosen count).  ``explain`` asks
+        for EXPLAIN ANALYZE: the result gains a per-operator
+        ``"profile"`` tree and bypasses the server's result cache."""
         body: dict[str, Any] = {"modifications": modifications}
         if method is not None:
             body["method"] = method
@@ -325,6 +362,8 @@ class ServiceClient:
             body["backend"] = backend
         if shards is not None:
             body["shards"] = shards
+        if explain:
+            body["explain"] = True
         return self._call("POST", f"/histories/{name}/whatif", body)
 
     def whatif_batch(
@@ -336,6 +375,7 @@ class ServiceClient:
         backend: str | None = None,
         workers: int | None = None,
         shards: int | str | None = None,
+        explain: bool = False,
     ) -> list[dict]:
         body: dict[str, Any] = {"queries": list(queries)}
         if method is not None:
@@ -346,6 +386,8 @@ class ServiceClient:
             body["workers"] = workers
         if shards is not None:
             body["shards"] = shards
+        if explain:
+            body["explain"] = True
         return self._call("POST", f"/histories/{name}/batch", body)[
             "results"
         ]

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..core.degradation import degradation_snapshot
+from ..obs.metrics import Counter
 
 __all__ = [
     "AdmissionController",
@@ -204,7 +205,14 @@ class AdmissionController:
         self.retry_after = retry_after
         self._lock = threading.Lock()
         self._in_flight = 0
-        self._shed = 0
+        # The shed count is a pure metric (nothing reads it to make
+        # decisions), so it lives in a per-instance obs Counter that the
+        # owning server registers onto its /metrics registry — one
+        # source of truth for /health and the Prometheus scrape.
+        self.shed_counter = Counter(
+            "mahif_shed_total",
+            "Requests shed by admission control (503 + Retry-After).",
+        )
 
     @property
     def in_flight(self) -> int:
@@ -213,16 +221,18 @@ class AdmissionController:
 
     @property
     def shed_total(self) -> int:
-        with self._lock:
-            return self._shed
+        return int(self.shed_counter.value())
 
     def try_enter(self) -> bool:
         with self._lock:
             if self.limit and self._in_flight >= self.limit:
-                self._shed += 1
-                return False
-            self._in_flight += 1
-            return True
+                shed = True
+            else:
+                shed = False
+                self._in_flight += 1
+        if shed:
+            self.shed_counter.inc()
+        return not shed
 
     def enter(self) -> None:
         if not self.try_enter():

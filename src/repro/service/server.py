@@ -20,6 +20,8 @@ Two layers (see DESIGN.md, "Service architecture"):
 API (all request/response bodies are JSON)::
 
     GET  /health                      liveness + history names
+    GET  /metrics                     Prometheus text scrape (see
+                                      DESIGN.md, "Observability")
     GET  /histories                   list histories with lengths
     POST /histories                   {name, database, history_sql?|history?,
                                        checkpoint_interval?}
@@ -41,7 +43,6 @@ from __future__ import annotations
 import json
 import re
 import shutil
-import sys
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -74,6 +75,9 @@ from .resilience import (
     resilience_snapshot,
 )
 from ..core.planner import AUTO_SHARDS
+from ..obs import trace
+from ..obs.logging import log_event
+from ..obs.metrics import MetricsRegistry, global_registry
 from .wire import (
     METHODS,
     SpecError,
@@ -121,8 +125,6 @@ class _HistoryHandle:
     #: count's cache key and share entries with explicit requests that
     #: match it (see DESIGN.md, "Adaptive planning").
     auto_choices: dict[tuple, int] = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
     #: idempotency key -> recorded append response (bounded LRU), so a
     #: client retry after a lost response never double-appends.
     idempotency: IdempotencyCache = field(
@@ -178,11 +180,34 @@ class WhatIfService:
         #: Power-loss durability for the stores this service owns: fsync
         #: the log on append, the directory on checkpoint rename.
         self.sync = sync
-        #: Service-level degradation counters (process-wide pool/shard
-        #: counters live in ``repro.core.degradation``).
-        self._stats_lock = threading.Lock()
-        self.deadline_timeouts = 0
-        self.sqlite_fallbacks = 0
+        #: Per-service metrics: result-cache traffic plus the service's
+        #: own degradation counters (process-wide pool/shard counters
+        #: live in ``repro.core.degradation``'s global registry, merged
+        #: into the ``/metrics`` scrape by the server).
+        self.metrics = MetricsRegistry()
+        self._cache_hits = self.metrics.counter(
+            "mahif_result_cache_hits_total",
+            "Result-cache hits by history.",
+            ("history",),
+        )
+        self._cache_misses = self.metrics.counter(
+            "mahif_result_cache_misses_total",
+            "Result-cache misses by history.",
+            ("history",),
+        )
+        self._cache_invalidations = self.metrics.counter(
+            "mahif_result_cache_invalidations_total",
+            "Result-cache entries dropped by appends, by history.",
+            ("history",),
+        )
+        self._deadline_timeouts = self.metrics.counter(
+            "mahif_deadline_timeouts_total",
+            "Compute requests that exceeded their deadline budget (504).",
+        )
+        self._sqlite_fallbacks = self.metrics.counter(
+            "mahif_sqlite_fallbacks_total",
+            "Sqlite-backend failures re-answered on the compiled backend.",
+        )
         self._handles: dict[str, _HistoryHandle] = {}
         self._handles_lock = threading.Lock()
         #: One shared engine per (backend, shard count) — shards are part
@@ -199,9 +224,10 @@ class WhatIfService:
                     # META and the base checkpoint during create) must
                     # not take down every healthy history under root.
                     self.skipped_on_startup[entry.name] = str(exc)
-                    print(
-                        f"warning: skipping history {entry.name!r}: {exc}",
-                        file=sys.stderr,
+                    log_event(
+                        "history_skipped",
+                        history=entry.name,
+                        error=str(exc),
                     )
                     continue
                 self._handles[entry.name] = _HistoryHandle(
@@ -334,8 +360,8 @@ class WhatIfService:
                 "checkpoints": list(store.checkpoint_versions()),
                 "cache": {
                     "entries": len(handle.cache),
-                    "hits": handle.hits,
-                    "misses": handle.misses,
+                    "hits": int(self._cache_hits.value(history=name)),
+                    "misses": int(self._cache_misses.value(history=name)),
                 },
             }
 
@@ -434,6 +460,16 @@ class WhatIfService:
                             ] = entry
                     handle.cache = retained
                     retained_count = len(retained)
+                    if dropped:
+                        self._cache_invalidations.inc(dropped, history=name)
+                    span_ = trace.current_span()
+                    if span_ is not None:
+                        span_.add_event(
+                            "cache_invalidate",
+                            history=name,
+                            dropped=dropped,
+                            retained=retained_count,
+                        )
             response = {
                 "name": name,
                 "length": new_length,
@@ -494,6 +530,7 @@ class WhatIfService:
         workers: int | None = None,
         shards: int | str | None = None,
         deadline: Deadline | None = None,
+        explain: bool = False,
     ) -> list[dict]:
         """Answer one spec per entry over the named stored history.
 
@@ -515,6 +552,13 @@ class WhatIfService:
         answer is backend-invariant by the differential suite); the
         response's ``backend`` field reports what actually answered and
         ``degraded_from`` the backend that failed.
+
+        ``explain=True`` attaches an EXPLAIN ANALYZE per-operator
+        ``profile`` to every answer.  Explain requests are diagnostic:
+        they bypass the result cache entirely (never read, never
+        stored — a cached payload has no profile, and a profiled
+        payload must not be served to plain requests) and execute the
+        serial unsharded reenactment path.
         """
         backend = backend or self.default_backend
         try:
@@ -541,7 +585,7 @@ class WhatIfService:
         except SpecError as exc:
             raise ServiceError(str(exc)) from None
 
-        with handle.lock:
+        with handle.lock, trace.span("cache", history=name) as cache_span:
             if handle.history is None:
                 handle.history = handle.store.history()
             history = handle.history
@@ -549,14 +593,21 @@ class WhatIfService:
             queries = []
             fingerprints = []
             outcomes: list[dict | None] = []
-            for mods in modifications:
+            for index, mods in enumerate(modifications):
                 try:
                     query = HistoricalWhatIfQuery(
                         history, handle.initial, mods
                     )
                 except Exception as exc:
                     raise ServiceError(str(exc)) from None
-                fingerprint = self._fingerprint(method_enum, backend, mods)
+                # Explain requests bypass the cache entirely: a None
+                # fingerprint skips both the read here and the store in
+                # _resolve_misses.
+                fingerprint = (
+                    None
+                    if explain
+                    else self._fingerprint(method_enum, backend, mods)
+                )
                 entry = None
                 if fingerprint is not None:
                     # Auto requests resolve through the planner's last
@@ -572,7 +623,8 @@ class WhatIfService:
                             (length, resolved, fingerprint)
                         )
                 if entry is not None:
-                    handle.hits += 1
+                    self._cache_hits.inc(history=name)
+                    cache_span.add_event("hit", query=index)
                     # history_length reflects the length the entry is
                     # keyed (and still valid) at, not the length it was
                     # originally computed for.
@@ -586,10 +638,17 @@ class WhatIfService:
                     queries.append(None)
                     fingerprints.append(None)
                 else:
-                    handle.misses += 1
+                    self._cache_misses.inc(history=name)
+                    cache_span.add_event("miss", query=index)
                     outcomes.append(None)
                     queries.append(query)
                     fingerprints.append(fingerprint)
+            cache_span.set_attributes(
+                {
+                    "queries": len(modifications),
+                    "misses": sum(1 for q in queries if q is not None),
+                }
+            )
             misses = [q for q in queries if q is not None]
             # Time travel through the store: nearest checkpoint + bounded
             # replay, materialized once per *distinct* prefix, under the
@@ -610,11 +669,19 @@ class WhatIfService:
                 ]
 
         if misses:
+            # The deadline path runs the closure on a worker thread;
+            # carry the request's active span over so engine spans nest
+            # under it instead of vanishing.
+            parent_span = trace.current_span()
 
             def _resolve_misses() -> None:
+                with trace.use_span(parent_span):
+                    _compute_misses()
+
+            def _compute_misses() -> None:
                 answered_backend, degraded_from = self._answer_misses(
                     backend, shards, misses, method_enum, workers,
-                    start_dbs,
+                    start_dbs, explain,
                 )
                 results, used_backend = answered_backend
                 fresh = iter(results)
@@ -666,15 +733,15 @@ class WhatIfService:
                     deadline.run(_resolve_misses, "what-if computation")
                 except ServiceError as exc:
                     if exc.status == 504:
-                        with self._stats_lock:
-                            self.deadline_timeouts += 1
+                        self._deadline_timeouts.inc()
                     raise
             else:
                 _resolve_misses()
         return [outcome for outcome in outcomes if outcome is not None]
 
     def _answer_misses(
-        self, backend, shards, misses, method_enum, workers, start_dbs
+        self, backend, shards, misses, method_enum, workers, start_dbs,
+        explain=False,
     ):
         """One ``answer_batch`` call with sqlite→compiled degradation.
 
@@ -694,20 +761,20 @@ class WhatIfService:
                 method_enum,
                 workers=workers,
                 start_databases=start_dbs,
+                explain=explain,
             )
             return (results, backend), None
         except sqlite3.Error as exc:
             if backend != "sqlite":
                 raise
-            with self._stats_lock:
-                self.sqlite_fallbacks += 1
+            self._sqlite_fallbacks.inc()
             from ..core.degradation import record_degradation
 
             record_degradation("sqlite_fallback")
-            print(
-                f"warning: sqlite backend failed ({exc}); degrading to "
-                "the compiled backend for this request",
-                file=sys.stderr,
+            log_event(
+                "sqlite_fallback",
+                error=str(exc),
+                degraded_to="compiled",
             )
             fallback = self._engine("compiled", shards)
             results = fallback.answer_batch(
@@ -715,6 +782,7 @@ class WhatIfService:
                 method_enum,
                 workers=workers,
                 start_databases=start_dbs,
+                explain=explain,
             )
             return (results, "compiled"), "sqlite"
 
@@ -723,13 +791,21 @@ class WhatIfService:
         _, prefix_length = query.aligned().trim_prefix()
         return prefix_length
 
+    @property
+    def deadline_timeouts(self) -> int:
+        return int(self._deadline_timeouts.value())
+
+    @property
+    def sqlite_fallbacks(self) -> int:
+        return int(self._sqlite_fallbacks.value())
+
     def service_stats(self) -> dict:
-        """Service-level resilience counters for ``/health``."""
-        with self._stats_lock:
-            return {
-                "deadline_timeouts": self.deadline_timeouts,
-                "sqlite_fallbacks": self.sqlite_fallbacks,
-            }
+        """Service-level resilience counters for ``/health`` — read from
+        the same registry instruments ``/metrics`` scrapes."""
+        return {
+            "deadline_timeouts": self.deadline_timeouts,
+            "sqlite_fallbacks": self.sqlite_fallbacks,
+        }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -749,12 +825,35 @@ class _Handler(BaseHTTPRequestHandler):
     resilience: ResilienceConfig  # injected by WhatIfServer
     admission: AdmissionController  # shared across requests
     tracker: InFlightTracker  # shared across requests
+    metrics: MetricsRegistry  # injected by WhatIfServer
+    request_seconds: Any  # Histogram, injected by WhatIfServer
+    requests_total: Any  # Counter, injected by WhatIfServer
+    metrics_enabled = True
     quiet = True
     protocol_version = "HTTP/1.1"
 
     #: Routes that run engine computation and therefore pass admission
     #: control and deadline budgeting.
     _COMPUTE = re.compile(r"/histories/[^/]+/(whatif|batch)$")
+
+    #: Bounded route labels for metrics — raw paths would be an
+    #: unbounded label cardinality (every history name a new series).
+    _ROUTE_LABELS = (
+        ("health", re.compile(r"^$|^/health$")),
+        ("metrics", re.compile(r"^/metrics$")),
+        ("append", re.compile(r"^/histories/[^/]+/append$")),
+        ("whatif", re.compile(r"^/histories/[^/]+/whatif$")),
+        ("batch", re.compile(r"^/histories/[^/]+/batch$")),
+        ("info", re.compile(r"^/histories/[^/]+$")),
+        ("histories", re.compile(r"^/histories$")),
+    )
+
+    @classmethod
+    def _route_label(cls, path: str) -> str:
+        for label, pattern in cls._ROUTE_LABELS:
+            if pattern.match(path):
+                return label
+        return "other"
 
     # -- plumbing ----------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
@@ -778,14 +877,20 @@ class _Handler(BaseHTTPRequestHandler):
             elif leftover:
                 self.close_connection = True
             self._body_consumed = True
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None and "trace_id" not in payload:
+            payload = {**payload, "trace_id": trace_id}
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Mahif-Trace", trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
 
     def _body(self) -> dict:
         raw_length = self.headers.get("Content-Length")
@@ -830,23 +935,41 @@ class _Handler(BaseHTTPRequestHandler):
         return None
 
     def _dispatch(self, handler) -> None:
+        route = self._route_label(self.path.rstrip("/"))
+        # The trace id is assigned (or propagated from X-Mahif-Trace)
+        # for *every* request and echoed in the payload and response
+        # header; whether spans are recorded is the sampler's call.
+        self._trace_id = (
+            self.headers.get("X-Mahif-Trace") or trace.new_trace_id()
+        )
+        self._status = 500
         self.tracker.enter()
         try:
-            payload, status = handler()
-        except ServiceError as exc:
-            headers = {}
-            if exc.retry_after is not None:
-                headers["Retry-After"] = f"{exc.retry_after:g}"
-            self._reply({"error": str(exc)}, status=exc.status,
-                        headers=headers or None)
-        except (StoreError, CodecError, ParseError) as exc:
-            self._reply({"error": str(exc)}, status=400)
-        except Exception as exc:  # pragma: no cover - defensive
-            self._reply(
-                {"error": f"internal error: {exc!r}"}, status=500
-            )
-        else:
-            self._reply(payload, status=status)
+            # Metrics are recorded *before* the reply bytes hit the
+            # socket: a client that scrapes immediately after its
+            # response must see its own request counted.
+            with self.request_seconds.time(route=route), trace.start_trace(
+                "request",
+                trace_id=self._trace_id,
+                route=route,
+                method=self.command,
+                path=self.path,
+            ) as root:
+                headers: dict[str, str] | None = None
+                try:
+                    payload, status = handler()
+                except ServiceError as exc:
+                    payload, status = {"error": str(exc)}, exc.status
+                    if exc.retry_after is not None:
+                        headers = {"Retry-After": f"{exc.retry_after:g}"}
+                except (StoreError, CodecError, ParseError) as exc:
+                    payload, status = {"error": str(exc)}, 400
+                except Exception as exc:  # pragma: no cover - defensive
+                    payload = {"error": f"internal error: {exc!r}"}
+                    status = 500
+                root.set_attribute("status", status)
+            self.requests_total.inc(route=route, code=str(status))
+            self._reply(payload, status=status, headers=headers)
         finally:
             self.tracker.leave()
 
@@ -865,6 +988,12 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._body_consumed = False  # per-request, the handler persists
         path = self.path.rstrip("/")
+        if path == "/metrics":
+            # Like /health, /metrics bypasses the drain/admission guard:
+            # a scrape during overload is precisely when the numbers
+            # matter most.
+            self._route_metrics()
+            return
         if path in ("", "/health"):
             # Health stays answerable while draining or overloaded —
             # it is how orchestrators *see* those states.
@@ -883,6 +1012,32 @@ class _Handler(BaseHTTPRequestHandler):
                 lambda: self._route_post(path), compute=compute
             )
         )
+
+    def _route_metrics(self) -> None:
+        """Prometheus text scrape: the server's registry (request
+        latencies, cache traffic, shed/timeout counters) merged with the
+        process-global one (degradation, planner, sqlite cache).  The
+        body is rendered to one string and written in a single response,
+        so concurrent scrapes never observe torn lines."""
+        if not self.metrics_enabled:
+            self._trace_id = None
+            self.requests_total.inc(route="metrics", code="404")
+            self._reply(
+                {"error": "metrics are disabled on this server"},
+                status=404,
+            )
+            return
+        # Counted before rendering so the scrape includes itself (and a
+        # back-to-back scrape never sees a stale count).
+        self.requests_total.inc(route="metrics", code="200")
+        body = self.metrics.render(global_registry()).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _route_health(self):
         service = self.service
@@ -951,6 +1106,7 @@ class _Handler(BaseHTTPRequestHandler):
                 backend=body.get("backend"),
                 shards=_shards_of(body),
                 deadline=self._deadline(),
+                explain=bool(body.get("explain")),
             )
             return results[0], 200
         match = re.fullmatch(r"/histories/([^/]+)/batch", path)
@@ -969,6 +1125,7 @@ class _Handler(BaseHTTPRequestHandler):
                 workers=_int_of(body, "workers"),
                 shards=_shards_of(body),
                 deadline=self._deadline(),
+                explain=bool(body.get("explain")),
             )
             return {"results": results}, 200
         raise ServiceError(f"no such route POST {path}", status=404)
@@ -1036,12 +1193,37 @@ class WhatIfServer:
         *,
         quiet: bool = True,
         resilience: ResilienceConfig | None = None,
+        metrics: bool = True,
     ) -> None:
         self.resilience = resilience or ResilienceConfig()
         self.admission = AdmissionController(
             self.resilience.max_in_flight, self.resilience.retry_after
         )
         self.tracker = InFlightTracker()
+        # Server-owned instruments live on the *service's* registry so
+        # one /metrics scrape covers both layers.  When several servers
+        # wrap one service (tests mostly), the last one wins the
+        # server-scoped names — unregister-then-register keeps repeat
+        # construction from raising.
+        registry = service.metrics
+        registry.unregister("mahif_shed_total")
+        registry.register(self.admission.shed_counter)
+        registry.unregister("mahif_in_flight")
+        registry.gauge(
+            "mahif_in_flight",
+            "Admitted compute requests currently executing.",
+            callback=lambda: self.admission.in_flight,
+        )
+        self.request_seconds = registry.histogram(
+            "mahif_request_seconds",
+            "HTTP request latency by route, seconds.",
+            ("route",),
+        )
+        self.requests_total = registry.counter(
+            "mahif_requests_total",
+            "HTTP requests served, by route and status code.",
+            ("route", "code"),
+        )
         handler = type(
             "_BoundHandler",
             (_Handler,),
@@ -1051,6 +1233,10 @@ class WhatIfServer:
                 "resilience": self.resilience,
                 "admission": self.admission,
                 "tracker": self.tracker,
+                "metrics": registry,
+                "metrics_enabled": metrics,
+                "request_seconds": self.request_seconds,
+                "requests_total": self.requests_total,
             },
         )
         self.service = service

@@ -127,9 +127,24 @@ def delta_payload(result, *, include_empty: bool = False) -> dict:
 
 
 def result_payload(result, *, include_empty: bool = False) -> dict:
-    """One JSON record for an answered what-if query."""
-    return {
+    """One JSON record for an answered what-if query.
+
+    EXPLAIN ANALYZE answers additionally carry ``"profile"``: per
+    affected relation, the per-operator time/row-count trees of both
+    reenactment queries (see :class:`repro.obs.profile.OperatorProfile`,
+    ``payload()`` shape).
+    """
+    payload = {
         "delta": delta_payload(result, include_empty=include_empty),
         "ps_seconds": result.ps_seconds,
         "exe_seconds": result.exe_seconds,
     }
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        payload["profile"] = {
+            relation: {
+                side: prof.payload() for side, prof in sides.items()
+            }
+            for relation, sides in sorted(profile.items())
+        }
+    return payload

@@ -256,21 +256,37 @@ class TestCli:
         assert len(lines) == 2
         assert lines[1]["delta"]  # the inserted DELETE produces a delta
 
-    def test_whatif_batch_rejects_explain(self, workspace, tmp_path):
+    def test_whatif_batch_explain_carries_profile(
+        self, workspace, capsys, tmp_path
+    ):
         import json
 
         spec = tmp_path / "batch.json"
         spec.write_text(json.dumps([{"delete_stmt": [2]}]))
-        with pytest.raises(SystemExit, match="--explain"):
-            main(
-                [
-                    "whatif",
-                    "--data", str(workspace / "data"),
-                    "--history", str(workspace / "history.sql"),
-                    "--batch", str(spec),
-                    "--explain",
-                ]
-            )
+        code = main(
+            [
+                "whatif",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--batch", str(spec),
+                "--explain", "--quiet",
+            ]
+        )
+        assert code == 0
+        lines = [
+            json.loads(l)
+            for l in capsys.readouterr().out.splitlines()
+            if l.startswith("{")
+        ]
+        assert len(lines) == 1
+        profile = lines[0]["profile"]
+        assert profile  # one EXPLAIN ANALYZE tree pair per relation
+        for sides in profile.values():
+            assert set(sides) == {"original", "modified"}
+            for tree in sides.values():
+                assert tree["operator"]
+                assert tree["rows"] >= 0
+                assert tree["seconds"] >= 0.0
 
     def test_whatif_batch_rejects_bad_spec(self, workspace, tmp_path):
         spec = tmp_path / "batch.json"
@@ -583,17 +599,35 @@ class TestCliRemote:
         assert isinstance(message, str)
         assert "service call failed" in message
 
-    def test_remote_rejects_explain(self, workspace, server):
-        with pytest.raises(SystemExit, match="--explain"):
-            main(
-                [
-                    "whatif",
-                    "--url", server.url,
-                    "--name", "orders",
-                    "--explain",
-                    "--replace", "1", "UPDATE Orders SET ShippingFee = 0",
-                ]
-            )
+    def test_remote_explain_carries_profile_and_prints_tree(
+        self, workspace, server, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "whatif",
+                "--url", server.url,
+                "--name", "orders",
+                "--data", str(workspace / "data"),
+                "--history", str(workspace / "history.sql"),
+                "--explain",
+                "--replace", "1",
+                "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [
+            json.loads(l)
+            for l in captured.out.splitlines()
+            if l.startswith("{")
+        ]
+        assert len(records) == 1
+        assert records[0]["profile"]
+        # The human-readable tree rides on stderr, leaving stdout JSONL.
+        assert "EXPLAIN ANALYZE" in captured.err
+        assert "rows=" in captured.err
 
     def test_rerunning_register_and_query_is_idempotent(
         self, workspace, server, capsys

@@ -1,0 +1,431 @@
+"""The observability layer in isolation: metrics instruments and
+Prometheus rendering, span trees and sampling, EXPLAIN ANALYZE
+profiling, and the engine's explain surface."""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro import (
+    HistoricalWhatIfQuery,
+    Mahif,
+    MahifConfig,
+    Method,
+    parse_statement,
+)
+from repro.core import Replace
+from repro.obs import trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import OperatorProfile, profile_query
+from repro.relational.algebra import (
+    Project,
+    RelScan,
+    Select,
+    Union,
+    evaluate_query,
+)
+from repro.relational.expressions import col, ge, lit, lt
+
+BACKENDS = ("interpreted", "compiled", "sqlite")
+
+#: One Prometheus text-format sample line: name{labels} value.
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[nN]a[nN]|[+-]?[iI]nf)$"
+)
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Validate a Prometheus text scrape line by line; return the
+    ``{name{labels}: value}`` samples.  Any torn or malformed line
+    fails the assertion."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _METRIC_LINE.match(line), f"malformed sample line: {line!r}"
+        series, value = line.rsplit(" ", 1)
+        assert series not in samples, f"duplicate series: {series!r}"
+        samples[series] = float(value)
+    return samples
+
+
+@pytest.fixture(autouse=True)
+def _tracing_reset():
+    yield
+    trace.configure_tracing(None)
+
+
+class TestCounter:
+    def test_inc_value_and_labels(self):
+        c = Counter("mahif_x_total", "help", ("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 1
+        assert c.value(kind="missing") == 0
+
+    def test_monotonic(self):
+        c = Counter("mahif_x_total", "help")
+        with pytest.raises(ValueError, match="monotonic"):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("mahif_x_total", "help", ("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(other="a")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc()
+
+    def test_render(self):
+        c = Counter("mahif_x_total", "help text", ("kind",))
+        c.inc(kind="a")
+        lines = c.render()
+        assert lines[0] == "# HELP mahif_x_total help text"
+        assert lines[1] == "# TYPE mahif_x_total counter"
+        assert 'mahif_x_total{kind="a"} 1' in lines
+
+    def test_unlabeled_renders_zero_before_first_inc(self):
+        c = Counter("mahif_x_total", "help")
+        assert "mahif_x_total 0" in c.render()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("mahif_x", "help")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 3
+
+    def test_callback_reads_live_state(self):
+        state = {"n": 7}
+        g = Gauge("mahif_x", "help", callback=lambda: state["n"])
+        assert g.value() == 7
+        state["n"] = 9
+        assert "mahif_x 9" in g.render()
+
+    def test_callback_gauge_rejects_set_and_labels(self):
+        g = Gauge("mahif_x", "help", callback=lambda: 1)
+        with pytest.raises(ValueError, match="callback"):
+            g.set(2)
+        with pytest.raises(ValueError, match="labeled"):
+            Gauge("mahif_y", "help", ("kind",), callback=lambda: 1)
+
+    def test_broken_callback_renders_nan(self):
+        def boom() -> float:
+            raise RuntimeError("broken")
+
+        g = Gauge("mahif_x", "help", callback=boom)
+        (sample,) = [
+            line for line in g.render() if not line.startswith("#")
+        ]
+        assert sample == "mahif_x nan"
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_count(self):
+        h = Histogram("mahif_x_seconds", "help", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)  # over the top bound: only +Inf
+        lines = h.render()
+        assert 'mahif_x_seconds_bucket{le="0.1"} 1' in lines
+        assert 'mahif_x_seconds_bucket{le="1.0"} 2' in lines
+        assert 'mahif_x_seconds_bucket{le="+Inf"} 3' in lines
+        assert "mahif_x_seconds_count 3" in lines
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+
+    def test_timer_uses_injected_clock(self):
+        ticks = iter([10.0, 10.25])
+        h = Histogram(
+            "mahif_x_seconds", "help", ("route",),
+            buckets=(0.1, 1.0), clock=lambda: next(ticks),
+        )
+        with h.time(route="whatif"):
+            pass
+        assert h.sum(route="whatif") == pytest.approx(0.25)
+        assert h.count(route="whatif") == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("mahif_x_total", "help")
+        b = registry.counter("mahif_x_total", "other help")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("mahif_x_total", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("mahif_x_total", "help")
+
+    def test_register_external_instrument(self):
+        registry = MetricsRegistry()
+        owned = Counter("mahif_shed_total", "help")
+        assert registry.register(owned) is owned
+        assert registry.register(owned) is owned  # idempotent
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(Counter("mahif_shed_total", "help"))
+        registry.unregister("mahif_shed_total")
+        registry.register(Counter("mahif_shed_total", "help"))
+
+    def test_reset_zeroes_but_keeps_registration(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("mahif_x_total", "help")
+        counter.inc(5)
+        registry.reset()
+        assert registry.counter("mahif_x_total", "help") is counter
+        assert counter.value() == 0
+
+    def test_render_is_valid_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("mahif_x_total", "help", ("kind",)).inc(
+            kind='we"ird\nvalue'
+        )
+        registry.gauge("mahif_g", "help").set(1.5)
+        registry.histogram(
+            "mahif_h_seconds", "help", buckets=(0.1,)
+        ).observe(0.05)
+        samples = parse_exposition(registry.render())
+        assert samples['mahif_x_total{kind="we\\"ird\\nvalue"}'] == 1
+        assert samples["mahif_g"] == 1.5
+        assert samples['mahif_h_seconds_bucket{le="+Inf"}'] == 1
+
+    def test_render_merges_without_shadowing(self):
+        mine = MetricsRegistry()
+        other = MetricsRegistry()
+        mine.counter("mahif_shared_total", "help").inc(1)
+        other.counter("mahif_shared_total", "help").inc(99)
+        other.counter("mahif_only_total", "help").inc(2)
+        samples = parse_exposition(mine.render(other))
+        assert samples["mahif_shared_total"] == 1  # first wins
+        assert samples["mahif_only_total"] == 2
+
+
+class TestTracing:
+    def test_span_tree_flushes_at_root_close(self):
+        lines: list[str] = []
+        trace.configure_tracing(lines.append, sample=1.0)
+        with trace.start_trace("request", trace_id="t" * 32) as root:
+            with trace.span("plan", method="R+PS+DS"):
+                with trace.span("verify"):
+                    pass
+            assert not lines  # nothing emitted before the root closes
+        spans = [json.loads(line) for line in lines]
+        assert [s["name"] for s in spans] == ["request", "plan", "verify"]
+        assert all(s["trace_id"] == "t" * 32 for s in spans)
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["request"]["parent_id"] is None
+        assert by_name["plan"]["parent_id"] == by_name["request"]["span_id"]
+        assert by_name["verify"]["parent_id"] == by_name["plan"]["span_id"]
+        assert by_name["plan"]["attributes"] == {"method": "R+PS+DS"}
+        assert all(s["duration"] >= 0 for s in spans)
+
+    def test_unsampled_trace_is_noop_and_free(self):
+        lines: list[str] = []
+        trace.configure_tracing(lines.append, sample=0.0)
+        with trace.start_trace("request") as root:
+            root.set_attribute("status", 200)
+            with trace.span("plan"):
+                pass
+        assert not lines
+        assert trace.current_span() is None
+
+    def test_span_without_active_trace_is_noop(self):
+        with trace.span("orphan") as s:
+            s.add_event("ignored")
+        assert trace.current_span() is None
+
+    def test_deterministic_sampler(self):
+        lines: list[str] = []
+        draws = iter([True, False])
+        trace.configure_tracing(
+            lines.append, sampler=lambda: next(draws)
+        )
+        with trace.start_trace("a"):
+            pass
+        with trace.start_trace("b"):
+            pass
+        assert [json.loads(l)["name"] for l in lines] == ["a"]
+
+    def test_error_recorded_on_exception(self):
+        lines: list[str] = []
+        trace.configure_tracing(lines.append, sample=1.0)
+        with pytest.raises(RuntimeError):
+            with trace.start_trace("request"):
+                raise RuntimeError("boom")
+        (root,) = [json.loads(line) for line in lines]
+        assert root["attributes"]["error"] == "RuntimeError"
+
+    def test_use_span_bridges_threads(self):
+        lines: list[str] = []
+        trace.configure_tracing(lines.append, sample=1.0)
+        with trace.start_trace("request") as root:
+            def worker() -> None:
+                with trace.use_span(root):
+                    with trace.span("compute"):
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        spans = {json.loads(l)["name"]: json.loads(l) for l in lines}
+        assert spans["compute"]["parent_id"] == spans["request"]["span_id"]
+
+    def test_record_span_attaches_completed_child(self):
+        lines: list[str] = []
+        trace.configure_tracing(lines.append, sample=1.0)
+        with trace.start_trace("request"):
+            trace.record_span("shard", 0.125, shard=3)
+        spans = [json.loads(line) for line in lines]
+        shard = next(s for s in spans if s["name"] == "shard")
+        assert shard["duration"] == pytest.approx(0.125)
+        assert shard["attributes"] == {"shard": 3}
+
+    def test_broken_sink_never_raises(self):
+        def sink(line: str) -> None:
+            raise OSError("disk full")
+
+        trace.configure_tracing(sink, sample=1.0)
+        with trace.start_trace("request"):
+            pass  # must not raise
+
+
+def _fee_query() -> Union:
+    """Union of two selections over Orders — four operator kinds."""
+    cheap = Select(RelScan("Orders"), lt(col("Price"), lit(50)))
+    pricey = Project(
+        Select(RelScan("Orders"), ge(col("Price"), lit(50))),
+        (
+            (col("ID"), "ID"),
+            (col("Customer"), "Customer"),
+            (col("Country"), "Country"),
+            (col("Price"), "Price"),
+            (lit(0), "ShippingFee"),
+        ),
+    )
+    return Union(cheap, pricey)
+
+
+class TestProfileQuery:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_result_matches_plain_evaluation(self, orders_db, backend):
+        op = _fee_query()
+        plain = evaluate_query(op, orders_db, backend=backend)
+        result, profile = profile_query(op, orders_db, backend=backend)
+        assert result == plain
+        assert profile.operator == "Union"
+        assert profile.rows == len(plain)
+        kinds = {profile.operator}
+        stack = list(profile.children)
+        while stack:
+            node = stack.pop()
+            kinds.add(node.operator)
+            stack.extend(node.children)
+        assert {"Union", "Select", "Project", "RelScan"} <= kinds
+
+    def test_payload_roundtrip_and_pretty(self, orders_db):
+        _, profile = profile_query(_fee_query(), orders_db)
+        assert OperatorProfile.from_payload(profile.payload()) == profile
+        text = profile.pretty()
+        assert text.splitlines()[0].startswith("Union [rows=")
+        assert "  Select" in text  # children indent
+        assert "rows=" in text and "ms]" in text
+        assert profile.total_seconds >= profile.seconds
+
+
+def _paper_query(orders_db, paper_history) -> HistoricalWhatIfQuery:
+    return HistoricalWhatIfQuery(
+        paper_history,
+        orders_db,
+        (
+            # Replace u1: zero fees only from 60 up.
+            Replace(
+                1,
+                parse_statement(
+                    "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 60"
+                ),
+            ),
+        ),
+    )
+
+
+class TestEngineExplain:
+    @pytest.fixture
+    def query(self, orders_db, paper_history):
+        return _paper_query(orders_db, paper_history)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_explain_delta_matches_plain(self, query, backend):
+        config = MahifConfig(backend=backend)
+        plain = Mahif(config).answer(query, Method.R_PS_DS)
+        explained = Mahif(config).answer(
+            query, Method.R_PS_DS, explain=True
+        )
+        assert explained.delta.relations == plain.delta.relations
+        assert plain.profile is None
+        assert explained.profile is not None
+        assert set(explained.profile) == {"Orders"}
+        sides = explained.profile["Orders"]
+        assert set(sides) == {"original", "modified"}
+        for side in sides.values():
+            assert isinstance(side, OperatorProfile)
+            assert side.rows >= 0 and side.seconds >= 0.0
+
+    def test_profile_config_flag(self, query):
+        result = Mahif(MahifConfig(profile=True)).answer(
+            query, Method.R_PS_DS
+        )
+        assert result.profile is not None
+
+    def test_naive_explain_has_no_profile(self, query):
+        result = Mahif(MahifConfig()).answer(
+            query, Method.NAIVE, explain=True
+        )
+        assert result.profile is None
+        assert result.delta is not None
+
+    def test_explain_forces_serial_evaluation(self, query):
+        # Sharded config + explain: the profiled path bypasses the
+        # shard fan-out, and the answer still matches.
+        sharded = MahifConfig(shards=4)
+        plain = Mahif(sharded).answer(query, Method.R_PS_DS)
+        explained = Mahif(sharded).answer(
+            query, Method.R_PS_DS, explain=True
+        )
+        assert explained.delta.relations == plain.delta.relations
+        assert explained.profile is not None
+
+    def test_batch_explain(self, orders_db, paper_history, query):
+        engine = Mahif(MahifConfig())
+        results = engine.answer_batch(
+            [query, query], Method.R_PS_DS, explain=True
+        )
+        assert len(results) == 2
+        for result in results:
+            assert result.profile is not None
+            assert set(result.profile) == {"Orders"}
+
+    def test_engine_spans_under_active_trace(self, query):
+        lines: list[str] = []
+        trace.configure_tracing(lines.append, sample=1.0)
+        with trace.start_trace("request"):
+            Mahif(MahifConfig()).answer(query, Method.R_PS_DS)
+        names = [json.loads(line)["name"] for line in lines]
+        assert "plan" in names
+        assert "execute" in names
+        assert "relation" in names

@@ -136,6 +136,43 @@ class TestSwallows:
 
 
 # ---------------------------------------------------------------------------
+# rule: no-print
+# ---------------------------------------------------------------------------
+
+class TestNoPrint:
+    BAD = """
+        def answer(query):
+            print("answering", query)
+            return 42
+    """
+
+    def test_bare_print_in_library_is_flagged(self):
+        findings = lint(self.BAD)
+        assert rules_of(findings) == ["no-print"]
+
+    def test_scope_is_src_repro_only(self):
+        assert lint(self.BAD, "tools/some_tool.py") == []
+        assert lint(self.BAD, "tests/test_x.py") == []
+        assert lint(self.BAD, "src/repro/tests/test_x.py") == []
+
+    def test_method_and_attribute_prints_are_not_flagged(self):
+        good = """
+            def report(console, value):
+                console.print(value)          # rich-style object method
+                return plan_fingerprint(value)  # name merely contains it
+        """
+        assert lint(good) == []
+
+    def test_pragma_exempts_user_facing_output(self):
+        good = """
+            def emit(line):
+                # repro-lint: allow[no-print] -- CLI user-facing output
+                print(line)
+        """
+        assert lint(good) == []
+
+
+# ---------------------------------------------------------------------------
 # rule: unlocked-module-state
 # ---------------------------------------------------------------------------
 

@@ -34,6 +34,13 @@ this tool enforces them mechanically (DESIGN.md, "Static analysis"):
     code actually expects, bind and record the error, or allowlist the
     intentionally-broad defensive handlers with a pragma.
 
+``no-print``
+    Library code under ``src/repro/`` must not call bare ``print()``:
+    observability goes through the structured ``repro.obs`` layer
+    (metrics, traces, ``log_event``), keeping stdout clean for actual
+    deliverables.  User-facing output — the CLI, benchmark report
+    tables — is allowlisted with a pragma.
+
 Intentional exceptions are allowlisted in-line::
 
     except Exception:  # repro-lint: allow[broad-swallow] -- reason why
@@ -85,6 +92,10 @@ RULES: dict[str, str] = {
     "broad-swallow": (
         "except Exception without binding or re-raise (anonymous "
         "swallow)"
+    ),
+    "no-print": (
+        "bare print() in library code under src/repro/ (route through "
+        "repro.obs.logging.log_event, or allowlist user-facing output)"
     ),
 }
 
@@ -187,6 +198,38 @@ def _check_fileops_seam(
                 node.lineno,
                 "fileops-seam",
                 f"raw os.{func.attr}() — route through the FileOps seam",
+            )
+
+
+# -- rule: no-print ----------------------------------------------------------
+
+def _in_library_scope(path: str) -> bool:
+    parts = Path(path).parts
+    return "repro" in parts and "tests" not in parts
+
+
+def _check_no_print(
+    tree: ast.AST, path: str
+) -> Iterator[tuple[int, str, str]]:
+    """Library code must not print: observability goes through the
+    structured ``repro.obs`` layer (metrics/traces/``log_event``), so
+    stdout stays clean for the CLI's actual deliverables.  User-facing
+    output (the CLI, benchmark reports) is allowlisted with a pragma.
+    """
+    if not _in_library_scope(path):
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield (
+                node.lineno,
+                "no-print",
+                "bare print() in library code — emit a structured "
+                "log_event / metric instead, or allowlist user-facing "
+                "output with a pragma",
             )
 
 
@@ -381,6 +424,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     pragmas = _pragma_lines(source)
     raw: list[tuple[int, str, str]] = []
     raw.extend(_check_fileops_seam(tree, path))
+    raw.extend(_check_no_print(tree, path))
     raw.extend(_check_swallows(tree, path))
     raw.extend(_check_unlocked_state(tree, path))
     findings = [
