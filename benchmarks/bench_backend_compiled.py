@@ -1,10 +1,11 @@
-"""Three-way execution-backend benchmark (see DESIGN.md).
+"""Four-way execution-backend benchmark (see DESIGN.md).
 
-Compares all three backends — ``interpreted`` (the oracle),
-``compiled`` (the default), and ``sqlite`` (the middleware path: one
-translated SQL query per tree, executed on in-memory SQLite) — on two
-measurements, both recorded to ``results.jsonl`` (experiment
-``"backend"``) and dumped as ``BENCH_backend.json`` at the repo root:
+Compares all four backends — ``interpreted`` (the oracle), ``compiled``
+(the default), ``sqlite`` (the middleware path: one translated SQL
+query per tree, executed on in-memory SQLite), and ``vector``
+(columnar whole-column kernels) — on two measurements, both recorded to
+``results.jsonl`` (experiment ``"backend"``) and dumped as
+``BENCH_backend.json`` at the repo root:
 
 * the **R+PS+DS hot path** of the bench_scaling workload — the engine's
   reenactment-query evaluation (``exe_seconds``), swept over relation
@@ -21,7 +22,10 @@ speedup floor (≥ 3× compiled-vs-interpreted on the largest hot-path
 size, and on the join) remains the acceptance criterion for the
 compiled default; the sqlite numbers are reported, not floored — the
 middleware pays per-query translation plus data transfer, which is the
-paper's architecture, not this reproduction's fast path.
+paper's architecture, not this reproduction's fast path.  The vector
+backend carries its own floor: ≥ 1.0× compiled on the largest
+join-heavy plan (the whole point of columnar kernels is to not lose to
+row-at-a-time streaming where whole-column work dominates).
 """
 
 import pathlib
@@ -44,11 +48,17 @@ from repro.workloads import WorkloadSpec, build_workload
 
 from .common import SMALL_ROWS, record
 
-BACKENDS = ("interpreted", "compiled", "sqlite")
+BACKENDS = ("interpreted", "compiled", "sqlite", "vector")
 SIZES = tuple(int(SMALL_ROWS * factor) for factor in (1.0, 2.0, 4.0))
 UPDATES = 20
 TRIALS = 3
 JOIN_SIZES = (300, 1000, 2000)
+#: Larger join sizes for the compiled-vs-vector margin sweep: the
+#: interpreter's O(n*m) nested loop makes it unmeasurable here, but the
+#: two fast backends sweep these in milliseconds — and this is the
+#: scale where columnar fixed costs (cache build, key coding) are
+#: amortised, so the asserted floor is stable.
+VECTOR_JOIN_SIZES = (2000, 4000, 8000)
 TARGET = pathlib.Path(__file__).resolve().parents[1] / "BENCH_backend.json"
 
 
@@ -105,8 +115,10 @@ def _hot_path_rows():
             "interpreted_exe": timings["interpreted"],
             "compiled_exe": timings["compiled"],
             "sqlite_exe": timings["sqlite"],
+            "vector_exe": timings["vector"],
             "speedup": timings["interpreted"] / timings["compiled"],
             "speedup_sqlite": timings["interpreted"] / timings["sqlite"],
+            "speedup_vector": timings["interpreted"] / timings["vector"],
             "ds_selectivity": selectivity,
         }
         record("backend", {k: v for k, v in row.items() if k != "ds_selectivity"})
@@ -117,23 +129,7 @@ def _hot_path_rows():
 def _join_rows():
     out = []
     for rows in JOIN_SIZES:
-        db = Database(
-            {
-                "L": Relation.from_rows(
-                    Schema.of("k", "v"),
-                    [(i % (rows // 2), i) for i in range(rows)],
-                ),
-                "R2": Relation.from_rows(
-                    Schema.of("k2", "w"),
-                    [(i % (rows // 2), i * 2) for i in range(rows)],
-                ),
-            }
-        )
-        plan = Join(
-            RelScan("L"),
-            RelScan("R2"),
-            and_(eq(col("k"), col("k2")), gt(col("w"), 10)),
-        )
+        db, plan = _join_db_and_plan(rows)
         results = {}
         timings = {}
         for backend in BACKENDS:
@@ -154,17 +150,88 @@ def _join_rows():
             "interpreted": timings["interpreted"],
             "compiled": timings["compiled"],
             "sqlite": timings["sqlite"],
+            "vector": timings["vector"],
             "speedup": timings["interpreted"] / timings["compiled"],
             "speedup_sqlite": timings["interpreted"] / timings["sqlite"],
+            "speedup_vector": timings["interpreted"] / timings["vector"],
+            "vector_vs_compiled": timings["compiled"] / timings["vector"],
         }
         record("backend_join", row)
         out.append(row)
     return out
 
 
+def _join_db_and_plan(rows):
+    db = Database(
+        {
+            "L": Relation.from_rows(
+                Schema.of("k", "v"),
+                [(i % (rows // 2), i) for i in range(rows)],
+            ),
+            "R2": Relation.from_rows(
+                Schema.of("k2", "w"),
+                [(i % (rows // 2), i * 2) for i in range(rows)],
+            ),
+        }
+    )
+    plan = Join(
+        RelScan("L"),
+        RelScan("R2"),
+        and_(eq(col("k"), col("k2")), gt(col("w"), 10)),
+    )
+    return db, plan
+
+
+def _join_vector_rows():
+    """Compiled-vs-vector margin on the join-heavy plan, larger sizes.
+
+    The floor asserted on this sweep must survive noisy CI runners, so
+    trials are *interleaved* (a noisy window hits both backends, not
+    just one), each backend gets an untimed warmup (plan and columnar
+    caches), and the collector is paused while timing.
+    """
+    import gc
+
+    out = []
+    for rows in VECTOR_JOIN_SIZES:
+        db, plan = _join_db_and_plan(rows)
+        results = {
+            backend: evaluate_query(plan, db, backend=backend)  # warmup
+            for backend in ("compiled", "vector")
+        }
+        assert results["vector"].tuples == results["compiled"].tuples
+        times = {"compiled": [], "vector": []}
+        gc.collect()
+        enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(7):
+                for backend in ("compiled", "vector"):
+                    start = time.perf_counter()
+                    evaluate_query(plan, db, backend=backend)
+                    times[backend].append(time.perf_counter() - start)
+        finally:
+            if enabled:
+                gc.enable()
+        row = {
+            "rows_per_side": rows,
+            "compiled": min(times["compiled"]),
+            "vector": min(times["vector"]),
+            "vector_vs_compiled": min(times["compiled"])
+            / min(times["vector"]),
+        }
+        record("backend_join_vector", row)
+        out.append(row)
+    return out
+
+
 def test_backend_compiled_vs_interpreted(benchmark):
     def run():
-        return {"hot_path": _hot_path_rows(), "join": _join_rows()}
+        return {
+            "hot_path": _hot_path_rows(),
+            "join": _join_rows(),
+            "join_vector": _join_vector_rows(),
+        }
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -182,15 +249,18 @@ def test_backend_compiled_vs_interpreted(benchmark):
         },
         hot_path=data["hot_path"],
         join=data["join"],
+        join_vector=data["join_vector"],
     )
 
     print_series_table(
-        "Backend — R+PS+DS exe: three-way (taxi, U20)",
-        ["rows", "interpreted", "compiled", "sqlite", "speedup", "spd_sqlite"],
+        "Backend — R+PS+DS exe: four-way (taxi, U20)",
+        ["rows", "interpreted", "compiled", "sqlite", "vector", "speedup",
+         "spd_sqlite", "spd_vector"],
         [
             [
                 r["rows"], r["interpreted_exe"], r["compiled_exe"],
-                r["sqlite_exe"], r["speedup"], r["speedup_sqlite"],
+                r["sqlite_exe"], r["vector_exe"], r["speedup"],
+                r["speedup_sqlite"], r["speedup_vector"],
             ]
             for r in data["hot_path"]
         ],
@@ -198,17 +268,31 @@ def test_backend_compiled_vs_interpreted(benchmark):
         "reported (middleware pays translation + transfer)",
     )
     print_series_table(
-        "Backend — equi-join plan: three-way",
-        ["rows/side", "interpreted", "compiled", "sqlite", "speedup",
-         "spd_sqlite"],
+        "Backend — equi-join plan: four-way",
+        ["rows/side", "interpreted", "compiled", "sqlite", "vector",
+         "speedup", "spd_sqlite", "vec/comp"],
         [
             [
                 r["rows_per_side"], r["interpreted"], r["compiled"],
-                r["sqlite"], r["speedup"], r["speedup_sqlite"],
+                r["sqlite"], r["vector"], r["speedup"],
+                r["speedup_sqlite"], r["vector_vs_compiled"],
             ]
             for r in data["join"]
         ],
-        note="speedup grows with input size (O(n+m) vs O(n*m))",
+        note="speedup grows with input size (O(n+m) vs O(n*m)); "
+        "vec/comp is the columnar backend's margin over compiled",
+    )
+    print_series_table(
+        "Backend — join margin sweep: vector vs compiled",
+        ["rows/side", "compiled", "vector", "vec/comp"],
+        [
+            [
+                r["rows_per_side"], r["compiled"], r["vector"],
+                r["vector_vs_compiled"],
+            ]
+            for r in data["join_vector"]
+        ],
+        note="floor: vector >= 1.0x compiled on the largest size",
     )
 
     # Acceptance criteria: ≥ 3× on the largest hot-path size and on the
@@ -217,3 +301,9 @@ def test_backend_compiled_vs_interpreted(benchmark):
     assert data["join"][-1]["speedup"] >= 3.0, data["join"]
     # Even the middleware must beat the interpreter's nested-loop join.
     assert data["join"][-1]["speedup_sqlite"] >= 1.0, data["join"]
+    # The columnar backend must not lose to row-at-a-time streaming on
+    # the join-heavy plan at bench scale (asserted on the largest size
+    # of the dedicated sweep, where columnar fixed costs are amortised).
+    assert data["join_vector"][-1]["vector_vs_compiled"] >= 1.0, (
+        data["join_vector"]
+    )

@@ -142,7 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="compiled",
         choices=BACKENDS,
         help="execution backend: compiled closures, the tree-walking "
-        "reference interpreter, or server-side SQL on in-memory sqlite",
+        "reference interpreter, server-side SQL on in-memory sqlite, "
+        "or vectorized columnar kernels",
     )
     whatif.add_argument(
         "--shards", type=_shards_flag, default=None, metavar="N",
@@ -204,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--history", required=True)
     replay.add_argument("--relation", help="print only this relation")
     replay.add_argument("--out", help="write the final state CSV here")
+    replay.add_argument(
+        "--bag", action="store_true",
+        help="replay under bag semantics; --out writes a multiplicity "
+        "(_count) column so duplicates survive the CSV round-trip",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the concurrent what-if service"
@@ -722,6 +728,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     database = _load_database(args.data)
     history = _load_history(args.history)
+    if args.bag:
+        # Bag semantics: duplicates are data; the plain relation CSV
+        # writer refuses bags, so export goes through bag_to_csv.
+        from .relational import BagDatabase, execute_history_bag
+        from .relational.csvio import bag_to_csv
+
+        final_bag = execute_history_bag(
+            history, BagDatabase.from_set_database(database)
+        )
+        names = (
+            [args.relation] if args.relation else final_bag.relation_names()
+        )
+        for name in names:
+            _print(f"== {name} ==")
+            _print(final_bag[name].to_set_relation().pretty())
+        if args.out:
+            target = args.relation or names[0]
+            bag_to_csv(final_bag[target], args.out)
+            _print(f"\n{target} written to {args.out} (bag, _count column)")
+        return 0
     final = history.execute(database)
     names = [args.relation] if args.relation else final.relation_names()
     for name in names:

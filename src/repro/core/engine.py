@@ -111,10 +111,12 @@ class MahifConfig:
     statement evaluated while answering: ``"compiled"`` (the default)
     runs closure-compiled streaming pipelines with hash joins,
     ``"interpreted"`` the original tree-walking evaluator (kept as the
-    differential-testing oracle), and ``"sqlite"`` the middleware path
-    of the paper — reenactment queries and statements are translated to
-    SQL and executed server-side on an in-memory SQLite database (see
-    DESIGN.md, "Execution backends").
+    differential-testing oracle), ``"sqlite"`` the middleware path of
+    the paper — reenactment queries and statements are translated to
+    SQL and executed server-side on an in-memory SQLite database — and
+    ``"vector"`` columnar evaluation with whole-column kernels (NumPy
+    when available, typed Python columns otherwise; see DESIGN.md,
+    "Execution backends" and "Columnar execution").
 
     ``batch_workers`` and ``batch_share_plans`` configure
     :meth:`Mahif.answer_batch` (see DESIGN.md, "Batched answering"):

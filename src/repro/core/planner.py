@@ -119,21 +119,29 @@ class SelectivityEstimate:
 # partitioning 40k rows (~73ms) costs more than the whole sliced
 # evaluation (~45ms).  Interpreted scales from BENCH_backend.json's
 # hot-path ratio (~10x compiled); sqlite pays an extra per-row shard
-# ingest (every shard becomes its own server-side database).
+# ingest (every shard becomes its own server-side database); vector
+# amortises per-row dispatch into whole-column kernels, so its per-row
+# constants sit below compiled (measured on the same bench workload,
+# join-heavy plans ~1.3-2x compiled throughput at bench scale).
 _DEFAULT_ROW_OP_COST = MappingProxyType({
     "interpreted": 5.0e-6,
     "compiled": 5.0e-7,
     "sqlite": 6.0e-7,
+    "vector": 4.0e-7,
 })
 _DEFAULT_DS_ROW_COST = MappingProxyType({
     "interpreted": 1.2e-5,
     "compiled": 1.2e-6,
     "sqlite": 1.5e-6,
+    "vector": 8.0e-7,
 })
 _DEFAULT_SHARD_ROW_COST = MappingProxyType({
     "interpreted": 0.0,
     "compiled": 0.0,
     "sqlite": 2.5e-6,
+    # Vector pays a per-shard columnarisation of each (smaller) shard
+    # relation — cheap, but not free like the tuple-streaming backends.
+    "vector": 3.0e-7,
 })
 
 
@@ -207,9 +215,16 @@ def calibrate_cost_model(report: Mapping[str, Any]) -> CostModel:
         ds_base = _DEFAULT_DS_ROW_COST["compiled"]
         row_op: dict[str, float] = {}
         ds_row: dict[str, float] = {}
-        for backend in ("interpreted", "compiled", "sqlite"):
+        for backend in ("interpreted", "compiled", "sqlite", "vector"):
             exe = float(largest.get(f"{backend}_exe", 0.0))
             if exe <= 0:
+                if backend == "vector":
+                    # Pre-vector reports simply lack the column: keep
+                    # the measured ratios for the other backends and
+                    # fall back to the default constants for vector.
+                    row_op[backend] = _DEFAULT_ROW_OP_COST[backend]
+                    ds_row[backend] = _DEFAULT_DS_ROW_COST[backend]
+                    continue
                 return DEFAULT_COST_MODEL
             ratio = exe / compiled
             row_op[backend] = base * ratio

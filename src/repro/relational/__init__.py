@@ -22,6 +22,7 @@ from .exec import (
     BACKEND_COMPILED,
     BACKEND_INTERPRETED,
     BACKEND_SQLITE,
+    BACKEND_VECTOR,
     BACKENDS,
     get_default_backend,
     set_default_backend,
@@ -66,6 +67,8 @@ from .bag import (
     execute_history_bag,
 )
 from .csvio import (
+    bag_from_csv,
+    bag_to_csv,
     load_database_dir,
     relation_from_csv,
     relation_to_csv,
@@ -120,6 +123,7 @@ __all__ = [
     "Difference", "Join", "evaluate_query", "evaluate_query_interpreted",
     # execution backends
     "BACKEND_COMPILED", "BACKEND_INTERPRETED", "BACKEND_SQLITE",
+    "BACKEND_VECTOR",
     "BACKENDS", "get_default_backend", "set_default_backend",
     "use_backend",
     # parsing / rendering
@@ -127,6 +131,7 @@ __all__ = [
     "statement_to_sql", "query_to_sql", "history_to_sql",
     "OptimizerConfig", "optimize",
     "relation_from_csv", "relation_to_csv", "load_database_dir",
+    "bag_from_csv", "bag_to_csv",
     "BagRelation", "BagDatabase", "apply_statement_bag",
     "execute_history_bag", "evaluate_query_bag",
     "evaluate_query_bag_interpreted", "bag_delta",

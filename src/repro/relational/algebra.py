@@ -25,7 +25,12 @@ from .expressions import (
     evaluate,
     simplify,
 )
-from .exec.backend import BACKEND_COMPILED, BACKEND_SQLITE, resolve_backend
+from .exec.backend import (
+    BACKEND_COMPILED,
+    BACKEND_SQLITE,
+    BACKEND_VECTOR,
+    resolve_backend,
+)
 from .relation import Relation
 from .schema import Schema, SchemaError, check_union_compatible
 
@@ -180,6 +185,10 @@ def evaluate_query(
         from .exec.sql_backend import execute_query_sqlite
 
         return execute_query_sqlite(op, db)
+    if resolved == BACKEND_VECTOR:
+        from .exec.vector_compile import execute_plan_vector
+
+        return execute_plan_vector(op, db)
     return evaluate_query_interpreted(op, db)
 
 

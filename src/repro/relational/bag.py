@@ -32,7 +32,12 @@ from .algebra import (
     Union,
 )
 from .database import Database
-from .exec.backend import BACKEND_COMPILED, BACKEND_SQLITE, resolve_backend
+from .exec.backend import (
+    BACKEND_COMPILED,
+    BACKEND_SQLITE,
+    BACKEND_VECTOR,
+    resolve_backend,
+)
 from .expressions import Expr, evaluate
 from .history import History
 from .relation import Relation
@@ -66,12 +71,13 @@ class BagRelation:
 
     def __post_init__(self) -> None:
         cleaned: dict[tuple[Any, ...], int] = {}
+        arity = self.schema.arity  # bound once: this loop is hot
         for row, count in dict(self.multiplicities).items():
             row = tuple(row)
-            if len(row) != self.schema.arity:
+            if len(row) != arity:
                 raise SchemaError(
                     f"row {row} has arity {len(row)}, expected "
-                    f"{self.schema.arity}"
+                    f"{arity}"
                 )
             if count < 0:
                 raise ValueError(f"negative multiplicity for {row}")
@@ -210,9 +216,14 @@ def apply_statement_bag(stmt: Statement, db: BagDatabase) -> BagDatabase:
         return apply_statement_sqlite_bag(stmt, db)
     relation = db[stmt.relation]
     compiled = backend == BACKEND_COMPILED
+    vector = backend == BACKEND_VECTOR
     if isinstance(stmt, UpdateStatement):
         counts: Counter = Counter()
-        if compiled:
+        if vector:
+            from .exec.vector_compile import bag_update_counts
+
+            counts.update(bag_update_counts(stmt, relation))
+        elif compiled:
             update_row = compiled_update_row(stmt, relation.schema)
             for row, count in relation.multiplicities.items():
                 counts[update_row(row)] += count
@@ -225,7 +236,11 @@ def apply_statement_bag(stmt: Statement, db: BagDatabase) -> BagDatabase:
             stmt.relation, BagRelation(relation.schema, counts)
         )
     if isinstance(stmt, DeleteStatement):
-        if compiled:
+        if vector:
+            from .exec.vector_compile import bag_delete_counts
+
+            kept = bag_delete_counts(stmt, relation)
+        elif compiled:
             from .exec import compile_predicate
 
             predicate = compile_predicate(stmt.condition, relation.schema)
@@ -294,6 +309,10 @@ def evaluate_query_bag(
         from .exec.sql_backend import execute_query_sqlite_bag
 
         return execute_query_sqlite_bag(op, db)
+    if resolved == BACKEND_VECTOR:
+        from .exec.vector_compile import execute_plan_vector_bag
+
+        return execute_plan_vector_bag(op, db)
     return evaluate_query_bag_interpreted(op, db)
 
 

@@ -20,10 +20,16 @@ from .schema import Schema
 __all__ = [
     "relation_from_csv",
     "relation_to_csv",
+    "bag_from_csv",
+    "bag_to_csv",
+    "BAG_COUNT_COLUMN",
     "load_database_dir",
     "parse_value",
     "format_value",
 ]
+
+#: Reserved header name of the multiplicity column in bag CSV files.
+BAG_COUNT_COLUMN = "_count"
 
 
 def parse_value(text: str) -> Any:
@@ -50,12 +56,21 @@ def parse_value(text: str) -> Any:
 
 
 def format_value(value: Any) -> str:
+    """Format one cell so that ``parse_value`` round-trips it exactly.
+
+    Floats use shortest-round-trip ``repr`` — ``%g`` truncated to 6
+    significant digits, silently corrupting exported deltas (e.g.
+    ``0.1234567890123`` → ``0.123457``).  ``repr`` always renders a
+    float with a ``.``, an exponent, ``inf`` or ``nan``, so the output
+    never re-parses as an int, and Python guarantees
+    ``float(repr(x)) == x`` (sign of ``-0.0`` included).
+    """
     if value is None:
         return ""
     if isinstance(value, bool):
         return "true" if value else "false"
     if isinstance(value, float):
-        return f"{value:g}"
+        return repr(value)
     return str(value)
 
 
@@ -86,7 +101,19 @@ def relation_from_csv(source: str | pathlib.Path | io.TextIOBase) -> Relation:
 def relation_to_csv(
     relation: Relation, target: str | pathlib.Path | io.TextIOBase
 ) -> None:
-    """Write a relation to CSV (deterministic row order)."""
+    """Write a set relation to CSV (deterministic row order).
+
+    Rejects :class:`~repro.relational.bag.BagRelation` inputs: writing
+    only the distinct rows would silently drop multiplicities — use
+    :func:`bag_to_csv`, which preserves them.
+    """
+    from .bag import BagRelation  # local: bag imports the exec layer
+
+    if isinstance(relation, BagRelation):
+        raise TypeError(
+            "relation_to_csv would silently drop bag multiplicities; "
+            "use bag_to_csv for bag-semantics relations"
+        )
     if isinstance(target, (str, pathlib.Path)):
         with open(target, "w", newline="") as fh:
             relation_to_csv(relation, fh)
@@ -95,6 +122,104 @@ def relation_to_csv(
     writer.writerow(relation.schema.attributes)
     for row in relation.sorted_rows():
         writer.writerow([format_value(v) for v in row])
+
+
+def bag_to_csv(
+    bag,
+    target: str | pathlib.Path | io.TextIOBase,
+    *,
+    style: str = "count",
+) -> None:
+    """Write a bag relation to CSV without losing multiplicities.
+
+    ``style="count"`` (the default) appends a :data:`BAG_COUNT_COLUMN`
+    multiplicity column — compact, and :func:`bag_from_csv` recognises
+    the reserved header on import.  ``style="repeat"`` writes each row
+    once per multiplicity (headers stay the plain schema, so the file
+    also loads as a set relation, deliberately collapsing duplicates).
+    """
+    from .relation import _sort_key
+
+    if style not in ("count", "repeat"):
+        raise ValueError(
+            f"unknown bag CSV style {style!r}; expected 'count' or 'repeat'"
+        )
+    if BAG_COUNT_COLUMN in bag.schema.attributes:
+        raise ValueError(
+            f"schema already has a {BAG_COUNT_COLUMN!r} column; cannot "
+            "add the multiplicity column"
+        )
+    if isinstance(target, (str, pathlib.Path)):
+        with open(target, "w", newline="") as fh:
+            bag_to_csv(bag, fh, style=style)
+            return
+    writer = csv.writer(target)
+    ordered = sorted(
+        bag.multiplicities, key=lambda t: tuple(map(_sort_key, t))
+    )
+    if style == "count":
+        writer.writerow([*bag.schema.attributes, BAG_COUNT_COLUMN])
+        for row in ordered:
+            writer.writerow(
+                [*map(format_value, row), bag.multiplicities[row]]
+            )
+    else:
+        writer.writerow(bag.schema.attributes)
+        for row in ordered:
+            formatted = [format_value(v) for v in row]
+            for _ in range(bag.multiplicities[row]):
+                writer.writerow(formatted)
+
+
+def bag_from_csv(source: str | pathlib.Path | io.TextIOBase):
+    """Load a bag relation from CSV.
+
+    A trailing :data:`BAG_COUNT_COLUMN` header marks an explicit
+    multiplicity column (cells must be positive ints); otherwise every
+    physical row counts once and duplicates accumulate.
+    """
+    from .bag import BagRelation
+
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, newline="") as fh:
+            return bag_from_csv(fh)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV file is empty (no header row)") from None
+    header = [h.strip() for h in header]
+    counted = bool(header) and header[-1] == BAG_COUNT_COLUMN
+    schema = Schema(tuple(header[:-1] if counted else header))
+    counts: dict[tuple[Any, ...], int] = {}
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        expected = schema.arity + (1 if counted else 0)
+        if len(row) != expected:
+            raise ValueError(
+                f"line {line_number}: expected {expected} cells, "
+                f"got {len(row)}"
+            )
+        if counted:
+            try:
+                count = int(row[-1])
+            except ValueError:
+                raise ValueError(
+                    f"line {line_number}: multiplicity {row[-1]!r} is "
+                    "not an integer"
+                ) from None
+            if count < 1:
+                raise ValueError(
+                    f"line {line_number}: multiplicity must be >= 1, "
+                    f"got {count}"
+                )
+            row = row[:-1]
+        else:
+            count = 1
+        key = tuple(parse_value(cell) for cell in row)
+        counts[key] = counts.get(key, 0) + count
+    return BagRelation(schema, counts)
 
 
 def load_database_dir(directory: str | pathlib.Path) -> Database:

@@ -10,8 +10,13 @@ This subpackage lowers the interpreted algebra to compiled form:
 * :mod:`.sqlite_sql` / :mod:`.sql_backend` — the ``"sqlite"`` middleware
   backend: trees and statements are translated to SQL and executed
   server-side on an in-memory :mod:`sqlite3` database,
+* :mod:`.vector_compile` — the ``"vector"`` columnar backend: typed
+  column arrays (see :mod:`repro.relational.columnar`) evaluated with
+  whole-column kernels, bitmap selections and bloom-prefiltered coded
+  hash joins, falling back to the compiled per-row closures wherever
+  eager vectorized evaluation could diverge from interpreter semantics,
 * :mod:`.backend` — the process-wide ``"compiled"`` / ``"interpreted"``
-  / ``"sqlite"`` switch that
+  / ``"sqlite"`` / ``"vector"`` switch that
   :func:`repro.relational.algebra.evaluate_query` and friends consult;
   compiled is the default, the interpreter stays available as the
   differential-testing oracle.
@@ -29,6 +34,7 @@ from .backend import (
     BACKEND_COMPILED,
     BACKEND_INTERPRETED,
     BACKEND_SQLITE,
+    BACKEND_VECTOR,
     BACKENDS,
     get_default_backend,
     resolve_backend,
@@ -41,6 +47,7 @@ __all__ = [
     "BACKEND_COMPILED",
     "BACKEND_INTERPRETED",
     "BACKEND_SQLITE",
+    "BACKEND_VECTOR",
     "BACKENDS",
     "get_default_backend",
     "set_default_backend",
@@ -67,6 +74,10 @@ __all__ = [
     "execute_plan_bag",
     "clear_bag_plan_cache",
     "bag_plan_cache_info",
+    # vector columnar backend
+    "execute_plan_vector",
+    "execute_plan_vector_bag",
+    "vectorize_condition",
     # sqlite middleware backend
     "SqlBackendError",
     "execute_query_sqlite",
@@ -104,6 +115,11 @@ _BAG_EXPORTS = {
     "clear_bag_plan_cache",
     "bag_plan_cache_info",
 }
+_VECTOR_EXPORTS = {
+    "execute_plan_vector",
+    "execute_plan_vector_bag",
+    "vectorize_condition",
+}
 _SQLITE_EXPORTS = {
     "SqlBackendError",
     "execute_query_sqlite",
@@ -117,13 +133,16 @@ _SQLITE_EXPORTS = {
 
 
 def clear_caches() -> None:
-    """Drop every compilation cache and the sqlite connection cache."""
+    """Drop every compilation cache, the sqlite connection cache, and
+    the vector backend's columnarization cache."""
+    from .. import columnar
     from . import bag_compile, expr_compile, plan_compile, sql_backend
 
     expr_compile.clear_expr_cache()
     plan_compile.clear_plan_cache()
     bag_compile.clear_bag_plan_cache()
     sql_backend.clear_sqlite_cache()
+    columnar.clear_columnar_cache()
 
 
 def __getattr__(name: str) -> Any:
@@ -139,6 +158,10 @@ def __getattr__(name: str) -> Any:
         from . import bag_compile
 
         return getattr(bag_compile, name)
+    if name in _VECTOR_EXPORTS:
+        from . import vector_compile
+
+        return getattr(vector_compile, name)
     if name in _SQLITE_EXPORTS:
         from . import sql_backend
 

@@ -1,6 +1,6 @@
 """Execution-backend selection.
 
-Three backends evaluate the same operator algebra:
+Four backends evaluate the same operator algebra:
 
 * ``"compiled"`` (the default) — :mod:`repro.relational.exec` lowers
   expression trees to Python closures over positional row tuples and
@@ -11,7 +11,12 @@ Three backends evaluate the same operator algebra:
 * ``"sqlite"`` — the middleware backend of the paper's architecture:
   operator trees and statements are translated to SQL and executed
   server-side on an in-memory :mod:`sqlite3` database (see
-  :mod:`repro.relational.exec.sql_backend`).
+  :mod:`repro.relational.exec.sql_backend`),
+* ``"vector"`` — columnar evaluation: relations become typed NumPy
+  columns (pure-Python typed columns without NumPy) and operators run
+  as whole-column kernels — bitmap selections, bloom-prefiltered coded
+  hash joins, eager bag aggregation (see
+  :mod:`repro.relational.exec.vector_compile`).
 
 The default is process-wide state so that code without a config in hand
 (statement application inside :meth:`History.execute`, ad-hoc
@@ -40,6 +45,7 @@ __all__ = [
     "BACKEND_COMPILED",
     "BACKEND_INTERPRETED",
     "BACKEND_SQLITE",
+    "BACKEND_VECTOR",
     "BACKENDS",
     "get_default_backend",
     "set_default_backend",
@@ -50,7 +56,10 @@ __all__ = [
 BACKEND_COMPILED = "compiled"
 BACKEND_INTERPRETED = "interpreted"
 BACKEND_SQLITE = "sqlite"
-BACKENDS = (BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE)
+BACKEND_VECTOR = "vector"
+BACKENDS = (
+    BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE, BACKEND_VECTOR
+)
 
 _default_backend = BACKEND_COMPILED
 

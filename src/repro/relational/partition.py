@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from .bag import BagRelation
+from .columnar import bulk_shard_indices, ordered_indices_by_column
 from .relation import Relation, _sort_key
 from .schema import Schema
 
@@ -86,9 +87,12 @@ def hash_partition(relation: Relation, shards: int) -> list[Relation]:
     _check_shards(shards)
     if shards == 1:
         return [relation]
+    rows = list(relation.tuples)
     buckets: list[set] = [set() for _ in range(shards)]
-    for row in relation.tuples:
-        buckets[stable_shard_of(row, shards)].add(row)
+    # Bulk assignment: one pass with bound locals (bit-identical to
+    # per-row stable_shard_of; see repro.relational.columnar).
+    for row, shard in zip(rows, bulk_shard_indices(rows, shards)):
+        buckets[shard].add(row)
     return [
         Relation(relation.schema, frozenset(bucket)) for bucket in buckets
     ]
@@ -111,9 +115,7 @@ def range_partition(
         return [relation]
     # Ties may land on either side of a chunk boundary; any disjoint
     # cover is a valid partition, so no (costly) full-row tie-break.
-    ordered = sorted(
-        relation.tuples, key=lambda row: _sort_key(row[key_index])
-    )
+    ordered = _ordered_by_key(list(relation.tuples), key_index)
     return [
         Relation(relation.schema, frozenset(chunk))
         for chunk in _chunks(ordered, shards)
@@ -126,9 +128,10 @@ def hash_partition_bag(bag: BagRelation, shards: int) -> list[BagRelation]:
     _check_shards(shards)
     if shards == 1:
         return [bag]
+    rows = list(bag.multiplicities)
     buckets: list[dict] = [{} for _ in range(shards)]
-    for row, count in bag.multiplicities.items():
-        buckets[stable_shard_of(row, shards)][row] = count
+    for row, shard in zip(rows, bulk_shard_indices(rows, shards)):
+        buckets[shard][row] = bag.multiplicities[row]
     return [BagRelation(bag.schema, bucket) for bucket in buckets]
 
 
@@ -140,15 +143,24 @@ def range_partition_bag(
     _check_shards(shards)
     if shards == 1:
         return [bag]
-    ordered = sorted(
-        bag.multiplicities, key=lambda row: _sort_key(row[key_index])
-    )
+    ordered = _ordered_by_key(list(bag.multiplicities), key_index)
     return [
         BagRelation(
             bag.schema, {row: bag.multiplicities[row] for row in chunk}
         )
         for chunk in _chunks(ordered, shards)
     ]
+
+
+def _ordered_by_key(rows: list, key_index: int) -> list:
+    """Rows ordered by the mixed-type key on one column: an argsort
+    kernel when the column is uniformly clean numeric (see
+    :func:`repro.relational.columnar.ordered_indices_by_column`), the
+    Python sort otherwise — both stable, so the orders agree exactly."""
+    indices = ordered_indices_by_column(rows, key_index)
+    if indices is not None:
+        return [rows[i] for i in indices]
+    return sorted(rows, key=lambda row: _sort_key(row[key_index]))
 
 
 def _chunks(ordered: list, shards: int) -> list[list]:

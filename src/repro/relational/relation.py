@@ -27,12 +27,22 @@ class Relation:
     tuples: frozenset[tuple[Any, ...]]
 
     def __post_init__(self) -> None:
-        tuples = frozenset(tuple(t) for t in self.tuples)
+        raw = self.tuples
+        # A frozenset of plain tuples needs no rebuild: validating in
+        # place skips rehashing every row, which is measurable on the
+        # execution backends' result construction.
+        if type(raw) is frozenset and all(type(t) is tuple for t in raw):
+            tuples = raw
+        else:
+            tuples = frozenset(
+                t if type(t) is tuple else tuple(t) for t in raw
+            )
+        arity = self.schema.arity  # bound once: this loop is hot
         for t in tuples:
-            if len(t) != self.schema.arity:
+            if len(t) != arity:
                 raise SchemaError(
                     f"tuple {t} has arity {len(t)}, schema expects "
-                    f"{self.schema.arity}"
+                    f"{arity}"
                 )
         object.__setattr__(self, "tuples", tuples)
 
@@ -152,15 +162,23 @@ class Relation:
         return "\n".join(lines)
 
 
-def _sort_key(value: Any) -> tuple[int, Any]:
-    """Total order over mixed-type values for deterministic output."""
+def _sort_key(value: Any) -> tuple[int, int, Any]:
+    """Total order over mixed-type values for deterministic output.
+
+    NaN gets its own fixed slot (just above every other number): it
+    compares False both ways, so leaving it in the numeric rank would
+    make the sort input-order-dependent — CSV export and ``pretty()``
+    would shuffle NaN rows between runs.
+    """
     if value is None:
-        return (0, "")
+        return (0, 0, "")
     if isinstance(value, bool):
-        return (1, value)
+        return (1, 0, value)
     if isinstance(value, (int, float)):
-        return (2, value)
-    return (3, str(value))
+        if value != value:  # NaN: pin it, don't let it float around
+            return (2, 1, 0.0)
+        return (2, 0, value)
+    return (3, 0, str(value))
 
 
 def _fmt(value: Any) -> str:

@@ -23,7 +23,12 @@ from typing import Any, Mapping
 
 from .algebra import Operator, base_relations, evaluate_query
 from .database import Database
-from .exec.backend import BACKEND_COMPILED, BACKEND_SQLITE, resolve_backend
+from .exec.backend import (
+    BACKEND_COMPILED,
+    BACKEND_SQLITE,
+    BACKEND_VECTOR,
+    resolve_backend,
+)
 from .expressions import (
     Expr,
     FALSE,
@@ -129,6 +134,10 @@ class UpdateStatement(Statement):
             from .exec.sql_backend import apply_statement_sqlite
 
             return apply_statement_sqlite(self, db)
+        if backend == BACKEND_VECTOR:
+            from .exec.vector_compile import apply_update_vector
+
+            return apply_update_vector(self, db)
         if backend == BACKEND_COMPILED:
             # Positional fast path: one compiled predicate plus one
             # compiled whole-row Set closure, no per-row dict bindings.
@@ -158,6 +167,10 @@ class DeleteStatement(Statement):
             from .exec.sql_backend import apply_statement_sqlite
 
             return apply_statement_sqlite(self, db)
+        if backend == BACKEND_VECTOR:
+            from .exec.vector_compile import apply_delete_vector
+
+            return apply_delete_vector(self, db)
         if backend == BACKEND_COMPILED:
             from itertools import filterfalse
 

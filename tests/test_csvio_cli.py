@@ -680,3 +680,228 @@ class TestCliRemote:
         with pytest.raises(ServiceClientError) as err:
             ServiceClient(server.url).info("halfdone")
         assert err.value.status == 404
+
+
+# ---------------------------------------------------------------------------
+# precision round trips (shortest-round-trip float formatting)
+# ---------------------------------------------------------------------------
+
+class TestPrecisionRoundTrip:
+    """``parse_value(format_value(x)) == x`` must hold *exactly* — the
+    old ``%g`` formatting truncated floats to 6 significant digits, so
+    the CLI delta export silently corrupted values."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0.1234567890123,
+            0.1234567890123456,      # 16 significant digits
+            0.12345678901234567,     # 17 significant digits
+            1e17,
+            10**17,                  # int stays int
+            -0.0,
+            1.5,
+            2.0,                     # int-valued float stays float
+            float("inf"),
+            float("-inf"),
+            1e308,
+            5e-324,                  # smallest denormal
+            -123456789.987654321,
+            True,
+            False,
+            0,
+            -5,
+            None,
+            "text",
+        ],
+    )
+    def test_exact(self, value):
+        back = parse_value(format_value(value))
+        assert type(back) is type(value)
+        assert repr(back) == repr(value)  # repr: catches -0.0 vs 0.0
+
+    def test_nan_round_trips(self):
+        back = parse_value(format_value(float("nan")))
+        assert isinstance(back, float) and back != back
+
+    def test_seventeen_digit_float_not_truncated(self):
+        value = 0.12345678901234567
+        assert format_value(value) != "0.123457"  # the old %g output
+        assert parse_value(format_value(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# seeded CSV round-trip property fuzz (codec-corner value pool)
+# ---------------------------------------------------------------------------
+
+def _csv_safe(value):
+    """Whether a value is in the CSV codec's exact-round-trip domain.
+
+    The cell codec infers types from text, so strings that *look* like
+    another type ("", "true", "0") decode as that type by design; every
+    other scalar round-trips exactly.
+    """
+    if isinstance(value, str):
+        return parse_value(value) == value and not isinstance(
+            parse_value(value), bool
+        )
+    return True
+
+
+def _exact_cell(value):
+    return (type(value).__name__, repr(value))
+
+
+class TestCsvRoundTripFuzz:
+    """Seeded property fuzz: random typed relations -> csv -> parse ->
+    type-exact equality, over the codec-corner value pool (±Inf, NaN,
+    bool-vs-int, -0.0, denormals)."""
+
+    def test_random_relations_round_trip(self):
+        from fuzz_differential import fresh_rng, random_codec_value, scaled
+
+        rng = fresh_rng(offset=31)
+        for trial in range(scaled(60)):
+            arity = rng.randint(1, 5)
+            schema = Schema.of(*(f"c{i}" for i in range(arity)))
+            rows = set()
+            for _ in range(rng.randint(0, 20)):
+                row = tuple(
+                    random_codec_value(rng) for _ in range(arity)
+                )
+                if all(_csv_safe(v) for v in row):
+                    rows.add(row)
+            relation = Relation.from_rows(schema, rows)
+            buffer = io.StringIO()
+            relation_to_csv(relation, buffer)
+            buffer.seek(0)
+            loaded = relation_from_csv(buffer)
+            assert loaded.schema.attributes == schema.attributes
+            assert sorted(map(_exact_row, loaded.tuples)) == sorted(
+                map(_exact_row, relation.tuples)
+            ), trial
+
+    def test_random_bags_round_trip_both_styles(self):
+        from fuzz_differential import fresh_rng, random_codec_value, scaled
+
+        from repro.relational import BagRelation
+        from repro.relational.csvio import bag_from_csv, bag_to_csv
+
+        rng = fresh_rng(offset=32)
+        for trial in range(scaled(40)):
+            arity = rng.randint(1, 4)
+            schema = Schema.of(*(f"c{i}" for i in range(arity)))
+            counts = {}
+            for _ in range(rng.randint(0, 12)):
+                row = tuple(
+                    random_codec_value(rng) for _ in range(arity)
+                )
+                if all(_csv_safe(v) and not _is_nan(v) for v in row):
+                    counts[row] = rng.randint(1, 4)
+            bag = BagRelation(schema, counts)
+            for style in ("count", "repeat"):
+                buffer = io.StringIO()
+                bag_to_csv(bag, buffer, style=style)
+                buffer.seek(0)
+                loaded = bag_from_csv(buffer)
+                assert loaded.schema.attributes == schema.attributes
+                assert sorted(
+                    (_exact_row(r), c)
+                    for r, c in loaded.multiplicities.items()
+                ) == sorted(
+                    (_exact_row(r), c)
+                    for r, c in bag.multiplicities.items()
+                ), (trial, style)
+
+
+def _exact_row(row):
+    return tuple(_exact_cell(v) for v in row)
+
+
+def _is_nan(value):
+    return isinstance(value, float) and value != value
+
+
+# ---------------------------------------------------------------------------
+# bag CSV export/import (multiplicities must survive)
+# ---------------------------------------------------------------------------
+
+class TestBagCsv:
+    def _bag(self):
+        from repro.relational import BagRelation
+
+        return BagRelation(
+            Schema.of("k", "v"), {(1, "a"): 3, (2, "b"): 1}
+        )
+
+    def test_relation_to_csv_rejects_bags(self):
+        with pytest.raises(TypeError, match="multiplicities"):
+            relation_to_csv(self._bag(), io.StringIO())
+
+    def test_count_style_writes_count_column(self):
+        buffer = io.StringIO()
+        from repro.relational.csvio import bag_to_csv
+
+        bag_to_csv(self._bag(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "k,v,_count"
+        assert "1,a,3" in lines
+        assert "2,b,1" in lines
+
+    def test_repeat_style_writes_one_row_per_duplicate(self):
+        buffer = io.StringIO()
+        from repro.relational.csvio import bag_to_csv
+
+        bag_to_csv(self._bag(), buffer, style="repeat")
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "k,v"
+        assert lines[1:].count("1,a") == 3
+        assert lines[1:].count("2,b") == 1
+
+    def test_reserved_count_header_is_rejected_on_export(self):
+        from repro.relational import BagRelation
+        from repro.relational.csvio import bag_to_csv
+
+        bag = BagRelation(Schema.of("_count",), {(1,): 1})
+        with pytest.raises(ValueError, match="_count"):
+            bag_to_csv(bag, io.StringIO())
+
+    def test_import_without_count_column_counts_duplicates(self):
+        from repro.relational.csvio import bag_from_csv
+
+        buffer = io.StringIO("k,v\n1,a\n1,a\n2,b\n")
+        bag = bag_from_csv(buffer)
+        assert dict(bag.multiplicities) == {(1, "a"): 2, (2, "b"): 1}
+
+    def test_import_rejects_bad_multiplicities(self):
+        from repro.relational.csvio import bag_from_csv
+
+        with pytest.raises(ValueError, match="not an integer"):
+            bag_from_csv(io.StringIO("k,_count\n1,x\n"))
+        with pytest.raises(ValueError, match=">= 1"):
+            bag_from_csv(io.StringIO("k,_count\n1,0\n"))
+
+    def test_cli_replay_bag_round_trips_duplicates(self, tmp_path, capsys):
+        from repro.relational.csvio import bag_from_csv
+
+        data = tmp_path / "tables"
+        data.mkdir()
+        (data / "Orders.csv").write_text("id,fee\n1,5\n2,5\n3,0\n")
+        history = tmp_path / "history.sql"
+        # The projection-free update makes rows 1 and 2 identical under
+        # bag semantics; the set-semantics exporter would collapse them.
+        history.write_text("UPDATE Orders SET id = 0 WHERE fee = 5;\n")
+        out = tmp_path / "state.csv"
+        code = main(
+            [
+                "replay",
+                "--data", str(data),
+                "--history", str(history),
+                "--relation", "Orders",
+                "--bag",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        bag = bag_from_csv(out)
+        assert dict(bag.multiplicities) == {(0, 5): 2, (3, 0): 1}

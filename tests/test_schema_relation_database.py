@@ -111,6 +111,33 @@ class TestRelation:
         )
         assert len(relation.sorted_rows()) == 4
 
+    def test_sorted_rows_nan_has_a_fixed_slot(self):
+        # NaN compares False both ways, which used to make the "total"
+        # order input-order-dependent: pin that it now sorts above every
+        # other number, below strings, regardless of insertion order.
+        import math
+
+        nan = float("nan")
+        values = [3.0, nan, 1, "z", None, 2]
+        expected_reprs = [
+            repr((v,)) for v in (None, 1, 2, 3.0, nan, "z")
+        ]
+        for ordering in (values, list(reversed(values))):
+            relation = Relation.from_rows(
+                Schema.of("x"), [(v,) for v in ordering]
+            )
+            got = [repr(row) for row in relation.sorted_rows()]
+            assert got == expected_reprs, ordering
+        # Two NaN objects (distinct rows via a tie-break column) stay
+        # adjacent and ordered by the second column deterministically.
+        relation = Relation.from_rows(
+            Schema.of("x", "t"),
+            [(float("nan"), 2), (9.0, 0), (float("nan"), 1)],
+        )
+        rows = relation.sorted_rows()
+        assert [r[1] for r in rows] == [0, 1, 2]
+        assert math.isnan(rows[1][0]) and math.isnan(rows[2][0])
+
     def test_pretty_contains_header_and_rows(self):
         rendered = self.make().pretty()
         assert "k" in rendered and "10" in rendered

@@ -6,7 +6,7 @@ method.  This suite fuzzes that claim along every axis:
 
 * shard counts ``SHARD_COUNTS = (1, 2, 8)`` — including more shards than
   most generated relations have rows (empty shards + skip routing),
-* all 3 execution backends x all 5 engine methods, hash and range
+* all 4 execution backends x all 5 engine methods, hash and range
   partitioning, serial and pooled shard evaluation,
 * histories with ``INSERT ... SELECT`` (the unshardable fallback path)
   and insert-heavy modifications (singleton protection + the
@@ -45,7 +45,7 @@ from repro.relational import (
 )
 from repro.relational.statements import InsertQuery, InsertTuple
 
-BACKENDS = ("interpreted", "compiled", "sqlite")
+BACKENDS = ("interpreted", "compiled", "sqlite", "vector")
 
 N_HWQS = 5
 N_FALLBACK_HWQS = 3
@@ -75,7 +75,7 @@ def _deltas_by_config(query, method, backend, shards, scheme, workers=0):
 
 class TestShardInvariance:
     def test_all_methods_backends_shard_counts(self):
-        """Bit-identical deltas for shards in {1, 2, 8}, 3 backends,
+        """Bit-identical deltas for shards in {1, 2, 8}, 4 backends,
         5 methods; the partition scheme alternates per trial."""
         rng = fresh_rng(offset=91)
         for trial in range(scaled(N_HWQS)):

@@ -1,8 +1,8 @@
-"""Three-way differential fuzz: interpreter == compiled == sqlite.
+"""Four-way differential fuzz: interpreter == compiled == sqlite == vector.
 
 The machine-generated half of the middleware story: seeded random
 schemas, databases, plans, histories and what-if modifications are run
-through all three execution backends, asserting identical results under
+through all four execution backends, asserting identical results under
 set *and* bag semantics, for query evaluation, full history replay
 (final database state), and every engine method variant.
 
@@ -61,7 +61,10 @@ from repro.relational.expressions import (
 )
 from repro.relational.schema import SchemaError
 
-BACKENDS = ("interpreted", "compiled", "sqlite")
+BACKENDS = ("interpreted", "compiled", "sqlite", "vector")
+
+#: The non-oracle backends, compared against the interpreter.
+CHECKED = ("compiled", "sqlite", "vector")
 
 N_PLANS = 150
 N_REPLAYS = 120
@@ -157,7 +160,7 @@ class TestPlanDifferential:
             reference, ref_err = _outcome(
                 lambda: evaluate_query_interpreted(plan, db)
             )
-            for backend in ("compiled", "sqlite"):
+            for backend in CHECKED:
                 actual, err = _outcome(
                     lambda: evaluate_query(plan, db, backend=backend)
                 )
@@ -180,7 +183,7 @@ class TestPlanDifferential:
             reference, ref_err = _outcome(
                 lambda: evaluate_query_bag_interpreted(plan, bag_db)
             )
-            for backend in ("compiled", "sqlite"):
+            for backend in CHECKED:
                 actual, err = _outcome(
                     lambda: evaluate_query_bag(plan, bag_db, backend=backend)
                 )
@@ -206,6 +209,7 @@ class TestPlanDifferential:
         )
         assert evaluate_query_interpreted(plan, db).tuples == frozenset()
         assert evaluate_query(plan, db, backend="compiled").tuples == frozenset()
+        assert evaluate_query(plan, db, backend="vector").tuples == frozenset()
         with pytest.raises(EvaluationError, match="unbound reference"):
             evaluate_query(plan, db, backend="sqlite")
 
@@ -229,7 +233,7 @@ class TestReplayDifferential:
                 with use_backend(backend):
                     set_states[backend] = history.execute(db)
                     bag_states[backend] = execute_history_bag(history, bag_db)
-            for backend in ("compiled", "sqlite"):
+            for backend in CHECKED:
                 assert set_states[backend].same_contents(
                     set_states["interpreted"]
                 ), (trial, backend, "set")
@@ -319,7 +323,7 @@ class TestBatchDifferential:
         — replay one batch identically to the serial batch."""
         rng = fresh_rng(offset=8)
         batch = random_hwq_batch(rng, size=BATCH_SIZE)
-        for backend in ("compiled", "sqlite"):
+        for backend in CHECKED:
             serial = Mahif(MahifConfig(backend=backend)).answer_batch(batch)
             pooled = Mahif(
                 MahifConfig(backend=backend, batch_workers=2)
@@ -348,7 +352,7 @@ class TestBatchDifferential:
                         bag_states[backend] = execute_history_bag(
                             modified, bag_db
                         )
-                for backend in ("compiled", "sqlite"):
+                for backend in CHECKED:
                     assert set_states[backend].same_contents(
                         set_states["interpreted"]
                     ), (trial, index, backend, "set")
@@ -376,7 +380,7 @@ class TestCliSqlite:
             "DELETE FROM Orders WHERE fee >= 10;\n"
         )
         outputs = {}
-        for backend in ("compiled", "sqlite"):
+        for backend in CHECKED:
             out = tmp_path / f"delta_{backend}.csv"
             code = main(
                 [
@@ -393,4 +397,5 @@ class TestCliSqlite:
             assert code == 0
             outputs[backend] = out.read_text()
         assert outputs["sqlite"] == outputs["compiled"]
+        assert outputs["vector"] == outputs["compiled"]
         assert outputs["sqlite"].strip()  # the delta is not empty

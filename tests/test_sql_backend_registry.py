@@ -14,6 +14,7 @@ from repro.relational import (
     BACKEND_COMPILED,
     BACKEND_INTERPRETED,
     BACKEND_SQLITE,
+    BACKEND_VECTOR,
     Database,
     Relation,
     Schema,
@@ -44,7 +45,8 @@ def make_db():
 class TestRegistry:
     def test_backends_tuple(self):
         assert BACKENDS == (
-            BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE
+            BACKEND_COMPILED, BACKEND_INTERPRETED, BACKEND_SQLITE,
+            BACKEND_VECTOR,
         )
 
     @pytest.mark.parametrize(
